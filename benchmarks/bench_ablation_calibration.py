@@ -1,0 +1,85 @@
+"""Ablation — Gaussian vs quantile error models (the §3.2 caveat).
+
+The paper's detector "assumes that the prediction errors will follow a
+Gaussian distribution ... not necessarily always true" and suggests "a
+more rigorous modelling of the prediction error" where it fails. This
+ablation measures the assumption on the telecom corpus and compares
+detection quality of the Gaussian γ·σ rule against the distribution-free
+quantile-band alternative at matched nominal tail mass.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core import (
+    ContextualAnomalyDetector,
+    GaussianErrorModel,
+    QuantileErrorModel,
+    calibration_report,
+    score_alarms,
+)
+from repro.eval.telecom_experiments import _predict_execution, _problem_intervals
+
+N_LAGS = 3
+
+
+def _run(dataset, model, gamma=2.0):
+    detector = ContextualAnomalyDetector(gamma=gamma)
+    all_errors = []
+    results = {"gaussian": [], "quantile": []}
+    for chain in dataset.focus_chains:
+        errors = []
+        for execution in chain.history:
+            predicted, observed = _predict_execution(model, execution, N_LAGS)
+            errors.append(predicted - observed)
+        errors = np.concatenate(errors)
+        all_errors.append(errors)
+        predicted, observed = _predict_execution(model, chain.current, N_LAGS)
+        truth = chain.current.anomaly_mask()[N_LAGS:]
+        intervals = _problem_intervals(chain.current, N_LAGS)
+        for name, error_model in (
+            ("gaussian", GaussianErrorModel.fit(errors)),
+            ("quantile", QuantileErrorModel.fit(errors)),
+        ):
+            report = detector.detect(predicted, observed, error_model)
+            results[name].append(score_alarms(report.alarms, truth, intervals))
+    return np.concatenate(all_errors), results
+
+
+def test_ablation_calibration(benchmark, telecom_dataset, env2vec_model):
+    errors, results = benchmark.pedantic(
+        lambda: _run(telecom_dataset, env2vec_model), rounds=1, iterations=1
+    )
+    report = calibration_report(errors)
+
+    def total(name):
+        from repro.core import AlarmScore
+
+        return sum(results[name], AlarmScore(0, 0))
+
+    gaussian, quantile = total("gaussian"), total("quantile")
+    emit(
+        "ablation_calibration",
+        "\n".join(
+            [
+                report.table(),
+                "",
+                "Detection at γ=2 with matched nominal tail mass:",
+                f"  gaussian : alarms={gaussian.n_alarms:<4} correct={gaussian.correct_alarms:<4} "
+                f"problems={gaussian.problems_detected} A_T={gaussian.true_alarm_rate:.3f}",
+                f"  quantile : alarms={quantile.n_alarms:<4} correct={quantile.correct_alarms:<4} "
+                f"problems={quantile.problems_detected} A_T={quantile.true_alarm_rate:.3f}",
+            ]
+        ),
+    )
+
+    # The calibration report is well-formed and the empirical tails are in
+    # the right ballpark of the Gaussian prediction at small gamma.
+    empirical_1, predicted_1 = report.tail_mass[1.0]
+    assert 0.0 < empirical_1 < 1.0 and predicted_1 > 0.25
+
+    # Both error models detect essentially the same real problems — the
+    # Gaussian shortcut does not lose recall on this corpus — while the
+    # quantile model's precision is at least comparable.
+    assert quantile.problems_detected >= gaussian.problems_detected - 2
+    assert quantile.true_alarm_rate >= gaussian.true_alarm_rate - 0.1

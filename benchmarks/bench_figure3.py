@@ -1,0 +1,60 @@
+"""Figure 3 — Env2Vec vs per-chain Ridge_ts, and RFNN_all vs Ridge_ts.
+
+Paper shape being reproduced (Figures 3a, 3b, and the embedded table):
+
+- the single Env2Vec model delivers the best average MAE and MSE over all
+  125 build chains, beating 125 per-chain Ridge_ts models;
+- RFNN_all (pooled, no embeddings) is worse than Env2Vec on both metrics
+  and loses to Ridge_ts — embeddings are necessary to train one model on
+  all environments;
+- the paired t-test at 0.05 confirms the Env2Vec vs RFNN_all difference.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.eval import paired_t_test
+
+
+def test_figure3(benchmark, chain_mae_result):
+    result = chain_mae_result
+    improvement_ridge_ts = benchmark.pedantic(
+        lambda: result.improvement("env2vec", "ridge_ts"), rounds=1, iterations=1
+    )
+    improvement_rfnn = result.improvement("rfnn_all", "ridge_ts")
+
+    t_env_rfnn = paired_t_test(result.per_chain_mae["env2vec"], result.per_chain_mae["rfnn_all"])
+    text = "\n".join(
+        [
+            result.mean_table(),
+            "",
+            "Figure 3a — per-chain MAE improvement of Env2Vec over Ridge_ts:",
+            f"  mean {improvement_ridge_ts.mean():+.3f}, improved on "
+            f"{int((improvement_ridge_ts > 0).sum())}/{len(improvement_ridge_ts)} chains",
+            "Figure 3b — per-chain MAE improvement of RFNN_all over Ridge_ts:",
+            f"  mean {improvement_rfnn.mean():+.3f}, improved on "
+            f"{int((improvement_rfnn > 0).sum())}/{len(improvement_rfnn)} chains",
+            "",
+            f"paired t-test Env2Vec vs RFNN_all MAE: {t_env_rfnn}",
+        ]
+    )
+    emit("figure3", text)
+
+    maes = {m: values.mean() for m, values in result.per_chain_mae.items()}
+    mses = {m: values.mean() for m, values in result.per_chain_mse.items()}
+
+    # Figure 3a table: the single Env2Vec model has the best average MAE and
+    # MSE across all chains (within a 3% numerical band for MAE).
+    assert maes["env2vec"] <= maes["ridge_ts"] * 1.03
+    assert mses["env2vec"] <= mses["ridge_ts"]
+    assert maes["env2vec"] < maes["ridge"]
+
+    # Figure 3b: RFNN_all is worse than Env2Vec on both metrics and has
+    # higher MAE than Ridge_ts.
+    assert maes["rfnn_all"] > maes["env2vec"]
+    assert mses["rfnn_all"] > mses["env2vec"]
+    assert maes["rfnn_all"] > maes["ridge_ts"]
+
+    # The Env2Vec vs RFNN_all gap is statistically significant (paired
+    # t-test at 0.05, §4.1.2) with Env2Vec lower.
+    assert t_env_rfnn.significant and t_env_rfnn.mean_difference < 0

@@ -1,0 +1,54 @@
+"""Figure 4 — MAE CDF over all build chains, all methods.
+
+Paper shape being reproduced:
+
+- at low MAE (the easy chains) Env2Vec is merely competitive — it may be
+  slightly worse than the specialized per-chain models;
+- at high MAE (the hard chains) Env2Vec is clearly better: over the most
+  difficult ~10% of cases it has the best MAE of all methods — it "is not
+  overfitting to small CPU fluctuations, and is also more robust in
+  difficult cases".
+"""
+
+import numpy as np
+
+from conftest import emit
+
+
+def test_figure4(benchmark, chain_mae_result):
+    result = chain_mae_result
+    cdfs = benchmark.pedantic(
+        lambda: {method: result.cdf(method) for method in result.per_chain_mae},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["Figure 4 — MAE CDF across build chains (per-method quantiles):"]
+    quantiles = (10, 25, 50, 75, 90, 100)
+    header = f"{'method':<10}" + "".join(f"{f'p{q}':>8}" for q in quantiles)
+    lines.append(header)
+    for method, values in result.per_chain_mae.items():
+        row = f"{method:<10}" + "".join(f"{np.percentile(values, q):8.2f}" for q in quantiles)
+        lines.append(row)
+    lines.append("")
+    tail = {m: result.tail_mean(m) for m in result.per_chain_mae}
+    lines.append(
+        "hardest-10%-of-chains mean MAE: "
+        + ", ".join(f"{m}={v:.2f}" for m, v in sorted(tail.items(), key=lambda kv: kv[1]))
+    )
+    emit("figure4", "\n".join(lines))
+
+    # Each CDF is a valid distribution function.
+    for method, (values, fractions) in cdfs.items():
+        assert (np.diff(values) >= 0).all()
+        assert fractions[-1] == 1.0
+
+    # Tail claim: over the hardest decile, Env2Vec beats the per-chain
+    # linear models and the plain pooled model is not better either.
+    assert tail["env2vec"] < tail["ridge_ts"]
+    assert tail["env2vec"] < tail["ridge"]
+
+    # High-MAE region: the 90th-percentile MAE of Env2Vec is the lowest of
+    # the per-chain methods.
+    p90 = {m: np.percentile(v, 90) for m, v in result.per_chain_mae.items()}
+    assert p90["env2vec"] <= min(p90["ridge"], p90["ridge_ts"])

@@ -1,0 +1,41 @@
+"""Figure 6 — learned environment embeddings projected to 2-d with PCA.
+
+Paper shape being reproduced: environments running the same build *type*
+(S/B/D/T) cluster together in the embedding space — same-type pairs sit
+closer than cross-type pairs — because build versions of one type share
+latent behaviour the embeddings recover.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.eval import run_embedding_pca
+from repro.eval.plots import ascii_scatter
+
+
+def test_figure6(benchmark, telecom_dataset, env2vec_model):
+    result = benchmark.pedantic(
+        lambda: run_embedding_pca(env2vec_model, telecom_dataset), rounds=1, iterations=1
+    )
+
+    ratio = result.cluster_ratio()
+    text = "\n".join(
+        [
+            "Figure 6 — PCA of concatenated environment embeddings",
+            f"environments: {len(result.environments)}; "
+            f"explained variance (PC1, PC2): "
+            f"{result.explained_variance_ratio[0]:.2f}, {result.explained_variance_ratio[1]:.2f}",
+            f"build-type cluster ratio (intra/inter distance, <1 = clustered): {ratio:.3f}",
+            "",
+            ascii_scatter(result.coordinates, result.build_types),
+        ]
+    )
+    emit("figure6", text)
+
+    # Same-build-type environments are closer together than cross-type
+    # pairs (the Figure 6 clustering).
+    assert ratio < 1.0
+
+    # Multiple build types are present, as in the paper's legend.
+    assert len(set(result.build_types)) >= 3
+    assert result.coordinates.shape == (len(result.environments), 2)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+The telecom corpus and the two pooled models (Env2Vec, RFNN_all) are
+expensive to build, so they are created once per session and shared by all
+telecom benchmarks. Dataset generation and model training happen *outside*
+the timed sections; each benchmark times its own experiment driver.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+reproduced tables inline. Every benchmark also appends its rendered output
+to ``benchmarks/results/`` so the tables survive output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.data import TelecomConfig, generate_telecom
+from repro.eval import run_chain_mae, train_env2vec_telecom, train_rfnn_all_telecom
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under benchmarks/results/."""
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def telecom_dataset():
+    """The paper-scale corpus: 125 chains, 11 focus executions."""
+    return generate_telecom(TelecomConfig())
+
+
+@pytest.fixture(scope="session")
+def env2vec_model(telecom_dataset):
+    """The single Env2Vec model trained on all historical executions."""
+    return train_env2vec_telecom(telecom_dataset, fast=False)
+
+
+@pytest.fixture(scope="session")
+def rfnn_all_model(telecom_dataset):
+    """The pooled no-embeddings baseline."""
+    return train_rfnn_all_telecom(telecom_dataset, fast=False)
+
+
+@pytest.fixture(scope="session")
+def chain_mae_result(telecom_dataset, env2vec_model, rfnn_all_model):
+    """Per-chain MAE/MSE shared by the Figure 3 and Figure 4 benchmarks."""
+    return run_chain_mae(telecom_dataset, env2vec_model, rfnn_all_model)

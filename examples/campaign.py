@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""A multi-day testing campaign: the workflow loop running over time.
+
+Simulates what a testing organization adopting Env2Vec experiences over a
+release cycle: every day each build chain executes its next software
+build; the campaign monitors each execution with the latest published
+model, raises alarms, masks confirmed-problematic executions out of the
+training pool (workflow step 2), retrains, and republishes.
+
+Run:  python examples/campaign.py
+"""
+
+from repro.data import TelecomConfig, generate_telecom
+from repro.workflow import TestingCampaign
+
+
+def main() -> None:
+    dataset = generate_telecom(
+        TelecomConfig(
+            n_chains=15,
+            n_testbeds=6,
+            n_focus=3,
+            include_rare_testbed=False,
+            fault_magnitude=(14.0, 25.0),
+            seed=9,
+        )
+    )
+    problem_builds = {
+        execution.environment
+        for chain in dataset.chains
+        for execution in chain.executions
+        if execution.has_performance_problem
+    }
+    print(
+        f"corpus: {dataset.n_chains} chains, "
+        f"{max(len(c) for c in dataset.chains)} release days, "
+        f"{len(problem_builds)} problematic builds hidden in the stream\n"
+    )
+
+    campaign = TestingCampaign(
+        gamma=3.0, model_params={"max_epochs": 25, "batch_size": 256}
+    )
+    for report in campaign.run(dataset):
+        flagged = (
+            ", ".join(f"{env.testbed}/{env.build}" for env in report.flagged_environments)
+            or "-"
+        )
+        print(
+            f"day {report.day}: {report.executions_run:2d} executions | "
+            f"{report.alarms_raised:3d} alarms | flagged: {flagged} | "
+            f"model v{report.model_version}"
+        )
+
+    masked = campaign.masked_environments
+    caught = len(problem_builds & masked)
+    print(
+        f"\nend of campaign: {len(masked)} executions masked from training; "
+        f"{caught}/{len(problem_builds)} ground-truth problem builds caught"
+    )
+    print(
+        f"alarm store holds {campaign.alarm_store.count()} alarms; "
+        f"model store holds {campaign.model_store.latest_version} versions"
+    )
+
+
+if __name__ == "__main__":
+    main()

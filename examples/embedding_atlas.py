@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Explore the learned environment-embedding space (Figure 6).
+
+Trains Env2Vec on a testing corpus, projects every environment's
+concatenated embedding to 2-d with PCA, and renders an ASCII scatter where
+each point is labelled with its build type — the same-type clustering of
+the paper's Figure 6. Also prints nearest-neighbour environments to show
+that proximity in the space tracks EM overlap.
+
+Run:  python examples/embedding_atlas.py
+"""
+
+import numpy as np
+
+from repro.data import TelecomConfig, generate_telecom
+from repro.eval import run_embedding_pca, train_env2vec_telecom
+from repro.eval.plots import ascii_scatter
+
+
+def main() -> None:
+    dataset = generate_telecom(
+        TelecomConfig(n_chains=40, n_testbeds=10, n_focus=4, include_rare_testbed=False, seed=5)
+    )
+    model = train_env2vec_telecom(dataset, fast=True)
+    result = run_embedding_pca(model, dataset)
+
+    print(
+        f"{len(result.environments)} environments embedded; PCA explains "
+        f"{100 * result.explained_variance_ratio.sum():.0f}% of variance in 2-d"
+    )
+    print(f"build-type cluster ratio (intra/inter, <1 = clustered): "
+          f"{result.cluster_ratio():.3f}\n")
+    print("each point is an environment, labelled by build type "
+          "(S=stable, B=beta, D=debug, T=test):\n")
+    print(ascii_scatter(result.coordinates, result.build_types))
+
+    # Nearest neighbours in the full embedding space track EM overlap.
+    matrix = model.embed_environments(result.environments)
+    target = result.environments[0]
+    distances = np.linalg.norm(matrix - matrix[0], axis=1)
+    order = np.argsort(distances)[1:4]
+    print(f"\nnearest neighbours of {target.as_tuple()}:")
+    for index in order:
+        neighbour = result.environments[index]
+        print(
+            f"  d={distances[index]:.3f} {neighbour.as_tuple()} "
+            f"(shares {target.overlap(neighbour)}/4 EM fields)"
+        )
+
+
+if __name__ == "__main__":
+    main()

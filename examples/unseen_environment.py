@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Testing a previously unseen environment by reusing embeddings (§4.3).
+
+Blinds an entire build chain out of the training corpus — its exact
+environment tuple never appears in training — then shows how Env2Vec still
+monitors it: the per-field lookup tables compose the unseen environment's
+embedding from values learned on *other* chains (Figure 5), and anomaly
+detection runs with a self-calibrated error distribution.
+
+Run:  python examples/unseen_environment.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ContextualAnomalyDetector,
+    EnvironmentVocabulary,
+    blind_chains,
+    composable,
+    field_coverage,
+)
+from repro.data import TelecomConfig, generate_telecom
+from repro.data.windows import build_windows
+from repro.eval import train_env2vec_telecom
+
+N_LAGS = 3
+
+
+def main() -> None:
+    dataset = generate_telecom(
+        TelecomConfig(n_chains=25, n_testbeds=6, n_focus=3, include_rare_testbed=False, seed=11)
+    )
+
+    # Blind the focus chains: no execution of theirs enters training.
+    split = blind_chains(dataset, dataset.focus_indices)
+    print(f"blinded {len(split.held_out)} chains; "
+          f"training pool shrank to {len(split.training)} executions")
+
+    vocabulary = EnvironmentVocabulary().fit([env for env, _, _ in split.training])
+    model = train_env2vec_telecom(split.training, n_lags=N_LAGS, fast=True)
+
+    detector = ContextualAnomalyDetector(gamma=2.0)
+    for execution in split.held_out:
+        env = execution.environment
+        known = vocabulary.is_known(env)
+        coverage = field_coverage(env, [e for e, _, _ in split.training])
+        print(f"\nunseen environment {env.as_tuple()}")
+        print(
+            "  field coverage in training: "
+            + ", ".join(f"{f}={coverage[f]} execs ({'known' if known[f] else 'UNKNOWN'})"
+                        for f in ("testbed", "sut", "testcase", "build"))
+        )
+        print(f"  composable from known embeddings: {composable(env, vocabulary)}")
+
+        # Self-calibrated detection: gamma applied to the error distribution
+        # of the execution itself (no history exists for this environment).
+        X, history, y = build_windows(execution.features, execution.cpu, N_LAGS)
+        predicted = model.predict([env] * len(y), X, history)
+        report = detector.detect_self_calibrated(predicted, y)
+        truth = execution.anomaly_mask()[N_LAGS:]
+        hits = sum(1 for a in report.alarms if truth[a.start : a.end].any())
+        print(
+            f"  prediction MAE {np.abs(predicted - y).mean():.2f}% CPU | "
+            f"{report.n_alarms} alarms, {hits} overlap the "
+            f"{len(execution.impactful_faults)} real problems"
+        )
+
+    print(
+        "\n(Ridge/Ridge_ts cannot run here at all: with the history blinded "
+        "there is no per-chain data to train them — the paper's Table 6 N/A.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

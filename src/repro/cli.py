@@ -1,0 +1,251 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro table4            # KDN method comparison (§4.1)
+    python -m repro figure1           # per-chain linear models (motivation)
+    python -m repro figure3           # Env2Vec vs Ridge_ts per chain
+    python -m repro figure4           # MAE CDF over chains
+    python -m repro table5            # anomaly detection, with-history
+    python -m repro table6            # unseen environments (§4.3)
+    python -m repro table7            # coverage analysis
+    python -m repro figure6           # embedding-space PCA
+    python -m repro holdout           # §6 hold-out contribution analysis
+    python -m repro campaign          # multi-day workflow simulation
+    python -m repro corpus            # EM coverage/balance statistics
+    python -m repro calibration       # §3.2 Gaussian-error assumption check
+    python -m repro all               # everything above, in order
+
+Options: ``--full`` uses the paper-scale training protocol (slower);
+``--seed N`` reseeds the synthetic corpora; ``--chains N`` resizes the
+telecom corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .data.kdn import load_all_kdn
+from .data.telecom import TelecomConfig, generate_telecom
+
+EXPERIMENTS = (
+    "table4",
+    "figure1",
+    "figure3",
+    "figure4",
+    "table5",
+    "table6",
+    "table7",
+    "figure6",
+    "holdout",
+    "campaign",
+    "corpus",
+    "calibration",
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _telecom_context(args, cache={}):
+    """Dataset + trained pooled models, built once per process."""
+    key = (args.seed, args.chains, args.full)
+    if key not in cache:
+        from .eval import train_env2vec_telecom, train_rfnn_all_telecom
+
+        n_focus = min(11, max(2, args.chains // 4))
+        dataset = generate_telecom(
+            TelecomConfig(n_chains=args.chains, n_focus=n_focus, seed=args.seed)
+        )
+        env2vec = train_env2vec_telecom(dataset, fast=not args.full)
+        rfnn_all = train_rfnn_all_telecom(dataset, fast=not args.full)
+        cache[key] = (dataset, env2vec, rfnn_all)
+    return cache[key]
+
+
+def _run_table4(args) -> str:
+    from .eval import run_kdn_comparison
+
+    result = run_kdn_comparison(seed=args.seed, n_nn_runs=10 if args.full else 2, fast=not args.full)
+    lines = [result.table4(), "", "Table 3 splits:"]
+    for name, dataset in load_all_kdn(seed=args.seed).items():
+        train, val, test = dataset.split()
+        lines.append(f"  {name:<9} {len(train)}/{len(val)}/{len(test)}")
+    return "\n".join(lines)
+
+
+def _run_figure1(args) -> str:
+    from .eval import run_figure1
+    from .eval.plots import ascii_heatmap
+
+    dataset, _, _ = _telecom_context(args)
+    result = run_figure1(dataset)
+    return "\n".join([result.summary(), "", ascii_heatmap(result.weights)])
+
+
+def _chain_mae(args, cache={}):
+    key = (args.seed, args.chains, args.full)
+    if key not in cache:
+        from .eval import run_chain_mae
+
+        dataset, env2vec, rfnn_all = _telecom_context(args)
+        cache[key] = run_chain_mae(dataset, env2vec, rfnn_all)
+    return cache[key]
+
+
+def _run_figure3(args) -> str:
+    result = _chain_mae(args)
+    improvement = result.improvement("env2vec", "ridge_ts")
+    return "\n".join(
+        [
+            result.mean_table(),
+            f"Env2Vec vs Ridge_ts: mean per-chain MAE improvement {improvement.mean():+.3f}",
+        ]
+    )
+
+
+def _run_figure4(args) -> str:
+    from .eval.plots import ascii_cdf
+
+    result = _chain_mae(args)
+    return ascii_cdf({m: v for m, v in result.per_chain_mae.items()})
+
+
+def _run_table5(args) -> str:
+    from .eval import run_anomaly_table
+
+    dataset, env2vec, rfnn_all = _telecom_context(args)
+    result = run_anomaly_table(dataset, env2vec, rfnn_all)
+    return result.table("Table 5 — performance problems detected")
+
+
+def _run_table6(args) -> str:
+    from .eval import run_unseen_table
+
+    dataset, _, _ = _telecom_context(args)
+    result = run_unseen_table(dataset, fast=not args.full, seed=args.seed)
+    return result.table("Table 6 — unseen environments")
+
+
+def _run_table7(args) -> str:
+    from .eval import run_anomaly_table, run_coverage_table
+
+    dataset, env2vec, _ = _telecom_context(args)
+    table5 = run_anomaly_table(
+        dataset, env2vec, None, gammas=(1.0,), include_htm=False, include_ridge=False
+    )
+    return run_coverage_table(dataset, table5).table()
+
+
+def _run_figure6(args) -> str:
+    from .eval import run_embedding_pca
+    from .eval.plots import ascii_scatter
+
+    dataset, env2vec, _ = _telecom_context(args)
+    result = run_embedding_pca(env2vec, dataset)
+    header = (
+        f"Figure 6 — embedding PCA over {len(result.environments)} environments; "
+        f"build-type cluster ratio {result.cluster_ratio():.3f}"
+    )
+    return "\n".join([header, ascii_scatter(result.coordinates, result.build_types)])
+
+
+def _run_holdout(args) -> str:
+    from .eval import cf_group_holdout, em_field_holdout
+
+    dataset, _, _ = _telecom_context(args)
+    cf = cf_group_holdout(dataset, fast=not args.full, seed=args.seed)
+    em = em_field_holdout(dataset, fast=not args.full, seed=args.seed)
+    return "\n\n".join(
+        [cf.table("§6 holdout — contextual feature groups"), em.table("§6 holdout — EM fields")]
+    )
+
+
+def _run_campaign(args) -> str:
+    from .workflow import TestingCampaign
+
+    dataset, _, _ = _telecom_context(args)
+    campaign = TestingCampaign(model_params={"max_epochs": 15, "batch_size": 256})
+    reports = campaign.run(dataset)
+    lines = ["Multi-day testing campaign (collect -> monitor -> mask -> retrain):"]
+    for report in reports:
+        lines.append(
+            f"  day {report.day}: {report.executions_run} executions, "
+            f"{report.alarms_raised} alarms, {len(report.flagged_environments)} newly "
+            f"flagged, model v{report.model_version}"
+        )
+    lines.append(f"  masked environments at end: {len(campaign.masked_environments)}")
+    return "\n".join(lines)
+
+
+def _run_corpus(args) -> str:
+    from .data import corpus_stats
+
+    dataset, _, _ = _telecom_context(args)
+    return corpus_stats(dataset).table()
+
+
+def _run_calibration(args) -> str:
+    import numpy as np
+
+    from .core import calibration_report
+    from .eval.telecom_experiments import _predict_execution
+
+    dataset, env2vec, _ = _telecom_context(args)
+    errors = []
+    for chain in dataset.focus_chains:
+        for execution in chain.history:
+            predicted, observed = _predict_execution(env2vec, execution, env2vec.n_lags)
+            errors.append(predicted - observed)
+    report = calibration_report(np.concatenate(errors))
+    return "§3.2 Gaussian-error assumption check\n" + report.table()
+
+
+_RUNNERS = {
+    "table4": _run_table4,
+    "figure1": _run_figure1,
+    "figure3": _run_figure3,
+    "figure4": _run_figure4,
+    "table5": _run_table5,
+    "table6": _run_table6,
+    "table7": _run_table7,
+    "figure6": _run_figure6,
+    "holdout": _run_holdout,
+    "campaign": _run_campaign,
+    "corpus": _run_corpus,
+    "calibration": _run_calibration,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Env2Vec (EuroSys 2020) reproduction — regenerate paper tables/figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--full", action="store_true", help="paper-scale training protocol")
+    parser.add_argument("--seed", type=int, default=7, help="corpus seed (default 7)")
+    parser.add_argument(
+        "--chains", type=int, default=125, help="telecom corpus size (default 125)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        start = time.perf_counter()
+        output = _RUNNERS[name](args)
+        elapsed = time.perf_counter() - start
+        print(f"\n### {name} ({elapsed:.1f}s)\n{output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

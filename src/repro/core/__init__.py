@@ -1,0 +1,69 @@
+"""The paper's primary contribution: the Env2Vec model and its workflow parts.
+
+- :mod:`~repro.core.embeddings` — per-EM-field embedding lookup tables with
+  unknown rows (§3.1).
+- :mod:`~repro.core.model` — the FNN + GRU + embeddings architecture with
+  the Hadamard prediction head (eq. 2) and the §3.2 head variants.
+- :mod:`~repro.core.baselines` — FNN, RFNN and RFNN_all (§4.1.3).
+- :mod:`~repro.core.anomaly` — the gamma·sigma contextual anomaly detector
+  with the 5% absolute false-alarm filter (§3.2, §4.2.2).
+- :mod:`~repro.core.unseen` — the §4.3 unseen-environment protocol.
+"""
+
+from .anomaly import (
+    Alarm,
+    AlarmScore,
+    AnomalyReport,
+    ContextualAnomalyDetector,
+    GaussianErrorModel,
+    merge_flags_into_alarms,
+    score_alarms,
+)
+from .calibration import (
+    CalibrationReport,
+    QuantileErrorModel,
+    calibration_report,
+    gamma_to_quantile,
+)
+from .baselines import (
+    FNNModel,
+    FNNRegressor,
+    PAPER_FNN_DROPOUTS,
+    PAPER_FNN_HIDDEN_UNITS,
+    PAPER_RFNN_LAGS,
+    RFNNModel,
+    RFNNRegressor,
+)
+from .embeddings import EnvironmentEmbeddings, EnvironmentVocabulary
+from .model import Env2VecModel, Env2VecRegressor, PREDICTION_HEADS
+from .unseen import BlindedSplit, blind_chains, composable, field_coverage
+
+__all__ = [
+    "EnvironmentVocabulary",
+    "EnvironmentEmbeddings",
+    "Env2VecModel",
+    "Env2VecRegressor",
+    "PREDICTION_HEADS",
+    "FNNModel",
+    "FNNRegressor",
+    "RFNNModel",
+    "RFNNRegressor",
+    "PAPER_FNN_HIDDEN_UNITS",
+    "PAPER_FNN_DROPOUTS",
+    "PAPER_RFNN_LAGS",
+    "GaussianErrorModel",
+    "ContextualAnomalyDetector",
+    "Alarm",
+    "AnomalyReport",
+    "AlarmScore",
+    "merge_flags_into_alarms",
+    "score_alarms",
+    "QuantileErrorModel",
+    "CalibrationReport",
+    "calibration_report",
+    "gamma_to_quantile",
+    "BlindedSplit",
+    "blind_chains",
+    "field_coverage",
+    "composable",
+]

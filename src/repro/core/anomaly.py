@@ -1,0 +1,243 @@
+"""Contextual anomaly detection (paper §3.2 "Anomaly detection", §4.2.2).
+
+Given a fitted characterization model, the detector:
+
+1. fits a Gaussian N(mu_err, sigma_err) on the prediction errors over the
+   *previous, non-problematic* builds of a build chain;
+2. for the next build, flags timestep p when the error deviates from the
+   mean by more than ``gamma * sigma_err`` **and** — the false-alarm filter
+   of §4.2.2 — the absolute deviation |y'_p − y_p| exceeds 5 (CPU
+   percentage points);
+3. merges consecutive flagged timesteps into *alarms*, each reporting the
+   interval of the deviation (workflow step 4).
+
+For previously unseen environments (§4.3) there is no historical error
+distribution; :meth:`ContextualAnomalyDetector.detect_self_calibrated`
+applies gamma to the error distribution "computed for all timesteps in the
+test execution" instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "GaussianErrorModel",
+    "Alarm",
+    "AnomalyReport",
+    "ContextualAnomalyDetector",
+    "merge_flags_into_alarms",
+    "score_alarms",
+    "AlarmScore",
+]
+
+#: §4.2.2 — alarms additionally require an absolute CPU deviation above 5%.
+DEFAULT_ABS_THRESHOLD = 5.0
+
+
+@dataclass
+class GaussianErrorModel:
+    """The N(mu_err, sigma_err) model of normal prediction error."""
+
+    mu: float
+    sigma: float
+
+    @classmethod
+    def fit(cls, errors: np.ndarray) -> "GaussianErrorModel":
+        errors = np.asarray(errors, dtype=np.float64)
+        if errors.size < 2:
+            raise ValueError("need at least 2 error samples to fit a Gaussian")
+        if not np.isfinite(errors).all():
+            raise ValueError("errors contain NaN or infinite values")
+        sigma = float(errors.std())
+        return cls(mu=float(errors.mean()), sigma=max(sigma, 1e-9))
+
+    def zscore(self, errors: np.ndarray) -> np.ndarray:
+        return (np.asarray(errors, dtype=np.float64) - self.mu) / self.sigma
+
+    def is_anomalous(self, errors: np.ndarray, gamma: float) -> np.ndarray:
+        """|error − mu| > gamma * sigma, per timestep."""
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        return np.abs(self.zscore(errors)) > gamma
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One reported performance problem: a contiguous flagged interval."""
+
+    start: int
+    end: int  # exclusive
+    peak_deviation: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise ValueError("alarm needs 0 <= start < end")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps_interval(self, start: int, end: int) -> bool:
+        return self.start < end and start < self.end
+
+
+@dataclass
+class AnomalyReport:
+    """Detection output for one test execution."""
+
+    flags: np.ndarray  # (timesteps,) bool
+    alarms: list[Alarm]
+    errors: np.ndarray  # per-timestep prediction error y' - y
+    gamma: float
+
+    @property
+    def n_alarms(self) -> int:
+        return len(self.alarms)
+
+    @property
+    def flagged_fraction(self) -> float:
+        return float(self.flags.mean()) if self.flags.size else 0.0
+
+
+def merge_flags_into_alarms(flags: np.ndarray, deviations: np.ndarray) -> list[Alarm]:
+    """Group consecutive flagged timesteps into alarms with peak deviation."""
+    flags = np.asarray(flags, dtype=bool)
+    deviations = np.asarray(deviations, dtype=np.float64)
+    if flags.shape != deviations.shape:
+        raise ValueError("flags and deviations must align")
+    alarms: list[Alarm] = []
+    start = None
+    for i, flagged in enumerate(flags):
+        if flagged and start is None:
+            start = i
+        elif not flagged and start is not None:
+            peak = float(np.abs(deviations[start:i]).max())
+            alarms.append(Alarm(start=start, end=i, peak_deviation=peak))
+            start = None
+    if start is not None:
+        peak = float(np.abs(deviations[start:]).max())
+        alarms.append(Alarm(start=start, end=len(flags), peak_deviation=peak))
+    return alarms
+
+
+class ContextualAnomalyDetector:
+    """Implements the gamma·sigma rule plus the 5% absolute filter."""
+
+    def __init__(self, gamma: float = 2.0, abs_threshold: float = DEFAULT_ABS_THRESHOLD):
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        if abs_threshold < 0:
+            raise ValueError("abs_threshold must be non-negative")
+        self.gamma = gamma
+        self.abs_threshold = abs_threshold
+
+    def fit_error_model(self, predicted: np.ndarray, observed: np.ndarray) -> GaussianErrorModel:
+        """Fit the normal-build error distribution from historical builds."""
+        predicted = np.asarray(predicted, dtype=np.float64)
+        observed = np.asarray(observed, dtype=np.float64)
+        if predicted.shape != observed.shape:
+            raise ValueError("predicted and observed must align")
+        return GaussianErrorModel.fit(predicted - observed)
+
+    def detect(
+        self,
+        predicted: np.ndarray,
+        observed: np.ndarray,
+        error_model: GaussianErrorModel,
+    ) -> AnomalyReport:
+        """Flag anomalies in the current build against a fitted error model."""
+        predicted = np.asarray(predicted, dtype=np.float64)
+        observed = np.asarray(observed, dtype=np.float64)
+        if predicted.shape != observed.shape:
+            raise ValueError("predicted and observed must align")
+        errors = predicted - observed
+        flags = error_model.is_anomalous(errors, self.gamma)
+        if self.abs_threshold > 0:
+            flags &= np.abs(errors) > self.abs_threshold
+        return AnomalyReport(
+            flags=flags,
+            alarms=merge_flags_into_alarms(flags, errors),
+            errors=errors,
+            gamma=self.gamma,
+        )
+
+    def detect_self_calibrated(self, predicted: np.ndarray, observed: np.ndarray) -> AnomalyReport:
+        """§4.3 unseen-environment mode: calibrate on the execution itself.
+
+        "As there is no previous prediction error distribution associated
+        to a test execution in an unseen environment, we apply the
+        user-defined gamma to the prediction error distribution computed
+        for all timesteps in the test execution."
+        """
+        predicted = np.asarray(predicted, dtype=np.float64)
+        observed = np.asarray(observed, dtype=np.float64)
+        error_model = self.fit_error_model(predicted, observed)
+        return self.detect(predicted, observed, error_model)
+
+
+@dataclass
+class AlarmScore:
+    """Alarm-quality metrics: the paper's A_T and A_F (§4.2.2).
+
+    ``correct_alarms`` counts raised alarms that overlap ground truth (the
+    engineer-labelled true positives); ``problems_detected`` counts
+    distinct ground-truth problems hit by at least one alarm — the
+    quantity behind "Env2Vec with γ=1 can detect the highest number of
+    problems (25)".
+    """
+
+    n_alarms: int
+    correct_alarms: int
+    problems_detected: int = 0
+    total_problems: int = 0
+
+    @property
+    def true_alarm_rate(self) -> float:
+        """A_T = N_tp / (N_tp + N_fp); 0 when no alarms were raised."""
+        return self.correct_alarms / self.n_alarms if self.n_alarms else 0.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """A_F = 1 − A_T (defined as 0 when no alarms were raised)."""
+        return 1.0 - self.true_alarm_rate if self.n_alarms else 0.0
+
+    def __add__(self, other: "AlarmScore") -> "AlarmScore":
+        return AlarmScore(
+            n_alarms=self.n_alarms + other.n_alarms,
+            correct_alarms=self.correct_alarms + other.correct_alarms,
+            problems_detected=self.problems_detected + other.problems_detected,
+            total_problems=self.total_problems + other.total_problems,
+        )
+
+
+def score_alarms(
+    alarms: list[Alarm],
+    truth_mask: np.ndarray,
+    problem_intervals: list[tuple[int, int]] | None = None,
+) -> AlarmScore:
+    """Count alarms that overlap any ground-truth anomalous timestep.
+
+    An alarm is *correct* (a true positive) when its interval overlaps the
+    ground-truth anomaly mask; otherwise it is a false positive. This
+    mirrors the paper's per-alarm labelling by testing engineers. When
+    ``problem_intervals`` is given, also count how many distinct problems
+    were detected by at least one alarm.
+    """
+    truth_mask = np.asarray(truth_mask, dtype=bool)
+    correct = sum(1 for alarm in alarms if truth_mask[alarm.start : alarm.end].any())
+    detected = 0
+    intervals = problem_intervals or []
+    for start, end in intervals:
+        if start >= end:
+            raise ValueError(f"invalid problem interval ({start}, {end})")
+        if any(alarm.overlaps_interval(start, end) for alarm in alarms):
+            detected += 1
+    return AlarmScore(
+        n_alarms=len(alarms),
+        correct_alarms=correct,
+        problems_detected=detected,
+        total_problems=len(intervals),
+    )

@@ -1,0 +1,408 @@
+"""The Env2Vec deep-learning architecture (paper §3.1, §3.2, Appendix A).
+
+Three input branches feed a combination layer:
+
+- an **FNN** with one sigmoid hidden layer over the contextual features
+  ``a_t`` produces ``v_fs``;
+- a **GRU** (ReLU candidate activation, Appendix A) over the RU-history
+  window ``{y_{p-n}, ..., y_{p-1}}`` produces ``v_ts``;
+- per-EM-field **embedding lookup tables** produce the concatenated
+  environment embedding ``C = [ec^1, ..., ec^k]`` (eq. 1).
+
+``v_s = [v_ts, v_fs]`` passes through a dense layer to ``v_d`` with
+``dim(v_d) == dim(C)``, and the prediction is the sum of the Hadamard
+product (eq. 2): ``y'_p = Σ v_d ⊙ C``. §3.2 notes two alternatives with
+similar results — a bilinear form ``v_d · R · C`` and an MLP over
+``[v_d, C]`` — both implemented here as ``head`` options and exercised by
+the head ablation benchmark.
+
+:class:`Env2VecModel` is the raw autograd module; :class:`Env2VecRegressor`
+is the user-facing estimator handling vocabulary fitting, feature/target
+standardization, training with early stopping, and inverse-scaled
+prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.environment import EM_FIELDS, Environment
+from ..ml.preprocessing import StandardScaler
+from ..nn.attention import AdditiveAttention
+from ..nn.gru import GRU
+from ..nn.layers import Dense, Dropout, Module
+from ..nn.lstm import LSTM
+from ..nn.tensor import Tensor
+from ..nn.training import EarlyStopping, Trainer, TrainingHistory
+from .embeddings import EnvironmentEmbeddings, EnvironmentVocabulary
+
+__all__ = ["Env2VecModel", "Env2VecRegressor", "PREDICTION_HEADS"]
+
+PREDICTION_HEADS = ("hadamard", "bilinear", "mlp")
+
+
+class Env2VecModel(Module):
+    """FNN + GRU + environment embeddings with a Hadamard prediction head."""
+
+    def __init__(
+        self,
+        n_features: int,
+        n_lags: int,
+        vocabulary: EnvironmentVocabulary,
+        embedding_dim: int = 10,
+        fnn_hidden: int = 64,
+        gru_hidden: int = 16,
+        dropout: float = 0.1,
+        head: str = "hadamard",
+        unknown_dropout: float = 0.0,
+        use_attention: bool = False,
+        recurrent_unit: str = "gru",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if head not in PREDICTION_HEADS:
+            raise ValueError(f"unknown head {head!r}; choose from {PREDICTION_HEADS}")
+        if recurrent_unit not in ("gru", "lstm"):
+            raise ValueError(f"unknown recurrent_unit {recurrent_unit!r}; choose 'gru' or 'lstm'")
+        if n_lags < 1:
+            raise ValueError("n_lags must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.n_features = n_features
+        self.n_lags = n_lags
+        self.head = head
+        self.use_attention = use_attention
+        # FNN branch: one sigmoid hidden layer (Appendix A).
+        self.fnn = Dense(n_features, fnn_hidden, activation="sigmoid", rng=rng)
+        self.fnn_dropout = Dropout(dropout, rng=rng)
+        # GRU branch over the univariate RU history (ReLU candidate,
+        # Appendix A). With the §6 attention extension, all hidden states
+        # are kept and pooled by additive attention instead of taking the
+        # last state.
+        self.recurrent_unit = recurrent_unit
+        if recurrent_unit == "lstm":
+            self.gru = LSTM(1, gru_hidden, return_sequences=use_attention, rng=rng)
+        else:
+            self.gru = GRU(
+                1, gru_hidden, activation="relu", return_sequences=use_attention, rng=rng
+            )
+        if use_attention:
+            self.attention = AdditiveAttention(gru_hidden, rng=rng)
+        # Embedding branch (with <unk>-row training via unknown-dropout).
+        self.embeddings = EnvironmentEmbeddings(
+            vocabulary, embedding_dim, unknown_dropout=unknown_dropout, rng=rng
+        )
+        c_dim = self.embeddings.output_dim
+        # Dense combination layer: v_s -> v_d with dim(v_d) == dim(C).
+        self.combine = Dense(fnn_hidden + gru_hidden, c_dim, rng=rng)
+        if head == "bilinear":
+            from ..nn.layers import Parameter
+            from ..nn import init as initializers
+
+            self.bilinear = Parameter(
+                initializers.glorot_uniform((c_dim, c_dim), rng), name="bilinear"
+            )
+        elif head == "mlp":
+            self.head_hidden = Dense(2 * c_dim, c_dim, activation="relu", rng=rng)
+            self.head_out = Dense(c_dim, 1, rng=rng)
+
+    def forward(self, cf: np.ndarray, history: np.ndarray, env: np.ndarray) -> Tensor:
+        """Predict ``y'_p`` for a batch.
+
+        ``cf``: (batch, n_features) contextual features;
+        ``history``: (batch, n_lags) previous RU values, oldest first;
+        ``env``: (batch, n_fields) integer EM ids.
+        """
+        cf = np.asarray(cf, dtype=np.float64)
+        history = np.asarray(history, dtype=np.float64)
+        if cf.shape[1] != self.n_features:
+            raise ValueError(f"expected {self.n_features} contextual features, got {cf.shape[1]}")
+        if history.shape[1] != self.n_lags:
+            raise ValueError(f"expected history window of {self.n_lags}, got {history.shape[1]}")
+        v_fs = self.fnn_dropout(self.fnn(Tensor(cf)))
+        gru_out = self.gru(Tensor(history[:, :, None]))
+        v_ts = self.attention(gru_out) if self.use_attention else gru_out
+        v_s = Tensor.concat([v_ts, v_fs], axis=1)
+        v_d = self.combine(v_s)
+        c = self.embeddings(env)
+        if self.head == "hadamard":
+            return (v_d * c).sum(axis=1)
+        if self.head == "bilinear":
+            return ((v_d @ self.bilinear) * c).sum(axis=1)
+        merged = Tensor.concat([v_d, c], axis=1)
+        return self.head_out(self.head_hidden(merged)).reshape(-1)
+
+
+class Env2VecRegressor:
+    """High-level estimator: vocabulary + scaling + training + prediction.
+
+    ``fit`` consumes per-sample environments plus aligned contextual
+    features, RU-history windows, and targets (as produced by
+    :func:`repro.data.windows.build_windows_multi`).
+    """
+
+    def __init__(
+        self,
+        n_lags: int = 3,
+        embedding_dim: int = 10,
+        fnn_hidden: int = 64,
+        gru_hidden: int = 16,
+        dropout: float = 0.1,
+        head: str = "hadamard",
+        unknown_dropout: float = 0.05,
+        use_attention: bool = False,
+        recurrent_unit: str = "gru",
+        em_fields: tuple[str, ...] = EM_FIELDS,
+        lr: float = 0.005,
+        batch_size: int = 256,
+        max_epochs: int = 60,
+        patience: int = 8,
+        seed: int = 0,
+    ):
+        self.n_lags = n_lags
+        self.em_fields = tuple(em_fields)
+        self.embedding_dim = embedding_dim
+        self.fnn_hidden = fnn_hidden
+        self.gru_hidden = gru_hidden
+        self.dropout = dropout
+        self.head = head
+        self.unknown_dropout = unknown_dropout
+        self.use_attention = use_attention
+        self.recurrent_unit = recurrent_unit
+        self.lr = lr
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.seed = seed
+        self.model: Env2VecModel | None = None
+        self.vocabulary: EnvironmentVocabulary | None = None
+        self.history_: TrainingHistory | None = None
+
+    # -- internals --------------------------------------------------------
+    def _scale_inputs(self, X, history):
+        X = self._x_scaler.transform(np.asarray(X, dtype=np.float64))
+        history = (np.asarray(history, dtype=np.float64) - self._y_mean) / self._y_std
+        return X, history
+
+    def _batch(self, environments, X, history):
+        if self.model is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        if not (len(environments) == len(X) == len(history)):
+            raise ValueError("environments, X and history must be aligned")
+        X, history = self._scale_inputs(X, history)
+        env_ids = self.vocabulary.encode(list(environments))
+        return {"cf": X, "history": history, "env": env_ids}
+
+    # -- estimator API ------------------------------------------------------
+    def fit(
+        self,
+        environments: list[Environment],
+        X: np.ndarray,
+        history: np.ndarray,
+        y: np.ndarray,
+        val: tuple[list[Environment], np.ndarray, np.ndarray, np.ndarray] | None = None,
+    ) -> "Env2VecRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        history = np.asarray(history, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if not (len(environments) == len(X) == len(history) == len(y)):
+            raise ValueError("environments, X, history and y must be aligned")
+        if history.shape[1] != self.n_lags:
+            raise ValueError(f"history window must have {self.n_lags} columns; got {history.shape[1]}")
+
+        rng = np.random.default_rng(self.seed)
+        self.vocabulary = EnvironmentVocabulary(fields=self.em_fields).fit(list(environments))
+        self._x_scaler = StandardScaler().fit(X)
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+
+        self.model = Env2VecModel(
+            n_features=X.shape[1],
+            n_lags=self.n_lags,
+            vocabulary=self.vocabulary,
+            embedding_dim=self.embedding_dim,
+            fnn_hidden=self.fnn_hidden,
+            gru_hidden=self.gru_hidden,
+            dropout=self.dropout,
+            head=self.head,
+            unknown_dropout=self.unknown_dropout,
+            use_attention=self.use_attention,
+            recurrent_unit=self.recurrent_unit,
+            rng=rng,
+        )
+        inputs = self._batch(environments, X, history)
+        targets = (y - self._y_mean) / self._y_std
+
+        val_inputs = val_targets = None
+        early_stopping = None
+        if val is not None:
+            val_envs, val_X, val_history, val_y = val
+            val_inputs = self._batch(list(val_envs), val_X, val_history)
+            val_targets = (np.asarray(val_y, dtype=np.float64) - self._y_mean) / self._y_std
+            early_stopping = EarlyStopping(patience=self.patience)
+
+        trainer = Trainer(
+            self.model,
+            loss="mse",
+            lr=self.lr,
+            batch_size=self.batch_size,
+            max_epochs=self.max_epochs,
+            early_stopping=early_stopping,
+            rng=rng,
+        )
+        self.history_ = trainer.fit(inputs, targets, val_inputs, val_targets)
+        self._trainer = trainer
+        return self
+
+    def predict(self, environments: list[Environment], X: np.ndarray, history: np.ndarray) -> np.ndarray:
+        batch = self._batch(environments, X, history)
+        scaled = self._trainer.predict(batch)
+        return scaled * self._y_std + self._y_mean
+
+    def embed_environments(self, environments: list[Environment]) -> np.ndarray:
+        """Concatenated learned embeddings (for Figure 6-style analysis)."""
+        if self.model is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self.model.embeddings.embed_environments(list(environments))
+
+    def fine_tune(
+        self,
+        environments: list[Environment],
+        X: np.ndarray,
+        history: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 10,
+        lr: float | None = None,
+        adapt_embeddings_only: bool = True,
+    ) -> "Env2VecRegressor":
+        """Incrementally retrain on new data without starting over.
+
+        §4.3 closes with: the reduced detection in unseen environments "is
+        resolved by retraining Env2Vec incrementally with the new data from
+        the environment." This grows the vocabulary and embedding tables
+        for any new EM values (new rows start at the trained ``<unk>``
+        embedding) and continues optimization on the new examples with a
+        reduced learning rate. Feature/target scaling is kept from the
+        original fit so old and new data remain comparable.
+
+        With ``adapt_embeddings_only`` (the default) only the embedding
+        tables receive updates: the FNN/GRU backbone already models the
+        shared physics, and freezing it prevents a narrow batch of
+        new-environment data from catastrophically shifting predictions for
+        every other environment. Pass ``False`` for a full-parameter update
+        (then the data should include replay examples from old
+        environments).
+        """
+        if self.model is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        X = np.asarray(X, dtype=np.float64)
+        history = np.asarray(history, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if not (len(environments) == len(X) == len(history) == len(y)):
+            raise ValueError("environments, X, history and y must be aligned")
+
+        added = self.vocabulary.extend(list(environments))
+        self.model.embeddings.grow_tables(added)
+
+        inputs = self._batch(environments, X, history)
+        targets = (y - self._y_mean) / self._y_std
+        if adapt_embeddings_only:
+            parameters = list(self.model.embeddings.parameters())
+        else:
+            parameters = list(self.model.parameters())
+        from ..nn.optim import Adam
+
+        trainer = Trainer(
+            self.model,
+            loss="mse",
+            optimizer=Adam(parameters, lr=lr if lr is not None else self.lr * 0.3),
+            batch_size=min(self.batch_size, max(1, len(y))),
+            max_epochs=epochs,
+            rng=np.random.default_rng(self.seed + 1),
+        )
+        trainer.fit(inputs, targets)
+        self._trainer = trainer
+        return self
+
+    def coverage(self, environment: Environment) -> dict[str, bool]:
+        """Which EM fields of an environment are known to the vocabulary."""
+        if self.vocabulary is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self.vocabulary.is_known(environment)
+
+    # -- serialization (used by the workflow's model store) ----------------
+    def to_bytes(self) -> bytes:
+        """Serialize weights + vocabulary + scaling into one npz blob.
+
+        §6: the full artifact ("a file containing the environment
+        embeddings and the DL model") is what the training pipeline
+        publishes over HTTP.
+        """
+        if self.model is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        from ..nn.serialize import save_model_bytes
+
+        config = {
+            "hyper": {
+                "n_lags": self.n_lags,
+                "embedding_dim": self.embedding_dim,
+                "fnn_hidden": self.fnn_hidden,
+                "gru_hidden": self.gru_hidden,
+                "dropout": self.dropout,
+                "head": self.head,
+                "unknown_dropout": self.unknown_dropout,
+                "use_attention": self.use_attention,
+                "recurrent_unit": self.recurrent_unit,
+            },
+            "n_features": self.model.n_features,
+            "vocabulary": self.vocabulary.to_config(),
+            "x_mean": self._x_scaler.mean_.tolist(),
+            "x_scale": self._x_scaler.scale_.tolist(),
+            "y_mean": self._y_mean,
+            "y_std": self._y_std,
+        }
+        return save_model_bytes(self.model, config)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Env2VecRegressor":
+        """Reconstruct a fitted regressor from :meth:`to_bytes` output."""
+        from ..nn.serialize import load_model_bytes
+
+        state, config = load_model_bytes(blob)
+        hyper = config["hyper"]
+        regressor = cls(
+            n_lags=hyper["n_lags"],
+            embedding_dim=hyper["embedding_dim"],
+            fnn_hidden=hyper["fnn_hidden"],
+            gru_hidden=hyper["gru_hidden"],
+            dropout=hyper["dropout"],
+            head=hyper["head"],
+            unknown_dropout=hyper.get("unknown_dropout", 0.0),
+            use_attention=hyper.get("use_attention", False),
+            recurrent_unit=hyper.get("recurrent_unit", "gru"),
+        )
+        regressor.vocabulary = EnvironmentVocabulary.from_config(config["vocabulary"])
+        regressor.model = Env2VecModel(
+            n_features=config["n_features"],
+            n_lags=hyper["n_lags"],
+            vocabulary=regressor.vocabulary,
+            embedding_dim=hyper["embedding_dim"],
+            fnn_hidden=hyper["fnn_hidden"],
+            gru_hidden=hyper["gru_hidden"],
+            dropout=hyper["dropout"],
+            head=hyper["head"],
+            unknown_dropout=hyper.get("unknown_dropout", 0.0),
+            use_attention=hyper.get("use_attention", False),
+            recurrent_unit=hyper.get("recurrent_unit", "gru"),
+            rng=np.random.default_rng(0),
+        )
+        regressor.model.load_state_dict(state)
+        scaler = StandardScaler()
+        scaler.mean_ = np.asarray(config["x_mean"], dtype=np.float64)
+        scaler.scale_ = np.asarray(config["x_scale"], dtype=np.float64)
+        regressor._x_scaler = scaler
+        regressor._y_mean = float(config["y_mean"])
+        regressor._y_std = float(config["y_std"])
+        regressor._trainer = Trainer(regressor.model, batch_size=regressor.batch_size)
+        return regressor

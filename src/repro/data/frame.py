@@ -1,0 +1,128 @@
+"""A minimal column-oriented dataframe (pandas substitute).
+
+The prediction pipeline (paper Figure 2, step 3) "constructs a dataframe
+from this monitoring data, appending the relevant EM" — Table 2 shows the
+layout: contextual features (WMs + PMs), environment metadata columns, the
+RU-history lists, and the observed RU. pandas is unavailable offline, so
+:class:`Frame` provides the small slice of functionality the workflow
+needs: typed columns, row/column selection, filtering, and horizontal
+concatenation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Frame"]
+
+
+class Frame:
+    """Immutable-length columnar table. Columns are numpy arrays."""
+
+    def __init__(self, columns: Mapping[str, Sequence] | None = None):
+        self._columns: dict[str, np.ndarray] = {}
+        self._length = 0
+        if columns:
+            for name, values in columns.items():
+                self[name] = values
+
+    # -- core accessors ---------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._length, len(self._columns))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(f"no column {name!r}; available: {self.columns}") from None
+
+    def __setitem__(self, name: str, values: Sequence) -> None:
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise ValueError(f"column {name!r} must be 1-dimensional; got shape {array.shape}")
+        if self._columns and len(array) != self._length:
+            raise ValueError(
+                f"column {name!r} has length {len(array)}; frame has {self._length} rows"
+            )
+        if not self._columns:
+            self._length = len(array)
+        self._columns[name] = array
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def row(self, index: int) -> dict:
+        """One row as a dict (scalar python values)."""
+        if not -self._length <= index < self._length:
+            raise IndexError(f"row {index} out of range for {self._length} rows")
+        return {name: column[index].item() if column[index].shape == () else column[index]
+                for name, column in self._columns.items()}
+
+    # -- selection ---------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Frame":
+        """A new frame with only the given columns, in the given order."""
+        return Frame({name: self[name] for name in names})
+
+    def take(self, indices: np.ndarray) -> "Frame":
+        """A new frame with rows selected by integer indices or bool mask."""
+        indices = np.asarray(indices)
+        return Frame({name: column[indices] for name, column in self._columns.items()})
+
+    def filter(self, predicate: Callable[[dict], bool]) -> "Frame":
+        """Rows for which ``predicate(row_dict)`` is true."""
+        mask = np.array([predicate(self.row(i)) for i in range(self._length)], dtype=bool)
+        return self.take(mask)
+
+    def head(self, n: int = 5) -> "Frame":
+        return self.take(np.arange(min(n, self._length)))
+
+    # -- combination --------------------------------------------------------
+    def with_columns(self, columns: Mapping[str, Sequence]) -> "Frame":
+        """A new frame with extra/overridden columns."""
+        merged = dict(self._columns)
+        out = Frame(merged)
+        for name, values in columns.items():
+            out[name] = values
+        return out
+
+    @staticmethod
+    def concat_rows(frames: Sequence["Frame"]) -> "Frame":
+        """Stack frames vertically; all must share the same columns."""
+        if not frames:
+            raise ValueError("need at least one frame")
+        names = frames[0].columns
+        for frame in frames[1:]:
+            if frame.columns != names:
+                raise ValueError(f"column mismatch: {frame.columns} vs {names}")
+        return Frame({name: np.concatenate([f[name] for f in frames]) for name in names})
+
+    # -- conversion -----------------------------------------------------------
+    def to_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Numeric columns stacked into a float (n_rows, n_cols) matrix."""
+        names = names if names is not None else self.columns
+        arrays = []
+        for name in names:
+            column = self[name]
+            if not np.issubdtype(column.dtype, np.number):
+                raise TypeError(f"column {name!r} is not numeric (dtype {column.dtype})")
+            arrays.append(column.astype(np.float64))
+        return np.stack(arrays, axis=1) if arrays else np.empty((self._length, 0))
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        return dict(self._columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Frame(rows={self._length}, columns={self.columns})"

@@ -1,0 +1,292 @@
+"""Synthetic KDN benchmark datasets (substitute for knowledgedefinednetworking.org).
+
+The paper's §4.1 evaluates on the public KDN datasets [26]: CPU utilization
+of three VNFs (Snort IDS, an SDN firewall, an SDN switch) under replayed
+DPI traffic described by 86 features in 20-second batches. Those datasets
+are not available offline, so this module generates synthetic equivalents
+that preserve the properties the experiments rely on:
+
+- **split sizes match Table 3 exactly** (Snort 900/259/200, Switch
+  900/141/150, Firewall 555/100/100);
+- **CPU scale matches the Table 4 caption** (Snort 196±23, Firewall
+  384±46, Switch 448±46);
+- **86 correlated traffic features** (packet/byte counts, IP/port
+  cardinalities, 5-tuple flows, per-protocol shares, plus noise columns);
+- **per-VNF response shapes differ**, so pooling all three VNFs without
+  environment information (RFNN_all) hurts, while per-VNF models and
+  Env2Vec-with-embeddings do well;
+- the **Switch** response is predominantly linear with a strong
+  autoregressive component — the regime where the paper found Ridge_ts to
+  be the best method (Table 4).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from .environment import Environment
+
+__all__ = ["KDNDataset", "KDN_SPLITS", "KDN_CPU_SCALE", "load_kdn", "load_all_kdn", "KDN_NAMES"]
+
+KDN_NAMES = ("snort", "switch", "firewall")
+
+#: Table 3 — (train, validation, test) sizes per dataset.
+KDN_SPLITS: dict[str, tuple[int, int, int]] = {
+    "snort": (900, 259, 200),
+    "switch": (900, 141, 150),
+    "firewall": (555, 100, 100),
+}
+
+#: Table 4 caption — (mean, std) of CPU utilization per dataset.
+KDN_CPU_SCALE: dict[str, tuple[float, float]] = {
+    "snort": (196.0, 23.0),
+    "firewall": (384.0, 46.0),
+    "switch": (448.0, 46.0),
+}
+
+N_TRAFFIC_FEATURES = 86
+
+_PROTOCOLS = ("tcp", "udp", "icmp", "http", "https", "dns", "sip", "rtp")
+_PACKET_BUCKETS = ("64", "128", "256", "512", "1024", "1514")
+
+
+def _feature_names() -> list[str]:
+    """The 86 traffic feature names (packets, bytes, cardinalities, shares)."""
+    names = [
+        "packets_total",
+        "bytes_total",
+        "unique_src_ips",
+        "unique_dst_ips",
+        "unique_src_ports",
+        "unique_dst_ports",
+        "flows_5tuple",
+        "new_flows",
+        "expired_flows",
+        "avg_packet_size",
+        "avg_flow_duration",
+        "syn_count",
+        "fin_count",
+        "rst_count",
+        "retransmissions",
+        "fragmented_packets",
+    ]
+    for protocol in _PROTOCOLS:
+        names.append(f"packets_{protocol}")
+        names.append(f"bytes_{protocol}")
+        names.append(f"flows_{protocol}")
+    for bucket in _PACKET_BUCKETS:
+        names.append(f"pkt_len_le_{bucket}")
+    for i in range(N_TRAFFIC_FEATURES - len(names) - 16):
+        names.append(f"counter_{i:02d}")
+    for i in range(16):
+        names.append(f"noise_{i:02d}")
+    assert len(names) == N_TRAFFIC_FEATURES, len(names)
+    return names
+
+
+@dataclass
+class KDNDataset:
+    """One synthetic KDN VNF dataset with fixed Table 3 splits."""
+
+    name: str
+    features: np.ndarray  # (n, 86)
+    cpu: np.ndarray  # (n,)
+    feature_names: list[str]
+    environment: Environment
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.cpu)
+
+    def split(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(train, val, test) index arrays per Table 3. Contiguous in time."""
+        train, val, test = KDN_SPLITS[self.name]
+        indices = np.arange(self.n_samples)
+        return (
+            indices[:train],
+            indices[train : train + val],
+            indices[train + val : train + val + test],
+        )
+
+
+def _traffic_process(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Latent traffic intensity: AR(1) + diurnal cycle + occasional bursts."""
+    t = np.arange(n)
+    diurnal = 0.3 * np.sin(2 * np.pi * t / 180.0) + 0.15 * np.sin(2 * np.pi * t / 47.0)
+    ar = np.empty(n)
+    ar[0] = 0.0
+    noise = rng.normal(0, 0.18, n)
+    for i in range(1, n):
+        ar[i] = 0.85 * ar[i - 1] + noise[i]
+    bursts = np.zeros(n)
+    for start in rng.choice(n, size=max(1, n // 150), replace=False):
+        length = int(rng.integers(5, 20))
+        bursts[start : start + length] += rng.uniform(0.5, 1.2)
+    intensity = 1.0 + 0.5 * (diurnal + ar) + bursts
+    return np.clip(intensity, 0.05, None)
+
+
+def _mix_process(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Second latent dimension: the traffic *mix* drifts over time in [0, 1].
+
+    A high value means small-packet, connection-heavy traffic (DNS/SIP-ish);
+    a low value means bulk transfers. CPU cost depends on the mix
+    non-linearly, which makes the response surface genuinely
+    two-dimensional rather than a function of intensity alone.
+    """
+    drift = np.empty(n)
+    drift[0] = 0.0
+    noise = rng.normal(0, 0.06, n)
+    for i in range(1, n):
+        drift[i] = 0.95 * drift[i - 1] + noise[i]
+    return 1.0 / (1.0 + np.exp(-1.5 * drift))
+
+
+def _traffic_features(n: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate the 86-column feature matrix; returns (features, intensity, mix)."""
+    intensity = _traffic_process(n, rng)
+    mix = _mix_process(n, rng)
+    packets = 1e4 * intensity * rng.lognormal(0, 0.05, n)
+    # Connection-heavy mixes carry smaller packets.
+    avg_size = (900.0 - 550.0 * mix) * rng.lognormal(0, 0.05, n)
+    avg_size = avg_size.clip(80, 1500)
+    bytes_total = packets * avg_size
+    flows = 40.0 * np.sqrt(packets) * (0.6 + 0.9 * mix) * rng.lognormal(0, 0.08, n)
+    columns: dict[str, np.ndarray] = {
+        "packets_total": packets,
+        "bytes_total": bytes_total,
+        "unique_src_ips": 5.0 * packets**0.45 * rng.lognormal(0, 0.1, n),
+        "unique_dst_ips": 3.0 * packets**0.4 * rng.lognormal(0, 0.1, n),
+        "unique_src_ports": 8.0 * packets**0.5 * rng.lognormal(0, 0.1, n),
+        "unique_dst_ports": 2.0 * packets**0.35 * rng.lognormal(0, 0.1, n),
+        "flows_5tuple": flows,
+        "new_flows": 0.3 * flows * rng.lognormal(0, 0.2, n),
+        "expired_flows": 0.28 * flows * rng.lognormal(0, 0.2, n),
+        "avg_packet_size": avg_size,
+        "avg_flow_duration": rng.lognormal(2.5, 0.3, n),
+        "syn_count": 0.05 * packets * (0.5 + mix) * rng.lognormal(0, 0.15, n),
+        "fin_count": 0.045 * packets * rng.lognormal(0, 0.15, n),
+        "rst_count": 0.002 * packets * rng.lognormal(0, 0.5, n),
+        "retransmissions": 0.01 * packets * rng.lognormal(0, 0.4, n),
+        "fragmented_packets": 0.001 * packets * rng.lognormal(0, 0.6, n),
+    }
+    base_shares = rng.dirichlet(np.full(len(_PROTOCOLS), 4.0))
+    # The mix shifts weight between bulk protocols (first half) and
+    # connection-heavy ones (second half) over time.
+    half = len(_PROTOCOLS) // 2
+    for i, protocol in enumerate(_PROTOCOLS):
+        lean = (1.4 - 0.8 * mix) if i < half else (0.6 + 0.8 * mix)
+        wobble = rng.lognormal(0, 0.1, n)
+        share = base_shares[i] * lean
+        columns[f"packets_{protocol}"] = packets * share * wobble
+        columns[f"bytes_{protocol}"] = bytes_total * share * wobble
+        columns[f"flows_{protocol}"] = flows * share * rng.lognormal(0, 0.15, n)
+    bucket_shares = rng.dirichlet(np.full(len(_PACKET_BUCKETS), 3.0))
+    for bucket, share in zip(_PACKET_BUCKETS, bucket_shares):
+        columns[f"pkt_len_le_{bucket}"] = packets * share * rng.lognormal(0, 0.12, n)
+    names = _feature_names()
+    remaining = [name for name in names if name not in columns]
+    for name in remaining:
+        if name.startswith("noise_"):
+            columns[name] = rng.normal(0, 1, n)
+        else:
+            # Generic counters loosely correlated with traffic intensity.
+            weight = rng.uniform(0.2, 1.5)
+            columns[name] = weight * packets * rng.lognormal(0, 0.3, n)
+    features = np.stack([columns[name] for name in names], axis=1)
+    return features, intensity, mix
+
+
+def _cpu_response(
+    name: str,
+    features: np.ndarray,
+    intensity: np.ndarray,
+    mix: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-VNF CPU response shape over the traffic features."""
+    n = len(intensity)
+    packets = features[:, 0] / 1e4
+    flows = features[:, 6] / 4e3
+    new_flows = features[:, 7] / 1.2e3
+    syn = features[:, 11] / 500.0
+    # All three VNFs share a packet-processing backbone (interrupt handling,
+    # DMA, kernel network stack); pooling data across VNFs lets a single
+    # model learn this shared component from 3x the data — the premise of
+    # training one model over all environments (§4.1.4).
+    backbone = 1.0 * packets + 0.6 * np.maximum(packets - 1.0, 0.0) ** 2 + 0.3 * flows
+    if name == "snort":
+        # IDS: per-packet rule matching interacts multiplicatively with the
+        # active flow table, and the flow cache overflows past a knee —
+        # strongly non-linear, so linear models underfit (Table 4: neural
+        # methods win on Snort).
+        # Rule-matching cost grows sharply for connection-heavy mixes.
+        raw = backbone + (
+            1.2 * packets * (0.4 + 1.6 * mix**2)
+            + 2.0 * np.maximum(packets - 1.15, 0.0) ** 2
+            + 0.5 * np.log1p(np.maximum(syn, 0.0))
+        )
+        noise_scale = 0.20
+    elif name == "firewall":
+        # Stateful firewall: connection setup saturates the session table
+        # (sigmoid), with a churn x load interaction and an eviction knee.
+        # Session-table pressure depends on mix x load jointly.
+        raw = 0.5 * backbone + (
+            2.0 / (1.0 + np.exp(-3.0 * (packets - 1.0)))
+            + 0.9 * new_flows * packets
+            + 1.8 * packets * np.maximum(mix - 0.45, 0.0)
+            + 1.5 * np.maximum(new_flows - 0.9, 0.0) ** 2
+        )
+        noise_scale = 0.28
+    elif name == "switch":
+        # SDN switch forwarding is near-linear in packet rate, with a strong
+        # autoregressive thermal/governor component: the regime where the
+        # paper found Ridge_ts to win (Table 4).
+        linear = 0.6 * backbone + 0.6 * packets
+        raw = np.empty(n)
+        raw[0] = linear[0]
+        for i in range(1, n):
+            raw[i] = 0.75 * raw[i - 1] + 0.25 * linear[i]
+        noise_scale = 0.22
+    else:
+        raise ValueError(f"unknown KDN dataset {name!r}; choose from {KDN_NAMES}")
+    raw = raw + noise_scale * raw.std() * rng.standard_normal(n)
+    mean, std = KDN_CPU_SCALE[name]
+    standardized = (raw - raw.mean()) / raw.std()
+    return mean + std * standardized
+
+
+def load_kdn(name: str, seed: int = 0) -> KDNDataset:
+    """Generate one synthetic KDN dataset ('snort', 'switch', 'firewall')."""
+    if name not in KDN_NAMES:
+        raise ValueError(f"unknown KDN dataset {name!r}; choose from {KDN_NAMES}")
+    digest = hashlib.sha256(f"kdn:{name}:{seed}".encode()).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+    total = sum(KDN_SPLITS[name])
+    features, intensity, mix = _traffic_features(total, rng)
+    cpu = _cpu_response(name, features, intensity, mix, rng)
+    # The exported counters are sampled estimates of the true traffic: add
+    # multiplicative observation noise AFTER computing the CPU response, so
+    # features are noisy proxies of the quantities that actually drive CPU.
+    features = features * rng.lognormal(0, 0.06, size=features.shape)
+    environment = Environment(
+        testbed="Testbed_KDN",
+        sut=f"SUT_{name}",
+        testcase="Testcase_TrafficReplay",
+        build="Build_default",
+    )
+    return KDNDataset(
+        name=name,
+        features=features,
+        cpu=cpu,
+        feature_names=_feature_names(),
+        environment=environment,
+    )
+
+
+def load_all_kdn(seed: int = 0) -> dict[str, KDNDataset]:
+    """All three datasets keyed by name."""
+    return {name: load_kdn(name, seed=seed) for name in KDN_NAMES}

@@ -1,0 +1,128 @@
+"""Corpus (de)serialization: persist a TelecomDataset to one ``.npz`` file.
+
+An open-source release of a paper's system ships its datasets in a
+loadable form. Synthetic corpora here are cheap to regenerate, but
+persistence still matters: it pins the exact corpus an experiment ran on
+(generator defaults may evolve) and lets external tools consume the data.
+
+Layout inside the archive: a JSON manifest (config, chain structure, fault
+records) plus one float array per execution series.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from .chains import BuildChain, TestExecution
+from .environment import Environment, Testbed
+from .faults import InjectedFault
+from .telecom import TelecomConfig, TelecomDataset
+
+__all__ = ["save_dataset", "load_dataset", "dataset_to_bytes", "dataset_from_bytes"]
+
+_MANIFEST_KEY = "__manifest__"
+_FORMAT_VERSION = 1
+
+
+def dataset_to_bytes(dataset: TelecomDataset) -> bytes:
+    """Serialize a corpus into npz bytes."""
+    arrays: dict[str, np.ndarray] = {}
+    chains_manifest = []
+    for chain_index, chain in enumerate(dataset.chains):
+        executions_manifest = []
+        for execution_index, execution in enumerate(chain.executions):
+            prefix = f"c{chain_index:04d}_e{execution_index:02d}"
+            arrays[f"{prefix}_features"] = execution.features
+            arrays[f"{prefix}_cpu"] = execution.cpu
+            for kpi_name, series in execution.extra_kpis.items():
+                arrays[f"{prefix}_kpi_{kpi_name}"] = series
+            executions_manifest.append(
+                {
+                    "environment": execution.environment.as_dict(),
+                    "faults": [asdict(fault) for fault in execution.faults],
+                    "extra_kpis": sorted(execution.extra_kpis),
+                }
+            )
+        chains_manifest.append({"executions": executions_manifest})
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "config": asdict(dataset.config),
+        "feature_names": dataset.feature_names,
+        "focus_indices": list(dataset.focus_indices),
+        "testbeds": {
+            name: testbed.labels for name, testbed in dataset.testbeds.items()
+        },
+        "chains": chains_manifest,
+    }
+    arrays[_MANIFEST_KEY] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def dataset_from_bytes(blob: bytes) -> TelecomDataset:
+    """Inverse of :func:`dataset_to_bytes`."""
+    with np.load(io.BytesIO(blob)) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    manifest_raw = arrays.pop(_MANIFEST_KEY, None)
+    if manifest_raw is None:
+        raise ValueError("blob is not a serialized TelecomDataset (missing manifest)")
+    manifest = json.loads(manifest_raw.tobytes().decode("utf-8"))
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported corpus format version {manifest.get('format_version')!r}"
+        )
+    config_dict = manifest["config"]
+    # Tuples arrive as lists from JSON; restore them for TelecomConfig.
+    for key, value in config_dict.items():
+        if isinstance(value, list):
+            config_dict[key] = tuple(value)
+    config = TelecomConfig(**config_dict)
+
+    chains = []
+    for chain_index, chain_manifest in enumerate(manifest["chains"]):
+        executions = []
+        for execution_index, execution_manifest in enumerate(chain_manifest["executions"]):
+            prefix = f"c{chain_index:04d}_e{execution_index:02d}"
+            extra = {
+                name: arrays[f"{prefix}_kpi_{name}"]
+                for name in execution_manifest["extra_kpis"]
+            }
+            executions.append(
+                TestExecution(
+                    environment=Environment(**execution_manifest["environment"]),
+                    features=arrays[f"{prefix}_features"],
+                    cpu=arrays[f"{prefix}_cpu"],
+                    faults=[InjectedFault(**f) for f in execution_manifest["faults"]],
+                    extra_kpis=extra,
+                )
+            )
+        chains.append(BuildChain(executions=executions))
+    testbeds = {
+        name: Testbed(testbed_id=name, labels=dict(labels))
+        for name, labels in manifest.get("testbeds", {}).items()
+    }
+    return TelecomDataset(
+        chains=chains,
+        feature_names=list(manifest["feature_names"]),
+        config=config,
+        focus_indices=list(manifest["focus_indices"]),
+        testbeds=testbeds,
+    )
+
+
+def save_dataset(dataset: TelecomDataset, path: str | Path) -> int:
+    """Write the corpus to ``path``; returns the file size in bytes."""
+    blob = dataset_to_bytes(dataset)
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load_dataset(path: str | Path) -> TelecomDataset:
+    """Read a corpus previously written by :func:`save_dataset`."""
+    return dataset_from_bytes(Path(path).read_bytes())

@@ -1,0 +1,67 @@
+"""Evaluation harness: metrics, significance tests, and experiment drivers.
+
+Each table/figure of the paper's evaluation has a driver here that the
+``benchmarks/`` harness calls:
+
+- Table 4 — :func:`~repro.eval.kdn_experiments.run_kdn_comparison`
+- Figure 1 — :func:`~repro.eval.telecom_experiments.run_figure1`
+- Figures 3/4 — :func:`~repro.eval.telecom_experiments.run_chain_mae`
+- Table 5 — :func:`~repro.eval.telecom_experiments.run_anomaly_table`
+- Table 6 — :func:`~repro.eval.telecom_experiments.run_unseen_table`
+- Table 7 — :func:`~repro.eval.telecom_experiments.run_coverage_table`
+- Figure 6 — :func:`~repro.eval.telecom_experiments.run_embedding_pca`
+"""
+
+from .holdout import DEFAULT_CF_GROUPS, HoldoutResult, cf_group_holdout, em_field_holdout
+from .kdn_experiments import KDN_METHODS, KDNComparisonResult, MethodScore, run_kdn_comparison
+from .metrics import RunningAverage, empirical_cdf, mae, mse
+from .stats import PairedTTestResult, paired_t_test
+from .telecom_experiments import (
+    AnomalyRow,
+    AnomalyTableResult,
+    ChainMAEResult,
+    CoverageResult,
+    Figure1Result,
+    Figure6Result,
+    run_anomaly_table,
+    run_chain_mae,
+    run_coverage_table,
+    run_embedding_pca,
+    run_figure1,
+    run_unseen_table,
+    train_env2vec_telecom,
+    train_rfnn_all_telecom,
+    window_history_pool,
+)
+
+__all__ = [
+    "mae",
+    "mse",
+    "empirical_cdf",
+    "RunningAverage",
+    "paired_t_test",
+    "PairedTTestResult",
+    "run_kdn_comparison",
+    "HoldoutResult",
+    "cf_group_holdout",
+    "em_field_holdout",
+    "DEFAULT_CF_GROUPS",
+    "KDNComparisonResult",
+    "MethodScore",
+    "KDN_METHODS",
+    "run_figure1",
+    "Figure1Result",
+    "run_chain_mae",
+    "ChainMAEResult",
+    "run_anomaly_table",
+    "run_unseen_table",
+    "AnomalyRow",
+    "AnomalyTableResult",
+    "run_coverage_table",
+    "CoverageResult",
+    "run_embedding_pca",
+    "Figure6Result",
+    "train_env2vec_telecom",
+    "train_rfnn_all_telecom",
+    "window_history_pool",
+]

@@ -1,0 +1,331 @@
+"""Table 4 experiment driver: method comparison on the KDN datasets (§4.1).
+
+Runs every §4.1.3 method on the three synthetic KDN datasets with the
+paper's protocol: hyper-parameters tuned on the validation split, scores
+reported on the test split, and neural methods averaged over multiple
+seeded runs. ``fast=True`` (the default, used by the benchmark harness)
+shrinks the hyper-parameter grids and run counts so the whole comparison
+completes in minutes; ``fast=False`` uses the paper's full grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.baselines import FNNRegressor, RFNNRegressor
+from ..core.model import Env2VecRegressor
+from ..data.kdn import KDN_NAMES, KDNDataset, load_all_kdn
+from ..data.windows import build_windows
+from ..ml.forest import RandomForestRegressor
+from ..ml.model_selection import ValidationGridSearch
+from ..ml.preprocessing import StandardScaler
+from ..ml.ridge import PAPER_RIDGE_ALPHAS, Ridge, RidgeTS
+from ..ml.svr import SVR
+from .metrics import RunningAverage, mae, mse
+
+__all__ = ["MethodScore", "KDNComparisonResult", "run_kdn_comparison", "KDN_METHODS"]
+
+KDN_METHODS = ("ridge", "ridge_ts", "rfreg", "svr", "fnn", "rfnn", "rfnn_all", "env2vec")
+
+#: Paper-reported best dropout rates for the FNN baseline (§4.1.3).
+PAPER_FNN_DROPOUT = {"snort": 0.0, "firewall": 0.6, "switch": 0.1}
+#: Paper-reported best RU-history window for RFNN (§4.1.3).
+PAPER_RFNN_N = {"snort": 1, "firewall": 2, "switch": 1}
+
+
+@dataclass
+class MethodScore:
+    """Test-set MAE/MSE, with std over runs for stochastic methods."""
+
+    mae_mean: float
+    mse_mean: float
+    mae_std: float = 0.0
+    mse_std: float = 0.0
+    mae_runs: list[float] = field(default_factory=list)
+
+    def format(self) -> str:
+        if self.mae_std > 0:
+            return f"{self.mae_mean:6.2f}±{self.mae_std:4.2f} {self.mse_mean:8.2f}±{self.mse_std:6.2f}"
+        return f"{self.mae_mean:6.2f}       {self.mse_mean:8.2f}"
+
+
+@dataclass
+class KDNComparisonResult:
+    """scores[dataset][method] -> MethodScore."""
+
+    scores: dict[str, dict[str, MethodScore]]
+    n_nn_runs: int
+
+    def best_method(self, dataset: str, metric: str = "mae") -> str:
+        attribute = f"{metric}_mean"
+        return min(self.scores[dataset], key=lambda m: getattr(self.scores[dataset][m], attribute))
+
+    def table4(self) -> str:
+        """Render the Table 4 layout (method rows × dataset MAE/MSE columns)."""
+        lines = [
+            "Table 4 — MAE / MSE on the three VNF datasets",
+            f"{'method':<10}" + "".join(f"{name:^28}" for name in KDN_NAMES),
+        ]
+        methods = next(iter(self.scores.values())).keys()
+        for method in methods:
+            row = f"{method:<10}"
+            for dataset in KDN_NAMES:
+                row += f" {self.scores[dataset][method].format()} "
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def _window_split(dataset: KDNDataset, n_lags: int):
+    """Window the full series, then map examples back onto Table 3 splits."""
+    X, history, y = build_windows(dataset.features, dataset.cpu, n_lags)
+    train_idx, val_idx, test_idx = dataset.split()
+    # Windowed example i targets raw timestep p = i + n_lags.
+    target_steps = np.arange(len(y)) + n_lags
+    splits = []
+    for raw in (train_idx, val_idx, test_idx):
+        members = np.isin(target_steps, raw)
+        splits.append(np.flatnonzero(members))
+    return X, history, y, splits
+
+
+def _scaled_splits(dataset: KDNDataset):
+    train_idx, val_idx, test_idx = dataset.split()
+    scaler = StandardScaler().fit(dataset.features[train_idx])
+    X = scaler.transform(dataset.features)
+    y = dataset.cpu
+    return (
+        (X[train_idx], y[train_idx]),
+        (X[val_idx], y[val_idx]),
+        (X[test_idx], y[test_idx]),
+    )
+
+
+def _score_ridge(dataset: KDNDataset, fast: bool) -> MethodScore:
+    (X_train, y_train), (X_val, y_val), (X_test, y_test) = _scaled_splits(dataset)
+    search = ValidationGridSearch(Ridge(), {"alpha": list(PAPER_RIDGE_ALPHAS)})
+    search.fit(X_train, y_train, X_val, y_val)
+    predictions = search.best_estimator_.predict(X_test)
+    return MethodScore(mae(y_test, predictions), mse(y_test, predictions))
+
+
+def _score_ridge_ts(dataset: KDNDataset, fast: bool) -> MethodScore:
+    lags = (1, 2) if fast else tuple(range(1, 10))
+    best = None
+    for n_lags in lags:
+        X, history, y, (train, val, test) = _window_split(dataset, n_lags)
+        scaler = StandardScaler().fit(X[train])
+        Xs = scaler.transform(X)
+        search = ValidationGridSearch(RidgeTS(n_lags=n_lags), {"alpha": list(PAPER_RIDGE_ALPHAS)})
+        search.fit(
+            Xs[train],
+            y[train],
+            Xs[val],
+            y[val],
+            fit_kwargs={"history": history[train]},
+            score_kwargs={"history": history[val]},
+        )
+        if best is None or search.best_score_ > best[0]:
+            predictions = search.best_estimator_.predict(Xs[test], history=history[test])
+            best = (search.best_score_, MethodScore(mae(y[test], predictions), mse(y[test], predictions)))
+    return best[1]
+
+
+def _score_rfreg(dataset: KDNDataset, fast: bool, seed: int) -> MethodScore:
+    (X_train, y_train), (X_val, y_val), (X_test, y_test) = _scaled_splits(dataset)
+    grid = (
+        {"max_depth": [3, 6, 10], "n_estimators": [10, 50]}
+        if fast
+        else {"max_depth": list(range(3, 11)), "n_estimators": [10, 50, 100, 1000]}
+    )
+    search = ValidationGridSearch(RandomForestRegressor(random_state=seed), grid)
+    search.fit(X_train, y_train, X_val, y_val)
+    predictions = search.best_estimator_.predict(X_test)
+    return MethodScore(mae(y_test, predictions), mse(y_test, predictions))
+
+
+def _score_svr(dataset: KDNDataset, fast: bool) -> MethodScore:
+    (X_train, y_train), (X_val, y_val), (X_test, y_test) = _scaled_splits(dataset)
+    grid = (
+        {"alpha": [0.01, 1.0, 100.0], "kernel": ["linear", "rbf"], "epsilon": [0.1, 0.5]}
+        if fast
+        else {
+            "alpha": [0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0],
+            "kernel": ["linear", "poly", "rbf"],
+            "epsilon": [round(0.1 * i, 1) for i in range(1, 11)],
+        }
+    )
+    search = ValidationGridSearch(SVR(max_iter=100 if fast else 200), grid)
+    search.fit(X_train, y_train, X_val, y_val)
+    predictions = search.best_estimator_.predict(X_test)
+    return MethodScore(mae(y_test, predictions), mse(y_test, predictions))
+
+
+def _nn_score(run_maes: RunningAverage, run_mses: RunningAverage, maes: list[float]) -> MethodScore:
+    return MethodScore(
+        mae_mean=run_maes.mean,
+        mse_mean=run_mses.mean,
+        mae_std=run_maes.std,
+        mse_std=run_mses.std,
+        mae_runs=maes,
+    )
+
+
+def _score_fnn(dataset: KDNDataset, fast: bool, n_runs: int, seed: int) -> MethodScore:
+    (X_train, y_train), (X_val, y_val), (X_test, y_test) = _scaled_splits(dataset)
+    hidden = 128 if fast else 1024
+    dropout = PAPER_FNN_DROPOUT[dataset.name]
+    run_maes, run_mses, maes = RunningAverage(), RunningAverage(), []
+    for run in range(n_runs):
+        model = FNNRegressor(
+            hidden=hidden, dropout=dropout, max_epochs=60 if fast else 150, seed=seed + run
+        )
+        model.fit(X_train, y_train, val=(X_val, y_val))
+        predictions = model.predict(X_test)
+        run_maes.update(mae(y_test, predictions))
+        run_mses.update(mse(y_test, predictions))
+        maes.append(mae(y_test, predictions))
+    return _nn_score(run_maes, run_mses, maes)
+
+
+def _score_rfnn(dataset: KDNDataset, fast: bool, n_runs: int, seed: int) -> MethodScore:
+    n_lags = PAPER_RFNN_N[dataset.name]
+    X, history, y, (train, val, test) = _window_split(dataset, n_lags)
+    run_maes, run_mses, maes = RunningAverage(), RunningAverage(), []
+    for run in range(n_runs):
+        model = RFNNRegressor(
+            n_lags=n_lags,
+            fnn_hidden=64,
+            max_epochs=60 if fast else 150,
+            seed=seed + run,
+        )
+        model.fit(X[train], history[train], y[train], val=(X[val], history[val], y[val]))
+        predictions = model.predict(X[test], history[test])
+        run_maes.update(mae(y[test], predictions))
+        run_mses.update(mse(y[test], predictions))
+        maes.append(mae(y[test], predictions))
+    return _nn_score(run_maes, run_mses, maes)
+
+
+def _pooled_windows(datasets: dict[str, KDNDataset], n_lags: int):
+    """Window each dataset and pool, tracking environments and splits."""
+    pooled = {"X": [], "history": [], "y": [], "envs": [], "split": []}
+    for name in KDN_NAMES:
+        dataset = datasets[name]
+        X, history, y, (train, val, test) = _window_split(dataset, n_lags)
+        membership = np.empty(len(y), dtype=object)
+        membership[train], membership[val], membership[test] = "train", "val", "test"
+        pooled["X"].append(X)
+        pooled["history"].append(history)
+        pooled["y"].append(y)
+        pooled["envs"].extend([dataset.environment] * len(y))
+        pooled["split"].append(membership)
+    return (
+        np.concatenate(pooled["X"]),
+        np.concatenate(pooled["history"]),
+        np.concatenate(pooled["y"]),
+        pooled["envs"],
+        np.concatenate(pooled["split"]),
+    )
+
+
+def _per_dataset_test_scores(
+    datasets: dict[str, KDNDataset],
+    envs: list,
+    split: np.ndarray,
+    y: np.ndarray,
+    predictions: np.ndarray,
+) -> dict[str, tuple[float, float]]:
+    out = {}
+    env_names = np.array([env.sut for env in envs])
+    for name in KDN_NAMES:
+        mask = (env_names == f"SUT_{name}") & (split == "test")
+        out[name] = (mae(y[mask], predictions[mask]), mse(y[mask], predictions[mask]))
+    return out
+
+
+def _score_pooled_nn(
+    datasets: dict[str, KDNDataset],
+    use_embeddings: bool,
+    fast: bool,
+    n_runs: int,
+    seed: int,
+    n_lags: int = 2,
+) -> dict[str, MethodScore]:
+    """RFNN_all (no embeddings) or Env2Vec (embeddings): one pooled model."""
+    X, history, y, envs, split = _pooled_windows(datasets, n_lags)
+    train, val = split == "train", split == "val"
+    accumulators = {
+        name: (RunningAverage(), RunningAverage(), []) for name in KDN_NAMES
+    }
+    for run in range(n_runs):
+        if use_embeddings:
+            model = Env2VecRegressor(
+                n_lags=n_lags, max_epochs=60 if fast else 150, batch_size=256, seed=seed + run
+            )
+            model.fit(
+                [envs[i] for i in np.flatnonzero(train)],
+                X[train],
+                history[train],
+                y[train],
+                val=([envs[i] for i in np.flatnonzero(val)], X[val], history[val], y[val]),
+            )
+            predictions = model.predict(envs, X, history)
+        else:
+            model = RFNNRegressor(
+                n_lags=n_lags, max_epochs=60 if fast else 150, batch_size=256, seed=seed + run
+            )
+            model.fit(X[train], history[train], y[train], val=(X[val], history[val], y[val]))
+            predictions = model.predict(X, history)
+        for name, (m_mae, m_mse) in _per_dataset_test_scores(
+            datasets, envs, split, y, predictions
+        ).items():
+            accumulators[name][0].update(m_mae)
+            accumulators[name][1].update(m_mse)
+            accumulators[name][2].append(m_mae)
+    return {name: _nn_score(*acc) for name, acc in accumulators.items()}
+
+
+def run_kdn_comparison(
+    seed: int = 0,
+    n_nn_runs: int = 3,
+    fast: bool = True,
+    methods: tuple[str, ...] = KDN_METHODS,
+) -> KDNComparisonResult:
+    """Run the Table 4 comparison; returns per-dataset per-method scores."""
+    unknown = set(methods) - set(KDN_METHODS)
+    if unknown:
+        raise ValueError(f"unknown methods: {sorted(unknown)}")
+    if n_nn_runs < 1:
+        raise ValueError("n_nn_runs must be >= 1")
+    datasets = load_all_kdn(seed=seed)
+    scores: dict[str, dict[str, MethodScore]] = {name: {} for name in KDN_NAMES}
+
+    per_dataset = {
+        "ridge": lambda d: _score_ridge(d, fast),
+        "ridge_ts": lambda d: _score_ridge_ts(d, fast),
+        "rfreg": lambda d: _score_rfreg(d, fast, seed),
+        "svr": lambda d: _score_svr(d, fast),
+        "fnn": lambda d: _score_fnn(d, fast, n_nn_runs, seed),
+        "rfnn": lambda d: _score_rfnn(d, fast, n_nn_runs, seed),
+    }
+    for method, scorer in per_dataset.items():
+        if method not in methods:
+            continue
+        for name in KDN_NAMES:
+            scores[name][method] = scorer(datasets[name])
+
+    if "rfnn_all" in methods:
+        for name, score in _score_pooled_nn(datasets, False, fast, n_nn_runs, seed).items():
+            scores[name]["rfnn_all"] = score
+    if "env2vec" in methods:
+        for name, score in _score_pooled_nn(datasets, True, fast, n_nn_runs, seed).items():
+            scores[name]["env2vec"] = score
+
+    # Preserve the Table 4 row order.
+    ordered = {
+        name: {m: scores[name][m] for m in KDN_METHODS if m in scores[name]}
+        for name in KDN_NAMES
+    }
+    return KDNComparisonResult(scores=ordered, n_nn_runs=n_nn_runs)

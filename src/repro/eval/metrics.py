@@ -1,0 +1,81 @@
+"""Evaluation metrics (paper §4.1.2 and §4.2.2).
+
+- MAE and MSE for characterization accuracy (Table 4, Figures 3-4).
+- A_T / A_F true- and false-alarm rates for anomaly detection
+  (Tables 5-6) live in :mod:`repro.core.anomaly` (:class:`AlarmScore`).
+- An empirical CDF helper for Figure 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mae", "mse", "empirical_cdf", "RunningAverage"]
+
+
+def _check(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return y_true, y_pred
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error: (1/N) Σ |y_i − y'_i|."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mse(y_true, y_pred) -> float:
+    """Mean squared error: (1/N) Σ (y_i − y'_i)²."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def empirical_cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted values and their empirical CDF (for Figure 4's MAE CDF)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot build a CDF from zero values")
+    ordered = np.sort(values)
+    fractions = np.arange(1, len(ordered) + 1) / len(ordered)
+    return ordered, fractions
+
+
+class RunningAverage:
+    """Streaming mean/std accumulator (Welford) for multi-run NN scores.
+
+    §4.1.2: "we run up to 10 times the neural network models ... and
+    report the average of these 10 runs".
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no values recorded")
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        if self.count == 0:
+            raise ValueError("no values recorded")
+        if self.count == 1:
+            return 0.0
+        return float(np.sqrt(self._m2 / self.count))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningAverage(n={self.count}, mean={self._mean:.4f})"

@@ -1,0 +1,95 @@
+"""Terminal-friendly plot renderers for the reproduced figures.
+
+matplotlib is unavailable offline, so the benchmark harness and example
+scripts render figures as ASCII: a shaded heatmap (Figure 1), a labelled
+2-d scatter (Figure 6), and step CDF curves (Figure 4). These are shared
+utilities — the benches and examples delegate here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "ascii_scatter", "ascii_cdf"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(matrix: np.ndarray, max_cols: int = 60) -> str:
+    """Render |matrix| as shaded characters (rows x columns).
+
+    Values are normalized by the matrix's maximum absolute value; columns
+    are subsampled to at most ``max_cols``.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise ValueError("heatmap needs a non-empty 2-d matrix")
+    if max_cols < 1:
+        raise ValueError("max_cols must be >= 1")
+    step = max(1, int(np.ceil(matrix.shape[1] / max_cols)))
+    sampled = np.abs(matrix[:, ::step])
+    peak = sampled.max() or 1.0
+    lines = []
+    for row in sampled:
+        intensity = np.clip((row / peak * (len(_SHADES) - 1)).astype(int), 0, len(_SHADES) - 1)
+        lines.append("".join(_SHADES[i] for i in intensity))
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    coordinates: np.ndarray,
+    labels: list[str] | None = None,
+    rows: int = 22,
+    cols: int = 56,
+) -> str:
+    """Render 2-d points on a character grid, marked by their label's
+    first character (or ``*``)."""
+    coordinates = np.asarray(coordinates, dtype=np.float64)
+    if coordinates.ndim != 2 or coordinates.shape[1] != 2 or len(coordinates) == 0:
+        raise ValueError("scatter needs a non-empty (n, 2) coordinate array")
+    if labels is not None and len(labels) != len(coordinates):
+        raise ValueError("labels must align with coordinates")
+    if rows < 2 or cols < 2:
+        raise ValueError("grid must be at least 2x2")
+    marks = [str(label)[0] if label else "*" for label in labels] if labels else ["*"] * len(coordinates)
+    x, y = coordinates[:, 0], coordinates[:, 1]
+    xi = ((x - x.min()) / (np.ptp(x) or 1.0) * (cols - 1)).astype(int)
+    yi = ((y - y.min()) / (np.ptp(y) or 1.0) * (rows - 1)).astype(int)
+    grid = [[" "] * cols for _ in range(rows)]
+    for cx, cy, mark in zip(xi, yi, marks):
+        grid[rows - 1 - cy][cx] = mark
+    return "\n".join("".join(row) for row in grid)
+
+
+def ascii_cdf(
+    curves: dict[str, np.ndarray],
+    width: int = 60,
+    quantiles: tuple[int, ...] = (10, 25, 50, 75, 90, 100),
+) -> str:
+    """Render named CDFs as a quantile table plus per-curve sparkbars.
+
+    A true line plot is unreadable in ASCII for overlapping CDFs, so this
+    prints the per-curve quantiles (the Figure 4 reading) and a bar of
+    each curve's median-to-max span for quick visual comparison.
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    peak = max(float(np.max(values)) for values in curves.values()) or 1.0
+    lines = [f"{'series':<12}" + "".join(f"{f'p{q}':>8}" for q in quantiles)]
+    for name, values in curves.items():
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError(f"curve {name!r} is empty")
+        row = f"{name:<12}" + "".join(f"{np.percentile(values, q):8.2f}" for q in quantiles)
+        lines.append(row)
+    lines.append("")
+    for name, values in curves.items():
+        median = float(np.percentile(values, 50))
+        top = float(np.max(values))
+        start = int(median / peak * (width - 1))
+        stop = max(start + 1, int(top / peak * (width - 1)))
+        bar = " " * start + "#" * (stop - start)
+        lines.append(f"{name:<12}|{bar:<{width}}| median..max")
+    return "\n".join(lines)

@@ -1,0 +1,662 @@
+"""Experiment drivers for the telecom testing corpus (§4.2, §4.3).
+
+Covers every telecom-data table and figure:
+
+- :func:`run_figure1` — per-chain linear-regression coefficient heatmap
+  data and residual boxplot statistics (Figure 1).
+- :func:`run_chain_mae` — per-chain characterization MAE for all methods
+  on the current builds (Figures 3a/3b and the Figure 4 CDF).
+- :func:`run_anomaly_table` — alarm counts and A_T/A_F per method and
+  gamma (Table 5), with per-execution breakdowns.
+- :func:`run_unseen_table` — the §4.3 blinded-environment protocol
+  (Table 6).
+- :func:`run_coverage_table` — the Table 7 coverage analysis of the
+  under-performing execution.
+- :func:`run_embedding_pca` — the 2-d PCA of learned environment
+  embeddings colored by build type (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.anomaly import AlarmScore, ContextualAnomalyDetector, GaussianErrorModel, score_alarms
+from ..core.baselines import RFNNRegressor
+from ..core.model import Env2VecRegressor
+from ..core.unseen import blind_chains, field_coverage
+from ..data.chains import BuildChain, TestExecution
+from ..data.environment import Environment
+from ..data.telecom import TelecomDataset
+from ..data.windows import build_windows, build_windows_multi
+from ..htm.detector import HTMDetector
+from ..ml.pca import PCA
+from ..ml.preprocessing import StandardScaler
+from ..ml.ridge import LinearRegression, Ridge, RidgeTS
+from .metrics import empirical_cdf, mae, mse
+
+__all__ = [
+    "window_history_pool",
+    "train_env2vec_telecom",
+    "train_rfnn_all_telecom",
+    "Figure1Result",
+    "run_figure1",
+    "ChainMAEResult",
+    "run_chain_mae",
+    "AnomalyRow",
+    "AnomalyTableResult",
+    "run_anomaly_table",
+    "run_unseen_table",
+    "CoverageResult",
+    "run_coverage_table",
+    "Figure6Result",
+    "run_embedding_pca",
+]
+
+DEFAULT_N_LAGS = 3
+
+
+# ---------------------------------------------------------------------------
+# Shared training helpers
+# ---------------------------------------------------------------------------
+def window_history_pool(
+    records: list[tuple[Environment, np.ndarray, np.ndarray]], n_lags: int
+) -> tuple[list[Environment], np.ndarray, np.ndarray, np.ndarray]:
+    """Window (env, features, cpu) records into one pooled training set."""
+    if not records:
+        raise ValueError("no training records")
+    usable = [(env, f, c) for env, f, c in records if len(c) > n_lags]
+    series = [(features, cpu) for _, features, cpu in usable]
+    X, history, y, series_ids = build_windows_multi(series, n_lags)
+    environments = [usable[i][0] for i in series_ids]
+    return environments, X, history, y
+
+
+def _fit_pooled(
+    model,
+    records: list[tuple[Environment, np.ndarray, np.ndarray]],
+    n_lags: int,
+    seed: int,
+    with_envs: bool,
+):
+    environments, X, history, y = window_history_pool(records, n_lags)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(y))
+    n_val = max(1, len(y) // 10)
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    if with_envs:
+        model.fit(
+            [environments[i] for i in train_idx],
+            X[train_idx],
+            history[train_idx],
+            y[train_idx],
+            val=(
+                [environments[i] for i in val_idx],
+                X[val_idx],
+                history[val_idx],
+                y[val_idx],
+            ),
+        )
+    else:
+        model.fit(
+            X[train_idx],
+            history[train_idx],
+            y[train_idx],
+            val=(X[val_idx], history[val_idx], y[val_idx]),
+        )
+    return model
+
+
+def train_env2vec_telecom(
+    dataset_or_records,
+    n_lags: int = DEFAULT_N_LAGS,
+    fast: bool = True,
+    seed: int = 0,
+    **params,
+) -> Env2VecRegressor:
+    """Train the single Env2Vec model on all historical executions."""
+    records = _as_records(dataset_or_records)
+    defaults = dict(
+        max_epochs=30 if fast else 120,
+        batch_size=256,
+        dropout=0.05,
+        lr=0.004 if fast else 0.002,
+        patience=8 if fast else 15,
+    )
+    defaults.update(params)
+    model = Env2VecRegressor(n_lags=n_lags, seed=seed, **defaults)
+    return _fit_pooled(model, records, n_lags, seed, with_envs=True)
+
+
+def train_rfnn_all_telecom(
+    dataset_or_records,
+    n_lags: int = DEFAULT_N_LAGS,
+    fast: bool = True,
+    seed: int = 0,
+    **params,
+) -> RFNNRegressor:
+    """Train the pooled no-embeddings RFNN_all model."""
+    records = _as_records(dataset_or_records)
+    defaults = dict(
+        max_epochs=30 if fast else 120,
+        batch_size=256,
+        dropout=0.05,
+        lr=0.004 if fast else 0.002,
+        patience=8 if fast else 15,
+    )
+    defaults.update(params)
+    model = RFNNRegressor(n_lags=n_lags, seed=seed, **defaults)
+    return _fit_pooled(model, records, n_lags, seed, with_envs=False)
+
+
+def _as_records(dataset_or_records):
+    if isinstance(dataset_or_records, TelecomDataset):
+        return dataset_or_records.history_training_series()
+    return list(dataset_or_records)
+
+
+def _predict_execution(model, execution: TestExecution, n_lags: int) -> tuple[np.ndarray, np.ndarray]:
+    X, history, y = build_windows(execution.features, execution.cpu, n_lags)
+    if isinstance(model, Env2VecRegressor):
+        return model.predict([execution.environment] * len(y), X, history), y
+    if isinstance(model, RFNNRegressor):
+        return model.predict(X, history), y
+    raise TypeError(f"unsupported pooled model {type(model).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — per-chain linear models
+# ---------------------------------------------------------------------------
+@dataclass
+class Figure1Result:
+    """Data behind Figure 1's heatmap and residual boxplots."""
+
+    chain_keys: list[tuple[str, str, str]]
+    weights: np.ndarray  # (n_features, n_chains) symmetric log-normalized
+    residual_quantiles: np.ndarray  # (n_chains, 5): min/q25/median/q75/max of |residual|
+    over_10_percent: np.ndarray  # (n_chains,) bool — the red boxplots
+
+    def summary(self) -> str:
+        n_red = int(self.over_10_percent.sum())
+        spread = self.weights.std(axis=1).mean()
+        return (
+            f"Figure 1: {len(self.chain_keys)} chains; weight spread across chains "
+            f"(mean per-feature std of normalized coefficients) = {spread:.3f}; "
+            f"{n_red}/{len(self.chain_keys)} chains have max |residual| > 10% CPU"
+        )
+
+
+def run_figure1(dataset: TelecomDataset) -> Figure1Result:
+    """Fit one linear model per build chain; collect weights and residuals.
+
+    Mirrors the paper's setup: model input is the contextual features,
+    output is CPU; the model is trained on the chain's historical builds
+    and residuals are measured on the current build (the test data).
+    """
+    keys, columns, quantiles, red = [], [], [], []
+    for chain in dataset.chains:
+        X_train = np.concatenate([e.features for e in chain.history])
+        y_train = np.concatenate([e.cpu for e in chain.history])
+        scaler = StandardScaler().fit(X_train)
+        model = LinearRegression().fit(scaler.transform(X_train), y_train)
+        residuals = np.abs(
+            model.predict(scaler.transform(chain.current.features)) - chain.current.cpu
+        )
+        keys.append(chain.key)
+        columns.append(model.coef_)
+        quantiles.append(np.percentile(residuals, [0, 25, 50, 75, 100]))
+        red.append(bool(residuals.max() > 10.0))
+    raw = np.stack(columns, axis=1)
+    # Symmetric log normalization, as in the Figure 1 caption.
+    log_weights = np.sign(raw) * np.log1p(np.abs(raw))
+    peak = np.abs(log_weights).max()
+    weights = log_weights / peak if peak > 0 else log_weights
+    return Figure1Result(
+        chain_keys=keys,
+        weights=weights,
+        residual_quantiles=np.stack(quantiles),
+        over_10_percent=np.array(red),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 3 & 4 — per-chain characterization MAE
+# ---------------------------------------------------------------------------
+TELECOM_METHODS = ("ridge", "ridge_ts", "rfnn_all", "env2vec")
+
+
+@dataclass
+class ChainMAEResult:
+    """Per-chain MAE/MSE on current builds, per method."""
+
+    chain_keys: list[tuple[str, str, str]]
+    per_chain_mae: dict[str, np.ndarray]
+    per_chain_mse: dict[str, np.ndarray]
+
+    def mean_table(self) -> str:
+        lines = ["Figure 3 table — average over all chains", f"{'method':<10}{'MAE':>8}{'MSE':>10}"]
+        for method, values in self.per_chain_mae.items():
+            lines.append(
+                f"{method:<10}{values.mean():8.2f}{self.per_chain_mse[method].mean():10.2f}"
+            )
+        return "\n".join(lines)
+
+    def cdf(self, method: str) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted MAE values, cumulative fraction) — Figure 4's curves."""
+        return empirical_cdf(self.per_chain_mae[method])
+
+    def improvement(self, method: str, baseline: str) -> np.ndarray:
+        """Per-chain MAE improvement of ``method`` over ``baseline`` (Fig 3a/3b)."""
+        return self.per_chain_mae[baseline] - self.per_chain_mae[method]
+
+    def tail_mean(self, method: str, fraction: float = 0.1) -> float:
+        """Mean MAE over the hardest ``fraction`` of chains for this method,
+        where hardness is each chain's worst (max) MAE across methods —
+        Figure 4's 'most difficult 10% of the cases'."""
+        stacked = np.stack(list(self.per_chain_mae.values()))
+        hardness = stacked.max(axis=0)
+        k = max(1, int(len(hardness) * fraction))
+        hardest = np.argsort(hardness)[-k:]
+        return float(self.per_chain_mae[method][hardest].mean())
+
+
+def _per_chain_ridge(chain: BuildChain, n_lags: int, use_history: bool) -> tuple[float, float]:
+    """Train Ridge / Ridge_ts on a chain's history; score the current build."""
+    series = chain.history_series()
+    X, history, y, _ = build_windows_multi(series, n_lags)
+    scaler = StandardScaler().fit(X)
+    Xs = scaler.transform(X)
+    X_test, history_test, y_test = build_windows(
+        chain.current.features, chain.current.cpu, n_lags
+    )
+    Xs_test = scaler.transform(X_test)
+    if use_history:
+        model = RidgeTS(alpha=1.0, n_lags=n_lags).fit(Xs, y, history=history)
+        predictions = model.predict(Xs_test, history=history_test)
+    else:
+        model = Ridge(alpha=1.0).fit(Xs, y)
+        predictions = model.predict(Xs_test)
+    return mae(y_test, predictions), mse(y_test, predictions)
+
+
+def run_chain_mae(
+    dataset: TelecomDataset,
+    env2vec: Env2VecRegressor,
+    rfnn_all: RFNNRegressor | None = None,
+    n_lags: int = DEFAULT_N_LAGS,
+) -> ChainMAEResult:
+    """Per-chain current-build MAE for the Figure 3/4 comparisons."""
+    chains = [c for c in dataset.chains if all(len(e.cpu) > n_lags for e in c.executions)]
+    keys = [chain.key for chain in chains]
+    maes: dict[str, list[float]] = {m: [] for m in TELECOM_METHODS}
+    mses: dict[str, list[float]] = {m: [] for m in TELECOM_METHODS}
+    for chain in chains:
+        for method, use_history in (("ridge", False), ("ridge_ts", True)):
+            m_mae, m_mse = _per_chain_ridge(chain, n_lags, use_history)
+            maes[method].append(m_mae)
+            mses[method].append(m_mse)
+        for method, model in (("env2vec", env2vec), ("rfnn_all", rfnn_all)):
+            if model is None:
+                continue
+            predictions, observed = _predict_execution(model, chain.current, n_lags)
+            maes[method].append(mae(observed, predictions))
+            mses[method].append(mse(observed, predictions))
+    return ChainMAEResult(
+        chain_keys=keys,
+        per_chain_mae={m: np.array(v) for m, v in maes.items() if v},
+        per_chain_mse={m: np.array(v) for m, v in mses.items() if v},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 5 & 6 — anomaly detection
+# ---------------------------------------------------------------------------
+@dataclass
+class AnomalyRow:
+    """One Table 5/6 row."""
+
+    method: str
+    gamma: float | None
+    n_alarms: int
+    correct_alarms: int
+    problems_detected: int = 0
+
+    @property
+    def a_t(self) -> float:
+        return self.correct_alarms / self.n_alarms if self.n_alarms else 0.0
+
+    @property
+    def a_f(self) -> float:
+        return 1.0 - self.a_t if self.n_alarms else 0.0
+
+    def format(self) -> str:
+        gamma = f"γ={self.gamma:g}" if self.gamma is not None else "     "
+        return (
+            f"{self.method:<10} {gamma:<6} alarms={self.n_alarms:<4} "
+            f"correct={self.correct_alarms:<4} problems={self.problems_detected:<4} "
+            f"A_T={self.a_t:5.3f} A_F={self.a_f:5.3f}"
+        )
+
+
+@dataclass
+class AnomalyTableResult:
+    rows: list[AnomalyRow]
+    per_execution: dict[tuple[str, float | None], list[AlarmScore]] = field(default_factory=dict)
+    ground_truth_problems: int = 0
+
+    def row(self, method: str, gamma: float | None) -> AnomalyRow:
+        for row in self.rows:
+            if row.method == method and row.gamma == gamma:
+                return row
+        raise KeyError(f"no row for {method} gamma={gamma}")
+
+    def table(self, title: str) -> str:
+        lines = [f"{title} (ground truth: {self.ground_truth_problems} problems)"]
+        lines += [row.format() for row in self.rows]
+        return "\n".join(lines)
+
+
+def _problem_intervals(execution: TestExecution, offset: int) -> list[tuple[int, int]]:
+    """Ground-truth fault intervals, shifted into windowed-row coordinates."""
+    intervals = []
+    horizon = execution.n_timesteps - offset
+    for fault in execution.impactful_faults:
+        start = max(0, fault.start - offset)
+        end = min(horizon, fault.end - offset)
+        if start < end:
+            intervals.append((start, end))
+    return intervals
+
+
+def _detect_with_model(
+    model,
+    chain: BuildChain,
+    n_lags: int,
+    gamma: float,
+    self_calibrated: bool,
+) -> AlarmScore:
+    detector = ContextualAnomalyDetector(gamma=gamma)
+    predictions, observed = _predict_execution(model, chain.current, n_lags)
+    if self_calibrated:
+        report = detector.detect_self_calibrated(predictions, observed)
+    else:
+        errors = []
+        for execution in chain.history:
+            p, o = _predict_execution(model, execution, n_lags)
+            errors.append(p - o)
+        error_model = GaussianErrorModel.fit(np.concatenate(errors))
+        report = detector.detect(predictions, observed, error_model)
+    truth = chain.current.anomaly_mask()[n_lags:]
+    return score_alarms(report.alarms, truth, _problem_intervals(chain.current, n_lags))
+
+
+def _detect_with_per_chain_ridge(
+    chain: BuildChain, n_lags: int, gamma: float, use_history: bool
+) -> AlarmScore:
+    series = chain.history_series()
+    X, history, y, _ = build_windows_multi(series, n_lags)
+    scaler = StandardScaler().fit(X)
+    Xs = scaler.transform(X)
+    if use_history:
+        model = RidgeTS(alpha=1.0, n_lags=n_lags).fit(Xs, y, history=history)
+        train_pred = model.predict(Xs, history=history)
+    else:
+        model = Ridge(alpha=1.0).fit(Xs, y)
+        train_pred = model.predict(Xs)
+    error_model = GaussianErrorModel.fit(train_pred - y)
+    X_test, history_test, y_test = build_windows(
+        chain.current.features, chain.current.cpu, n_lags
+    )
+    Xs_test = scaler.transform(X_test)
+    predictions = (
+        model.predict(Xs_test, history=history_test) if use_history else model.predict(Xs_test)
+    )
+    detector = ContextualAnomalyDetector(gamma=gamma)
+    report = detector.detect(predictions, y_test, error_model)
+    truth = chain.current.anomaly_mask()[n_lags:]
+    return score_alarms(report.alarms, truth, _problem_intervals(chain.current, n_lags))
+
+
+def _detect_with_htm(chain: BuildChain, likelihood_threshold: float = 0.97) -> AlarmScore:
+    """HTM-AD on the raw CPU stream: learn over history, score the current build."""
+    cpu_history = np.concatenate([e.cpu for e in chain.history])
+    detector = HTMDetector(
+        minimum=0.0,
+        maximum=100.0,
+        n_bits=200,
+        w=13,
+        n_columns=128,
+        cells_per_column=4,
+        learning_period=30,
+        seed=0,
+    )
+    detector.run(cpu_history)
+    result = detector.run(chain.current.cpu)
+    flags = result.alarms(likelihood_threshold)
+    from ..core.anomaly import merge_flags_into_alarms
+
+    alarms = merge_flags_into_alarms(flags, result.likelihoods)
+    return score_alarms(
+        alarms, chain.current.anomaly_mask(), _problem_intervals(chain.current, 0)
+    )
+
+
+def run_anomaly_table(
+    dataset: TelecomDataset,
+    env2vec: Env2VecRegressor,
+    rfnn_all: RFNNRegressor | None = None,
+    gammas: tuple[float, ...] = (1.0, 2.0, 3.0),
+    n_lags: int = DEFAULT_N_LAGS,
+    include_htm: bool = True,
+    include_ridge: bool = True,
+) -> AnomalyTableResult:
+    """Table 5: pooled alarm quality over the focus test executions."""
+    chains = dataset.focus_chains
+    if not chains:
+        raise ValueError("dataset has no focus executions")
+    result = AnomalyTableResult(
+        rows=[], ground_truth_problems=dataset.total_ground_truth_problems()
+    )
+
+    def add(method: str, gamma: float | None, scores: list[AlarmScore]) -> None:
+        total = sum(scores, AlarmScore(0, 0))
+        result.rows.append(
+            AnomalyRow(
+                method=method,
+                gamma=gamma,
+                n_alarms=total.n_alarms,
+                correct_alarms=total.correct_alarms,
+                problems_detected=total.problems_detected,
+            )
+        )
+        result.per_execution[(method, gamma)] = scores
+
+    if include_htm:
+        add("htm_ad", None, [_detect_with_htm(chain) for chain in chains])
+    for gamma in gammas:
+        if include_ridge:
+            add(
+                "ridge",
+                gamma,
+                [_detect_with_per_chain_ridge(c, n_lags, gamma, False) for c in chains],
+            )
+            add(
+                "ridge_ts",
+                gamma,
+                [_detect_with_per_chain_ridge(c, n_lags, gamma, True) for c in chains],
+            )
+        if rfnn_all is not None:
+            add(
+                "rfnn_all",
+                gamma,
+                [_detect_with_model(rfnn_all, c, n_lags, gamma, False) for c in chains],
+            )
+        add(
+            "env2vec",
+            gamma,
+            [_detect_with_model(env2vec, c, n_lags, gamma, False) for c in chains],
+        )
+    return result
+
+
+def run_unseen_table(
+    dataset: TelecomDataset,
+    gammas: tuple[float, ...] = (1.0, 2.0, 3.0),
+    n_lags: int = DEFAULT_N_LAGS,
+    fast: bool = True,
+    seed: int = 0,
+    include_htm: bool = True,
+) -> AnomalyTableResult:
+    """Table 6: detection in blinded (unseen) environments, self-calibrated.
+
+    Ridge and Ridge_ts are N/A here — they need per-chain history that the
+    protocol removes — so they simply have no rows.
+    """
+    split = blind_chains(dataset, dataset.focus_indices)
+    env2vec = train_env2vec_telecom(split.training, n_lags=n_lags, fast=fast, seed=seed)
+    rfnn_all = train_rfnn_all_telecom(split.training, n_lags=n_lags, fast=fast, seed=seed)
+    chains = dataset.focus_chains
+    result = AnomalyTableResult(
+        rows=[], ground_truth_problems=dataset.total_ground_truth_problems()
+    )
+
+    def add(method: str, gamma: float | None, scores: list[AlarmScore]) -> None:
+        total = sum(scores, AlarmScore(0, 0))
+        result.rows.append(
+            AnomalyRow(
+                method,
+                gamma,
+                total.n_alarms,
+                total.correct_alarms,
+                problems_detected=total.problems_detected,
+            )
+        )
+        result.per_execution[(method, gamma)] = scores
+
+    if include_htm:
+        add("htm_ad", None, [_detect_with_htm(chain) for chain in chains])
+    for gamma in gammas:
+        add(
+            "rfnn_all",
+            gamma,
+            [_detect_with_model(rfnn_all, c, n_lags, gamma, True) for c in chains],
+        )
+        add(
+            "env2vec",
+            gamma,
+            [_detect_with_model(env2vec, c, n_lags, gamma, True) for c in chains],
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 7 — coverage analysis
+# ---------------------------------------------------------------------------
+@dataclass
+class CoverageResult:
+    """Table 7: the under-performing execution vs the remaining ones."""
+
+    under_key: tuple[str, str, str]
+    under_a_t: float
+    rest_a_t_mean: float
+    under_examples: int
+    rest_examples_mean: float
+    rest_examples_std: float
+    under_coverage_pct: float
+    rest_coverage_pct_mean: float
+
+    def table(self) -> str:
+        return "\n".join(
+            [
+                "Table 7 — under-performing execution vs the rest (γ=1)",
+                f"{'':<18}{'under-performing':>18}{'remaining':>22}",
+                f"{'A_T':<18}{self.under_a_t:>18.3f}{self.rest_a_t_mean:>22.3f}",
+                f"{'# examples':<18}{self.under_examples:>18d}"
+                f"{self.rest_examples_mean:>14.0f} ± {self.rest_examples_std:.0f}",
+                f"{'coverage (%)':<18}{self.under_coverage_pct:>18.4f}"
+                f"{self.rest_coverage_pct_mean:>22.4f}",
+            ]
+        )
+
+
+def run_coverage_table(
+    dataset: TelecomDataset,
+    table5: AnomalyTableResult,
+    gamma: float = 1.0,
+    n_lags: int = DEFAULT_N_LAGS,
+) -> CoverageResult:
+    """Explain Env2Vec's weakest focus execution by testbed coverage."""
+    scores = table5.per_execution[("env2vec", gamma)]
+    chains = dataset.focus_chains
+    training = dataset.history_training_series()
+    training_envs = [env for env, _, _ in training]
+    total_examples = sum(max(0, len(cpu) - n_lags) for _, _, cpu in training)
+
+    def testbed_examples(chain: BuildChain) -> int:
+        return sum(
+            max(0, len(cpu) - n_lags)
+            for env, _, cpu in training
+            if env.testbed == chain.key[0]
+        )
+
+    a_t = [s.true_alarm_rate if s.n_alarms else 1.0 for s in scores]
+    under = int(np.argmin(a_t))
+    rest = [i for i in range(len(chains)) if i != under]
+    under_examples = testbed_examples(chains[under])
+    rest_examples = np.array([testbed_examples(chains[i]) for i in rest], dtype=float)
+    # Keep the field_coverage utility exercised for the under-performing env.
+    field_coverage(chains[under].current.environment, training_envs)
+    return CoverageResult(
+        under_key=chains[under].key,
+        under_a_t=float(a_t[under]),
+        rest_a_t_mean=float(np.mean([a_t[i] for i in rest])),
+        under_examples=under_examples,
+        rest_examples_mean=float(rest_examples.mean()),
+        rest_examples_std=float(rest_examples.std()),
+        under_coverage_pct=100.0 * under_examples / total_examples,
+        rest_coverage_pct_mean=float(100.0 * rest_examples.mean() / total_examples),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — embedding PCA
+# ---------------------------------------------------------------------------
+@dataclass
+class Figure6Result:
+    """2-d PCA of concatenated environment embeddings."""
+
+    coordinates: np.ndarray  # (n_envs, 2)
+    build_types: list[str]
+    environments: list[Environment]
+    explained_variance_ratio: np.ndarray
+
+    def cluster_ratio(self) -> float:
+        """Mean intra-build-type distance over mean inter-type distance.
+
+        Below 1.0 means same-build-type environments sit closer together —
+        the clustering Figure 6 shows.
+        """
+        types = np.array(self.build_types)
+        intra, inter = [], []
+        n = len(types)
+        for i in range(n):
+            for j in range(i + 1, n):
+                distance = float(np.linalg.norm(self.coordinates[i] - self.coordinates[j]))
+                (intra if types[i] == types[j] else inter).append(distance)
+        if not intra or not inter:
+            raise ValueError("need at least two build types with two members")
+        return float(np.mean(intra) / np.mean(inter))
+
+
+def run_embedding_pca(model: Env2VecRegressor, dataset: TelecomDataset) -> Figure6Result:
+    environments = dataset.environments(include_current=False)
+    matrix = model.embed_environments(environments)
+    pca = PCA(n_components=2)
+    coordinates = pca.fit_transform(matrix)
+    return Figure6Result(
+        coordinates=coordinates,
+        build_types=[env.build_type for env in environments],
+        environments=environments,
+        explained_variance_ratio=pca.explained_variance_ratio_,
+    )

@@ -1,0 +1,23 @@
+"""A compact hierarchical temporal memory (HTM) implementation.
+
+Substitutes for Numenta's HTM, which backs the HTM-AD baseline [1] the
+paper compares against in §4.2.2 and §4.3: an *unsupervised, univariate*
+streaming anomaly detector that sees only the resource time series — no
+contextual features, no environment metadata.
+"""
+
+from .anomaly import AnomalyLikelihood
+from .detector import HTMDetector, HTMResult
+from .encoder import ScalarEncoder
+from .spatial_pooler import SpatialPooler
+from .temporal_memory import Segment, TemporalMemory
+
+__all__ = [
+    "ScalarEncoder",
+    "SpatialPooler",
+    "TemporalMemory",
+    "Segment",
+    "AnomalyLikelihood",
+    "HTMDetector",
+    "HTMResult",
+]

@@ -1,0 +1,50 @@
+"""Sparse distributed representation (SDR) encoders for HTM.
+
+HTM-AD [Ahmad et al., Neurocomputing 2017] — the unsupervised baseline the
+paper compares against in §4.2.2 — consumes scalar metric streams encoded
+as SDRs. We implement the classic scalar bucket encoder: a value maps to
+``w`` consecutive active bits within ``n`` total bits, so nearby values
+share active bits (semantic overlap) and distant values share none.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ScalarEncoder"]
+
+
+class ScalarEncoder:
+    """Encode scalars in [minimum, maximum] as w-of-n sparse binary vectors."""
+
+    def __init__(self, minimum: float, maximum: float, n_bits: int = 400, w: int = 21):
+        if maximum <= minimum:
+            raise ValueError("maximum must exceed minimum")
+        if w < 1 or n_bits < w:
+            raise ValueError("need 1 <= w <= n_bits")
+        if w % 2 == 0:
+            raise ValueError("w must be odd (centered bucket)")
+        self.minimum = float(minimum)
+        self.maximum = float(maximum)
+        self.n_bits = n_bits
+        self.w = w
+        self._buckets = n_bits - w + 1
+
+    def encode(self, value: float) -> np.ndarray:
+        """Return a binary vector with ``w`` consecutive ones (clipped range)."""
+        clipped = min(max(float(value), self.minimum), self.maximum)
+        fraction = (clipped - self.minimum) / (self.maximum - self.minimum)
+        start = int(round(fraction * (self._buckets - 1)))
+        sdr = np.zeros(self.n_bits, dtype=bool)
+        sdr[start : start + self.w] = True
+        return sdr
+
+    def bucket(self, value: float) -> int:
+        """Bucket index for a value (used in overlap tests)."""
+        clipped = min(max(float(value), self.minimum), self.maximum)
+        fraction = (clipped - self.minimum) / (self.maximum - self.minimum)
+        return int(round(fraction * (self._buckets - 1)))
+
+    def overlap(self, a: float, b: float) -> int:
+        """Number of shared active bits between the encodings of two values."""
+        return int(np.sum(self.encode(a) & self.encode(b)))

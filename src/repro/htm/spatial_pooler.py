@@ -1,0 +1,77 @@
+"""HTM spatial pooler: maps input SDRs to a stable sparse column code.
+
+A compact implementation of the spatial pooling algorithm: each column has
+potential synapses to a random subset of input bits with scalar permanences;
+columns with the highest overlap with the active input win a global
+k-winners-take-all inhibition, and the winners' synapses are reinforced
+toward the active bits (Hebbian learning with permanence increments and
+decrements).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SpatialPooler"]
+
+
+class SpatialPooler:
+    def __init__(
+        self,
+        input_size: int,
+        n_columns: int = 256,
+        sparsity: float = 0.02,
+        potential_fraction: float = 0.5,
+        permanence_threshold: float = 0.5,
+        permanence_increment: float = 0.05,
+        permanence_decrement: float = 0.008,
+        seed: int | None = None,
+    ):
+        if not 0.0 < sparsity < 1.0:
+            raise ValueError("sparsity must be in (0, 1)")
+        if not 0.0 < potential_fraction <= 1.0:
+            raise ValueError("potential_fraction must be in (0, 1]")
+        self.input_size = input_size
+        self.n_columns = n_columns
+        self.n_active = max(1, int(round(n_columns * sparsity)))
+        self.permanence_threshold = permanence_threshold
+        self.permanence_increment = permanence_increment
+        self.permanence_decrement = permanence_decrement
+        rng = np.random.default_rng(seed)
+        n_potential = max(1, int(round(input_size * potential_fraction)))
+        self.potential = np.zeros((n_columns, input_size), dtype=bool)
+        for column in range(n_columns):
+            chosen = rng.choice(input_size, size=n_potential, replace=False)
+            self.potential[column, chosen] = True
+        # Permanences start centered on the threshold so roughly half the
+        # potential synapses are initially connected.
+        self.permanence = np.where(
+            self.potential,
+            rng.normal(permanence_threshold, 0.1, size=(n_columns, input_size)),
+            0.0,
+        ).clip(0.0, 1.0)
+
+    @property
+    def connected(self) -> np.ndarray:
+        """Boolean matrix of currently connected synapses."""
+        return self.potential & (self.permanence >= self.permanence_threshold)
+
+    def compute(self, input_sdr: np.ndarray, learn: bool = True) -> np.ndarray:
+        """Return the active-column SDR for an input; optionally learn."""
+        input_sdr = np.asarray(input_sdr, dtype=bool)
+        if input_sdr.shape != (self.input_size,):
+            raise ValueError(f"expected input of shape ({self.input_size},); got {input_sdr.shape}")
+        overlaps = (self.connected & input_sdr).sum(axis=1)
+        # k-winners-take-all global inhibition with random tie-breaking via
+        # stable argsort on (overlap, column index).
+        winners = np.argsort(overlaps, kind="stable")[-self.n_active :]
+        active = np.zeros(self.n_columns, dtype=bool)
+        active[winners] = True
+        if learn:
+            for column in winners:
+                mask = self.potential[column]
+                delta = np.where(input_sdr, self.permanence_increment, -self.permanence_decrement)
+                self.permanence[column, mask] = np.clip(
+                    self.permanence[column, mask] + delta[mask], 0.0, 1.0
+                )
+        return active

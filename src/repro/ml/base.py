@@ -1,0 +1,86 @@
+"""Estimator protocol shared by the classical ML models.
+
+This mirrors the small slice of the scikit-learn API the paper relies on
+(§4.1.3 uses scikit-learn's Ridge, RandomForestRegressor and SVR):
+``fit(X, y)``, ``predict(X)``, ``get_params()``/``set_params()`` so the
+grid-search in :mod:`repro.ml.model_selection` can clone estimators, and a
+default ``score`` (negative MSE, so that higher is better).
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+
+import numpy as np
+
+__all__ = ["Estimator", "clone", "check_X_y", "check_X"]
+
+
+def check_X(X) -> np.ndarray:
+    """Validate a 2-d float feature matrix."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional; got shape {X.shape}")
+    if not np.isfinite(X).all():
+        raise ValueError("X contains NaN or infinite values")
+    return X
+
+
+def check_X_y(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix and its 1-d target vector together."""
+    X = check_X(X)
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional; got shape {y.shape}")
+    if len(X) != len(y):
+        raise ValueError(f"X and y disagree on length: {len(X)} vs {len(y)}")
+    if len(X) == 0:
+        raise ValueError("cannot fit on empty data")
+    if not np.isfinite(y).all():
+        raise ValueError("y contains NaN or infinite values")
+    return X, y
+
+
+class Estimator:
+    """Base class for regressors with sklearn-style parameter handling."""
+
+    _fitted: bool = False
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [name for name in signature.parameters if name != "self"]
+
+    def get_params(self) -> dict:
+        """Constructor arguments as a dict (for cloning/grid search)."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "Estimator":
+        valid = set(self._param_names())
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(f"unknown parameter {key!r} for {type(self).__name__}")
+            setattr(self, key, value)
+        return self
+
+    def fit(self, X, y) -> "Estimator":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def score(self, X, y) -> float:
+        """Negative mean squared error (higher is better)."""
+        y = np.asarray(y, dtype=np.float64)
+        predicted = self.predict(X)
+        return -float(np.mean((predicted - y) ** 2))
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+
+
+def clone(estimator: Estimator) -> Estimator:
+    """A fresh, unfitted copy with identical constructor parameters."""
+    return type(estimator)(**copy.deepcopy(estimator.get_params()))

@@ -1,0 +1,121 @@
+"""Ridge regression and the paper's ``Ridge_ts`` variant.
+
+``Ridge`` is the baseline of §4.1.3: linear least squares with L2
+regularization on the coefficient vector (the intercept is not penalized),
+solved in closed form. The paper searches the regularization strength
+``alpha`` over {0.001, 0.1, ..., 1000} on a validation set.
+
+``RidgeTS`` augments the feature set with the ``n`` previous
+resource-utilization values — the same inputs Env2Vec's GRU consumes — so
+the comparison isolates model *complexity* rather than information
+(paper: "the set of features used in Ridge(ts) are the same than for
+Env2Vec but the complexity is different").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Estimator, check_X, check_X_y
+
+__all__ = ["Ridge", "LinearRegression", "RidgeTS", "PAPER_RIDGE_ALPHAS"]
+
+#: §4.1.3 hyper-parameter grid for the Ridge baselines.
+PAPER_RIDGE_ALPHAS = (0.001, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+class Ridge(Estimator):
+    """Closed-form ridge regression: ``min ||Xw + b - y||^2 + alpha ||w||^2``."""
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "Ridge":
+        X, y = check_X_y(X, y)
+        # Center so the intercept absorbs the means and is not penalized.
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        yc = y - y_mean
+        n_features = X.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(n_features)
+        # lstsq-style solve is robust to (near-)singular grams at alpha=0.
+        self.coef_ = np.linalg.solve(gram + 1e-12 * np.eye(n_features), Xc.T @ yc)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(f"expected {self.coef_.shape[0]} features, got {X.shape[1]}")
+        return X @ self.coef_ + self.intercept_
+
+
+class LinearRegression(Ridge):
+    """Ordinary least squares — Ridge with ``alpha = 0``.
+
+    Used to reproduce Figure 1: per-build-chain linear models whose
+    coefficients vary wildly across environments.
+    """
+
+    def __init__(self):
+        super().__init__(alpha=0.0)
+
+
+class RidgeTS(Estimator):
+    """Ridge over [current contextual features ‖ n previous RU values].
+
+    ``fit``/``predict`` take the contextual feature matrix plus a separate
+    ``history`` matrix of shape ``(n_samples, n_lags)`` holding
+    ``y_{p-1}, ..., y_{p-n}``; the two are concatenated into one design
+    matrix for a plain ridge solve.
+    """
+
+    def __init__(self, alpha: float = 1.0, n_lags: int = 1):
+        if n_lags < 1:
+            raise ValueError("n_lags must be >= 1")
+        self.alpha = alpha
+        self.n_lags = n_lags
+        self._ridge = Ridge(alpha=alpha)
+
+    def fit(self, X, y, history: np.ndarray | None = None) -> "RidgeTS":
+        design = self._design(X, history)
+        self._ridge = Ridge(alpha=self.alpha).fit(design, y)
+        self._fitted = True
+        return self
+
+    def predict(self, X, history: np.ndarray | None = None) -> np.ndarray:
+        self._require_fitted()
+        return self._ridge.predict(self._design(X, history))
+
+    def score(self, X, y, history: np.ndarray | None = None) -> float:
+        y = np.asarray(y, dtype=np.float64)
+        predicted = self.predict(X, history)
+        return -float(np.mean((predicted - y) ** 2))
+
+    @property
+    def coef_(self) -> np.ndarray:
+        self._require_fitted()
+        return self._ridge.coef_
+
+    @property
+    def intercept_(self) -> float:
+        self._require_fitted()
+        return self._ridge.intercept_
+
+    def _design(self, X, history: np.ndarray | None) -> np.ndarray:
+        X = check_X(X)
+        if history is None:
+            raise ValueError("RidgeTS requires a history matrix of previous RU values")
+        history = np.asarray(history, dtype=np.float64)
+        if history.ndim != 2 or history.shape[1] != self.n_lags:
+            raise ValueError(f"history must have shape (n_samples, {self.n_lags}); got {history.shape}")
+        if len(history) != len(X):
+            raise ValueError("history and X disagree on length")
+        return np.concatenate([X, history], axis=1)

@@ -1,0 +1,59 @@
+"""A from-scratch deep-learning stack (autograd, layers, GRU, training).
+
+This package substitutes for Keras/TensorFlow, which the paper uses but
+which are unavailable offline. It provides exactly the pieces the Env2Vec
+architecture needs: a reverse-mode autograd engine over numpy, Dense /
+Embedding / Dropout layers, the GRU of the paper's Appendix A, MSE/MAE
+losses, the Adam optimizer, a mini-batch training loop with early stopping,
+and model serialization.
+"""
+
+from .attention import AdditiveAttention
+from .gru import GRU, GRUCell
+from .init import embedding_uniform, glorot_uniform, he_uniform, orthogonal, zeros
+from .layers import ACTIVATIONS, Dense, Dropout, Embedding, Module, Parameter, Sequential
+from .losses import get_loss, huber_loss, mae_loss, mse_loss
+from .lstm import LSTM, LSTMCell
+from .optim import SGD, Adam, Optimizer, clip_gradients
+from .serialize import load_model_bytes, load_state, save_model_bytes, save_state
+from .tensor import Tensor, is_grad_enabled, no_grad
+from .training import EarlyStopping, ReduceLROnPlateau, Trainer, TrainingHistory
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "Sequential",
+    "ACTIVATIONS",
+    "GRU",
+    "GRUCell",
+    "AdditiveAttention",
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+    "get_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_gradients",
+    "LSTM",
+    "LSTMCell",
+    "Trainer",
+    "TrainingHistory",
+    "EarlyStopping",
+    "ReduceLROnPlateau",
+    "save_state",
+    "load_state",
+    "save_model_bytes",
+    "load_model_bytes",
+    "glorot_uniform",
+    "he_uniform",
+    "orthogonal",
+    "zeros",
+    "embedding_uniform",
+]

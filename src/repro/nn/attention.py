@@ -1,0 +1,79 @@
+"""Additive (Bahdanau-style) attention over a hidden-state sequence.
+
+§6 of the paper names attention [3, 42] as a future-work direction: "This
+could be useful to learn relationships between metric values from previous
+timesteps." This module implements that extension: instead of summarizing
+the RU history with the GRU's *last* hidden state, the model attends over
+*all* hidden states
+
+    e_t   = v^T tanh(W h_t)        (alignment score per timestep)
+    a     = softmax(e)             (attention weights)
+    v_ts  = Σ_t a_t h_t            (attended summary)
+
+so timesteps that matter for the prediction — e.g. the onset of a load
+ramp several steps back — can dominate the summary regardless of recency.
+Enabled in :class:`repro.core.model.Env2VecModel` via
+``use_attention=True`` and evaluated by
+``benchmarks/bench_ablation_attention.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as initializers
+from .layers import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["AdditiveAttention"]
+
+
+class AdditiveAttention(Module):
+    """Pool a ``(batch, timesteps, hidden)`` sequence into ``(batch, hidden)``."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        attention_size: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        attention_size = attention_size if attention_size is not None else hidden_size
+        if attention_size < 1:
+            raise ValueError("attention_size must be >= 1")
+        self.hidden_size = hidden_size
+        self.attention_size = attention_size
+        self.projection = Parameter(
+            initializers.glorot_uniform((hidden_size, attention_size), rng), name="projection"
+        )
+        self.context = Parameter(
+            initializers.glorot_uniform((attention_size, 1), rng), name="context"
+        )
+        self._last_weights: np.ndarray | None = None
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        if sequence.ndim != 3 or sequence.shape[2] != self.hidden_size:
+            raise ValueError(
+                f"expected (batch, timesteps, {self.hidden_size}); got shape {sequence.shape}"
+            )
+        batch, timesteps, hidden = sequence.shape
+        flat = sequence.reshape(batch * timesteps, hidden)
+        scores = (flat @ self.projection).tanh() @ self.context  # (B*T, 1)
+        scores = scores.reshape(batch, timesteps)
+        # Numerically stable softmax over the time axis.
+        shifted = scores - Tensor(scores.numpy().max(axis=1, keepdims=True))
+        exp = shifted.exp()
+        weights = exp / exp.sum(axis=1, keepdims=True)  # (B, T)
+        self._last_weights = weights.numpy().copy()
+        weighted = sequence * weights.reshape(batch, timesteps, 1)
+        return weighted.sum(axis=1)
+
+    @property
+    def last_weights(self) -> np.ndarray:
+        """Attention weights from the most recent forward pass (analysis)."""
+        if self._last_weights is None:
+            raise RuntimeError("attention has not been applied yet")
+        return self._last_weights

@@ -1,0 +1,100 @@
+"""Gated recurrent units, following the formulation in the paper's Appendix A.
+
+For each timestep t with input ``y_t`` and previous hidden state ``h_{t-1}``:
+
+    z_t  = sigmoid(W^(z) y_t + U^(z) h_{t-1})              (update gate)
+    r_t  = sigmoid(W^(r) y_t + U^(r) h_{t-1})              (reset gate)
+    h'_t = f(W^(h) y_t + r_t ⊙ (U^(h) h_{t-1}))            (candidate state)
+    h_t  = (1 - z_t) ⊙ h'_t + z_t ⊙ h_{t-1}
+
+The paper adopts ReLU as the candidate activation ``f`` empirically
+(Appendix A); ``tanh`` is also supported for comparison. The GRU consumes
+the sliding window of historical resource-utilization values
+``{y_{p-n}, ..., y_{p-1}}`` (RU_history in Figure 2) and its final hidden
+state is the summary vector ``v_ts``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as initializers
+from .layers import ACTIVATIONS, Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """A single GRU step operating on ``(batch, input_size)`` tensors."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        activation: str = "relu",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.activation_name = activation
+        # Input kernels W^(z), W^(r), W^(h)
+        self.w_z = Parameter(initializers.glorot_uniform((input_size, hidden_size), rng), name="w_z")
+        self.w_r = Parameter(initializers.glorot_uniform((input_size, hidden_size), rng), name="w_r")
+        self.w_h = Parameter(initializers.glorot_uniform((input_size, hidden_size), rng), name="w_h")
+        # Recurrent kernels U^(z), U^(r), U^(h)
+        self.u_z = Parameter(initializers.orthogonal((hidden_size, hidden_size), rng), name="u_z")
+        self.u_r = Parameter(initializers.orthogonal((hidden_size, hidden_size), rng), name="u_r")
+        self.u_h = Parameter(initializers.orthogonal((hidden_size, hidden_size), rng), name="u_h")
+        # Gate biases
+        self.b_z = Parameter(initializers.zeros((hidden_size,)), name="b_z")
+        self.b_r = Parameter(initializers.zeros((hidden_size,)), name="b_r")
+        self.b_h = Parameter(initializers.zeros((hidden_size,)), name="b_h")
+
+    def forward(self, y_t: Tensor, h_prev: Tensor) -> Tensor:
+        z_t = (y_t @ self.w_z + h_prev @ self.u_z + self.b_z).sigmoid()
+        r_t = (y_t @ self.w_r + h_prev @ self.u_r + self.b_r).sigmoid()
+        candidate = ACTIVATIONS[self.activation_name](
+            y_t @ self.w_h + r_t * (h_prev @ self.u_h) + self.b_h
+        )
+        return (1.0 - z_t) * candidate + z_t * h_prev
+
+
+class GRU(Module):
+    """Runs a :class:`GRUCell` over a ``(batch, timesteps, input_size)`` input.
+
+    Returns the final hidden state ``v_ts`` of shape ``(batch, hidden_size)``
+    (or the full hidden sequence if ``return_sequences`` is set).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        activation: str = "relu",
+        return_sequences: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, activation=activation, rng=rng)
+        self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        if sequence.ndim != 3:
+            raise ValueError(f"GRU expects (batch, timesteps, input_size); got shape {sequence.shape}")
+        batch, timesteps, _ = sequence.shape
+        h_t = Tensor(np.zeros((batch, self.hidden_size)))
+        states: list[Tensor] = []
+        for t in range(timesteps):
+            y_t = sequence[:, t, :]
+            h_t = self.cell(y_t, h_t)
+            if self.return_sequences:
+                states.append(h_t)
+        if self.return_sequences:
+            return Tensor.stack(states, axis=1)
+        return h_t

@@ -1,0 +1,63 @@
+"""Weight initializers for the ``repro.nn`` stack.
+
+Keras defaults are mirrored so the reproduction matches the paper's setup:
+``glorot_uniform`` for dense kernels, ``orthogonal`` for recurrent kernels,
+zeros for biases, and ``uniform(-0.05, 0.05)`` (Keras ``RandomUniform``) for
+embedding tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "glorot_uniform",
+    "he_uniform",
+    "orthogonal",
+    "zeros",
+    "embedding_uniform",
+]
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-l, l) with l = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He uniform: U(-l, l) with l = sqrt(6 / fan_in); suits ReLU layers."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initializer (used for GRU recurrent kernels)."""
+    rows, cols = shape
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))  # make the decomposition unique
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols]
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def embedding_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, scale: float = 0.05
+) -> np.ndarray:
+    """Keras-style RandomUniform(-scale, scale) used for embedding tables."""
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initializer shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    return shape[0], shape[1]

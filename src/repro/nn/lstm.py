@@ -1,0 +1,101 @@
+"""Long short-term memory cells — the alternative recurrent unit.
+
+The paper chose GRUs for the RU-history branch (§3.1) citing their success
+in recommender systems and time-series forecasting, but did not compare
+against LSTM, the other standard gated RNN. This module provides an LSTM
+with the classic formulation
+
+    i_t = sigmoid(W^(i) x_t + U^(i) h_{t-1} + b_i)     (input gate)
+    f_t = sigmoid(W^(f) x_t + U^(f) h_{t-1} + b_f)     (forget gate)
+    o_t = sigmoid(W^(o) x_t + U^(o) h_{t-1} + b_o)     (output gate)
+    g_t = tanh(W^(g) x_t + U^(g) h_{t-1} + b_g)        (candidate)
+    c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t                    (cell state)
+    h_t = o_t ⊙ tanh(c_t)                              (hidden state)
+
+so the design choice can be ablated
+(``benchmarks/bench_ablation_recurrent.py``). The forget-gate bias is
+initialized to 1, the standard trick that eases gradient flow early in
+training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as initializers
+from .layers import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM step on ``(batch, input_size)`` tensors."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        for gate in ("i", "f", "o", "g"):
+            setattr(
+                self,
+                f"w_{gate}",
+                Parameter(initializers.glorot_uniform((input_size, hidden_size), rng), name=f"w_{gate}"),
+            )
+            setattr(
+                self,
+                f"u_{gate}",
+                Parameter(initializers.orthogonal((hidden_size, hidden_size), rng), name=f"u_{gate}"),
+            )
+            bias = np.ones(hidden_size) if gate == "f" else np.zeros(hidden_size)
+            setattr(self, f"b_{gate}", Parameter(bias, name=f"b_{gate}"))
+
+    def forward(self, x_t: Tensor, h_prev: Tensor, c_prev: Tensor) -> tuple[Tensor, Tensor]:
+        i_t = (x_t @ self.w_i + h_prev @ self.u_i + self.b_i).sigmoid()
+        f_t = (x_t @ self.w_f + h_prev @ self.u_f + self.b_f).sigmoid()
+        o_t = (x_t @ self.w_o + h_prev @ self.u_o + self.b_o).sigmoid()
+        g_t = (x_t @ self.w_g + h_prev @ self.u_g + self.b_g).tanh()
+        c_t = f_t * c_prev + i_t * g_t
+        h_t = o_t * c_t.tanh()
+        return h_t, c_t
+
+
+class LSTM(Module):
+    """Runs an :class:`LSTMCell` over ``(batch, timesteps, input_size)``.
+
+    Mirrors :class:`repro.nn.gru.GRU`'s interface so the two units are
+    drop-in interchangeable inside the Env2Vec backbone.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        return_sequences: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        if sequence.ndim != 3:
+            raise ValueError(f"LSTM expects (batch, timesteps, input_size); got shape {sequence.shape}")
+        batch, timesteps, _ = sequence.shape
+        h_t = Tensor(np.zeros((batch, self.hidden_size)))
+        c_t = Tensor(np.zeros((batch, self.hidden_size)))
+        states: list[Tensor] = []
+        for t in range(timesteps):
+            h_t, c_t = self.cell(sequence[:, t, :], h_t, c_t)
+            if self.return_sequences:
+                states.append(h_t)
+        if self.return_sequences:
+            return Tensor.stack(states, axis=1)
+        return h_t

@@ -1,0 +1,62 @@
+"""The VNF testing workflow of the paper's Figure 2.
+
+Workflow steps (§3) and their modules:
+
+1. **Testbed data collection** — :mod:`~repro.workflow.collector` replays
+   test executions into the :mod:`~repro.workflow.tsdb` TSDB (Prometheus
+   substitute) with EM labels, registering endpoints in the
+   :mod:`~repro.workflow.discovery` service-discovery JSON.
+2. **Model training** — :mod:`~repro.workflow.training_pipeline` masks
+   flagged executions, trains the single Env2Vec model daily, and publishes
+   it to the :mod:`~repro.workflow.model_store`.
+3. **Prediction pipeline** — :mod:`~repro.workflow.prediction_pipeline`
+   builds the Table 2 dataframe and compares inferred vs observed RU.
+4. **Raising alarms** — :mod:`~repro.workflow.alarms` (sqlite-backed
+   PostgreSQL substitute) persists testbed + interval + deviation.
+5. **Updating the model** — the prediction pipeline fetches the latest
+   published model before each run.
+"""
+
+from .alarms import AlarmRecord, AlarmStore
+from .collector import MetricCollector, RU_METRIC, SAMPLE_INTERVAL_SECONDS
+from .drift import DriftDecision, DriftMonitor, PageHinkley
+from .discovery import EMRegistry, ServiceDiscovery
+from .model_store import ModelStore, ModelVersion
+from .orchestrator import DayReport, TestingCampaign
+from .reporting import campaign_summary, execution_report, sparkline
+from .promql import InstantSample, PromQLError, parse as parse_promql, query as promql_query
+from .prediction_pipeline import PipelineRun, PredictionPipeline, build_prediction_frame
+from .training_pipeline import TrainingPipeline, TrainingResult
+from .tsdb import Sample, Series, TimeSeriesDB
+
+__all__ = [
+    "TimeSeriesDB",
+    "Series",
+    "Sample",
+    "ServiceDiscovery",
+    "EMRegistry",
+    "MetricCollector",
+    "RU_METRIC",
+    "SAMPLE_INTERVAL_SECONDS",
+    "AlarmStore",
+    "AlarmRecord",
+    "ModelStore",
+    "ModelVersion",
+    "TestingCampaign",
+    "DayReport",
+    "promql_query",
+    "parse_promql",
+    "PromQLError",
+    "InstantSample",
+    "execution_report",
+    "campaign_summary",
+    "sparkline",
+    "DriftMonitor",
+    "PageHinkley",
+    "DriftDecision",
+    "TrainingPipeline",
+    "TrainingResult",
+    "PredictionPipeline",
+    "PipelineRun",
+    "build_prediction_frame",
+]

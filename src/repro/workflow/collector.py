@@ -1,0 +1,93 @@
+"""Testbed data collection (paper §3, workflow step 1).
+
+The testing engineer schedules a test-case execution; the metric collector
+monitors the workload metrics, VNF performance metrics, and resource
+utilization, links them to the environment metadata, and pushes everything
+into the TSDB. Here the "live testbed" is a
+:class:`~repro.data.chains.TestExecution` replayed sample by sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.chains import TestExecution
+from .discovery import EMRegistry, ServiceDiscovery
+from .tsdb import TimeSeriesDB
+
+__all__ = ["MetricCollector", "SAMPLE_INTERVAL_SECONDS"]
+
+#: §4.2.1 — the telecom corpus is "measured at 15 minute intervals".
+SAMPLE_INTERVAL_SECONDS = 15 * 60
+
+#: Metric name under which resource utilization (the target) is stored.
+RU_METRIC = "cpu_usage"
+
+
+class MetricCollector:
+    """Replays test executions into a TSDB with EM labels attached."""
+
+    def __init__(
+        self,
+        tsdb: TimeSeriesDB,
+        registry: EMRegistry,
+        discovery: ServiceDiscovery | None = None,
+        feature_names: list[str] | None = None,
+        interval: float = SAMPLE_INTERVAL_SECONDS,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.tsdb = tsdb
+        self.registry = registry
+        self.discovery = discovery
+        self.feature_names = feature_names
+        self.interval = interval
+        self._next_port = 9100
+
+    def collect(self, execution: TestExecution, start_time: float = 0.0) -> str:
+        """Ingest a whole execution; returns its EM record id.
+
+        Writes one series per contextual feature plus the RU series, all
+        labelled with ``env=<EM record id>`` as in the paper's service
+        discovery snippet, and registers a collector endpoint when a
+        discovery config is attached.
+        """
+        record_id = self.registry.register(execution.environment)
+        if self.discovery is not None:
+            endpoint = f"10.0.0.{self._next_port % 250 + 1}:{self._next_port}"
+            self._next_port += 1
+            self.discovery.add_target(endpoint, record_id)
+        labels = {"env": record_id}
+        n = execution.n_timesteps
+        timestamps = start_time + self.interval * np.arange(n)
+        names = self.feature_names or [
+            f"feature_{i:02d}" for i in range(execution.features.shape[1])
+        ]
+        if len(names) != execution.features.shape[1]:
+            raise ValueError(
+                f"{len(names)} feature names for {execution.features.shape[1]} feature columns"
+            )
+        for column, name in enumerate(names):
+            self.tsdb.write_array(name, labels, timestamps, execution.features[:, column])
+        self.tsdb.write_array(RU_METRIC, labels, timestamps, execution.cpu)
+        return record_id
+
+    def read_back(self, record_id: str) -> tuple[np.ndarray, np.ndarray]:
+        """Reconstruct (features, cpu) for an execution from the TSDB.
+
+        This is what the prediction pipeline does in step 3: read the
+        monitoring data of the running testbed back out of Prometheus.
+        """
+        labels = {"env": record_id}
+        ru_series = self.tsdb.query_one(RU_METRIC, labels)
+        _, cpu = ru_series.as_arrays()
+        names = self.feature_names or sorted(
+            metric for metric in self.tsdb.metrics() if metric != RU_METRIC
+        )
+        columns = []
+        for name in names:
+            _, values = self.tsdb.query_one(name, labels).as_arrays()
+            if len(values) != len(cpu):
+                raise ValueError(f"metric {name} has {len(values)} samples but RU has {len(cpu)}")
+            columns.append(values)
+        return np.stack(columns, axis=1), cpu

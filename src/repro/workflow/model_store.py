@@ -1,0 +1,93 @@
+"""Model store (paper §3, steps 2 and 5 — model-server substitute).
+
+"After training completion, the model is available via HTTP" and "the
+Env2Vec prediction pipeline fetches the latest model (essentially a weight
+matrix), before beginning execution, from the training pipeline HTTP
+server." The store versions serialized model blobs
+(:mod:`repro.nn.serialize` npz bytes) on disk or in memory; the prediction
+pipeline always fetches the latest published version.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ModelVersion", "ModelStore"]
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    version: int
+    size_bytes: int
+    published_at: float
+    metadata: dict
+
+
+class ModelStore:
+    """Versioned blob store; ``path=None`` keeps everything in memory."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._blobs: dict[int, bytes] = {}
+        self._versions: dict[int, ModelVersion] = {}
+        self._latest = 0
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+            self._load_existing()
+
+    def _load_existing(self) -> None:
+        for blob_file in sorted(self.path.glob("model-*.npz")):
+            version = int(blob_file.stem.split("-")[1])
+            meta_file = self.path / f"model-{version:06d}.json"
+            meta = json.loads(meta_file.read_text()) if meta_file.exists() else {}
+            blob = blob_file.read_bytes()
+            self._blobs[version] = blob
+            self._versions[version] = ModelVersion(
+                version=version,
+                size_bytes=len(blob),
+                published_at=meta.get("published_at", blob_file.stat().st_mtime),
+                metadata=meta.get("metadata", {}),
+            )
+            self._latest = max(self._latest, version)
+
+    def publish(self, blob: bytes, metadata: dict | None = None) -> ModelVersion:
+        """Store a new model blob as the latest version."""
+        if not blob:
+            raise ValueError("cannot publish an empty model blob")
+        version = self._latest + 1
+        record = ModelVersion(
+            version=version,
+            size_bytes=len(blob),
+            published_at=time.time(),
+            metadata=dict(metadata or {}),
+        )
+        self._blobs[version] = blob
+        self._versions[version] = record
+        self._latest = version
+        if self.path is not None:
+            (self.path / f"model-{version:06d}.npz").write_bytes(blob)
+            (self.path / f"model-{version:06d}.json").write_text(
+                json.dumps({"published_at": record.published_at, "metadata": record.metadata})
+            )
+        return record
+
+    def fetch_latest(self) -> tuple[bytes, ModelVersion]:
+        """Step 5: the prediction pipeline fetches the newest model."""
+        if not self._latest:
+            raise LookupError("no model has been published yet")
+        return self._blobs[self._latest], self._versions[self._latest]
+
+    def fetch(self, version: int) -> tuple[bytes, ModelVersion]:
+        if version not in self._blobs:
+            raise LookupError(f"no model version {version}")
+        return self._blobs[version], self._versions[version]
+
+    def versions(self) -> list[ModelVersion]:
+        return [self._versions[v] for v in sorted(self._versions)]
+
+    @property
+    def latest_version(self) -> int:
+        return self._latest

@@ -1,0 +1,197 @@
+"""Multi-day testing-campaign orchestration.
+
+Ties the whole Figure 2 loop together over simulated days:
+
+- each day, every active build chain executes its next build;
+- the prediction pipeline monitors each execution with the latest
+  published model (step 5 → 3), calibrating the error model on the chain's
+  previously ingested builds, and pushes alarms (step 4);
+- executions whose alarms were confirmed true positives are **masked out**
+  of the training pool, exactly as step 2 prescribes ("Executions with
+  true positive alarms are masked out from the training data");
+- the model is retrained daily on the accumulated non-flagged pool and
+  republished.
+
+This is the integration surface a team adopting Env2Vec would run; the
+example scripts and integration tests drive it end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.anomaly import ContextualAnomalyDetector, GaussianErrorModel
+from ..core.model import Env2VecRegressor
+from ..data.chains import TestExecution
+from ..data.environment import Environment
+from ..data.telecom import TelecomDataset
+from ..data.windows import build_windows
+from .alarms import AlarmStore
+from .drift import DriftMonitor
+from .model_store import ModelStore
+from .training_pipeline import TrainingPipeline
+
+__all__ = ["DayReport", "TestingCampaign"]
+
+
+@dataclass
+class DayReport:
+    """What happened on one campaign day."""
+
+    day: int
+    executions_run: int
+    alarms_raised: int
+    flagged_environments: list[Environment]
+    masked_environments: list[Environment]
+    model_version: int
+    drift_detected: bool = False
+
+    @property
+    def any_flagged(self) -> bool:
+        return bool(self.flagged_environments)
+
+
+@dataclass
+class TestingCampaign:
+    """Runs a testing corpus day by day through the full workflow."""
+
+    __test__ = False  # keep pytest from collecting this as a test class
+
+    model_store: ModelStore = field(default_factory=ModelStore)
+    alarm_store: AlarmStore = field(default_factory=AlarmStore)
+    gamma: float = 2.5
+    abs_threshold: float = 5.0
+    n_lags: int = 3
+    model_params: dict = field(default_factory=lambda: {"max_epochs": 20, "batch_size": 256})
+    seed: int = 0
+    # Tracks the serving model's error level on clean executions; a
+    # Page-Hinkley alarm marks a day where retraining was *needed*, not
+    # merely scheduled.
+    drift_monitor: DriftMonitor = field(default_factory=DriftMonitor)
+
+    def __post_init__(self) -> None:
+        self._pool: list[tuple[Environment, np.ndarray, np.ndarray]] = []
+        self._ingested: dict[tuple, list[TestExecution]] = {}
+        self._masked: set[Environment] = set()
+        self._pipeline = TrainingPipeline(
+            self.model_store,
+            n_lags=self.n_lags,
+            model_params=dict(self.model_params),
+            seed=self.seed,
+        )
+        self._detector = ContextualAnomalyDetector(
+            gamma=self.gamma, abs_threshold=self.abs_threshold
+        )
+        self._model: Env2VecRegressor | None = None
+
+    # -- internals --------------------------------------------------------
+    def _predict(self, execution: TestExecution) -> tuple[np.ndarray, np.ndarray]:
+        X, history, y = build_windows(execution.features, execution.cpu, self.n_lags)
+        predictions = self._model.predict([execution.environment] * len(y), X, history)
+        return predictions, y
+
+    def _error_model(self, chain_key: tuple) -> GaussianErrorModel | None:
+        previous = [
+            execution
+            for execution in self._ingested.get(chain_key, [])
+            if execution.environment not in self._masked
+        ]
+        if not previous:
+            return None
+        errors = []
+        for execution in previous:
+            if execution.n_timesteps <= self.n_lags + 1:
+                continue
+            predictions, observed = self._predict(execution)
+            errors.append(predictions - observed)
+        if not errors:
+            return None
+        return GaussianErrorModel.fit(np.concatenate(errors))
+
+    def _monitor(self, execution: TestExecution) -> int:
+        """Detect anomalies for one execution; returns alarms raised."""
+        if execution.n_timesteps <= self.n_lags + 1:
+            return 0
+        predictions, observed = self._predict(execution)
+        error_model = self._error_model(execution.environment.chain_key)
+        if error_model is None:
+            report = self._detector.detect_self_calibrated(predictions, observed)
+        else:
+            report = self._detector.detect(predictions, observed, error_model)
+        for alarm in report.alarms:
+            self.alarm_store.push(
+                environment=execution.environment,
+                start_step=alarm.start + self.n_lags,
+                end_step=alarm.end + self.n_lags,
+                peak_deviation=alarm.peak_deviation,
+                gamma=self.gamma,
+            )
+        return report.n_alarms
+
+    # -- campaign API ---------------------------------------------------
+    def run_day(self, day: int, executions: list[TestExecution]) -> DayReport:
+        """Monitor the day's executions, update masks, retrain, publish."""
+        if not executions:
+            raise ValueError("a campaign day needs at least one execution")
+        flagged: list[Environment] = []
+        total_alarms = 0
+        drift_detected = False
+        if self._model is not None:
+            for execution in executions:
+                n_alarms = self._monitor(execution)
+                total_alarms += n_alarms
+                if not execution.has_performance_problem and execution.n_timesteps > self.n_lags + 1:
+                    predictions, observed = self._predict(execution)
+                    decision = self.drift_monitor.observe(
+                        float(np.abs(predictions - observed).mean())
+                    )
+                    drift_detected = drift_detected or decision.drifted
+                if n_alarms and execution.has_performance_problem:
+                    # Engineers confirm the alarms: a true positive — the
+                    # execution is masked out of future training (step 2).
+                    self._masked.add(execution.environment)
+                    flagged.append(execution.environment)
+                elif execution.has_performance_problem:
+                    # A missed problem discovered independently (the paper's
+                    # "false negative problems discovered independently by
+                    # the testing engineers") is masked as well.
+                    self._masked.add(execution.environment)
+
+        for execution in executions:
+            self._ingested.setdefault(execution.environment.chain_key, []).append(execution)
+            self._pool.append((execution.environment, execution.features, execution.cpu))
+
+        result = self._pipeline.train(self._pool, masked_environments=self._masked)
+        self._model = result.model
+        return DayReport(
+            day=day,
+            executions_run=len(executions),
+            alarms_raised=total_alarms,
+            flagged_environments=flagged,
+            masked_environments=sorted(self._masked, key=lambda e: e.as_tuple()),
+            model_version=result.version.version,
+            drift_detected=drift_detected,
+        )
+
+    def run(self, dataset: TelecomDataset) -> list[DayReport]:
+        """Replay a whole corpus: day d runs every chain's build #d."""
+        max_builds = max(len(chain) for chain in dataset.chains)
+        reports = []
+        for day in range(max_builds):
+            executions = [
+                chain.executions[day] for chain in dataset.chains if day < len(chain)
+            ]
+            reports.append(self.run_day(day, executions))
+        return reports
+
+    @property
+    def masked_environments(self) -> set[Environment]:
+        return set(self._masked)
+
+    @property
+    def latest_model(self) -> Env2VecRegressor:
+        if self._model is None:
+            raise RuntimeError("no model trained yet; run at least one day")
+        return self._model

@@ -1,0 +1,148 @@
+"""Prediction pipeline (paper §3, workflow steps 3-5).
+
+Step 5: fetch the latest model from the training pipeline's store.
+Step 3: read the running testbed's data, construct the Table 2 dataframe
+(CFs + EM + RU history + observed RU), infer RU with the model, and compare
+against the observation.
+Step 4: on significant deviations (gamma·sigma rule + 5% absolute filter),
+push alarms — testbed, interval, peak deviation — into the alarm store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.anomaly import AnomalyReport, ContextualAnomalyDetector, GaussianErrorModel
+from ..core.model import Env2VecRegressor
+from ..data.chains import BuildChain, TestExecution
+from ..data.frame import Frame
+from ..data.windows import build_windows
+from .alarms import AlarmStore
+from .model_store import ModelStore
+
+__all__ = ["PredictionPipeline", "PipelineRun", "build_prediction_frame"]
+
+
+def build_prediction_frame(
+    execution: TestExecution, n_lags: int, feature_names: list[str] | None = None
+) -> Frame:
+    """The Table 2 dataframe: CFs, EM columns, RU-history lags, observed RU.
+
+    Rows correspond to timesteps with a full history window (the first
+    ``n_lags`` timesteps are dropped).
+    """
+    X, history, y = build_windows(execution.features, execution.cpu, n_lags)
+    names = feature_names or [f"feature_{i:02d}" for i in range(X.shape[1])]
+    if len(names) != X.shape[1]:
+        raise ValueError(f"{len(names)} feature names for {X.shape[1]} feature columns")
+    frame = Frame({name: X[:, i] for i, name in enumerate(names)})
+    for field, value in execution.environment.as_dict().items():
+        frame[field] = np.full(len(frame), value, dtype=object)
+    for lag in range(1, n_lags + 1):
+        # history columns are oldest-first; cpu_t_minus_1 is the last one.
+        frame[f"cpu_t_minus_{lag}"] = history[:, n_lags - lag]
+    frame["cpu_usage"] = y
+    return frame
+
+
+@dataclass
+class PipelineRun:
+    """Everything one pipeline execution produced."""
+
+    report: AnomalyReport
+    predictions: np.ndarray
+    observations: np.ndarray
+    model_version: int
+    alarm_ids: list[int]
+    terminated_early: bool
+
+
+class PredictionPipeline:
+    def __init__(
+        self,
+        store: ModelStore,
+        alarms: AlarmStore,
+        gamma: float = 2.0,
+        abs_threshold: float = 5.0,
+        termination_threshold: int | None = None,
+    ):
+        self.store = store
+        self.alarms = alarms
+        self.detector = ContextualAnomalyDetector(gamma=gamma, abs_threshold=abs_threshold)
+        self.termination_threshold = termination_threshold
+
+    def _fetch_model(self) -> tuple[Env2VecRegressor, int]:
+        blob, version = self.store.fetch_latest()
+        return Env2VecRegressor.from_bytes(blob), version.version
+
+    def calibrate(self, chain: BuildChain) -> GaussianErrorModel:
+        """Fit the normal-error Gaussian over a chain's historical builds."""
+        model, _ = self._fetch_model()
+        errors = []
+        for execution in chain.history:
+            predicted, observed = self._predict_execution(model, execution)
+            errors.append(predicted - observed)
+        if not errors:
+            raise ValueError("chain has no historical executions to calibrate on")
+        return GaussianErrorModel.fit(np.concatenate(errors))
+
+    def run(
+        self,
+        execution: TestExecution,
+        error_model: GaussianErrorModel | None = None,
+    ) -> PipelineRun:
+        """Monitor one test execution; push alarms for detected anomalies.
+
+        With ``error_model=None`` the §4.3 self-calibrated mode is used
+        (for unseen environments without history).
+        """
+        model, version = self._fetch_model()
+        predicted, observed = self._predict_execution(model, execution)
+        if error_model is None:
+            report = self.detector.detect_self_calibrated(predicted, observed)
+        else:
+            report = self.detector.detect(predicted, observed, error_model)
+
+        alarm_ids = []
+        offset = model.n_lags  # report indices are relative to windowed rows
+        for alarm in report.alarms:
+            alarm_ids.append(
+                self.alarms.push(
+                    environment=execution.environment,
+                    start_step=alarm.start + offset,
+                    end_step=alarm.end + offset,
+                    peak_deviation=alarm.peak_deviation,
+                    gamma=report.gamma,
+                )
+            )
+        terminated = (
+            self.termination_threshold is not None
+            and self.alarms.should_terminate(
+                execution.environment, threshold=self.termination_threshold
+            )
+        )
+        return PipelineRun(
+            report=report,
+            predictions=predicted,
+            observations=observed,
+            model_version=version,
+            alarm_ids=alarm_ids,
+            terminated_early=terminated,
+        )
+
+    def report(self, execution: TestExecution, run: PipelineRun, width: int = 72) -> str:
+        """Render the engineer-facing report for a completed run (step 4)."""
+        from .reporting import execution_report
+
+        model, _ = self._fetch_model()
+        return execution_report(execution, run.report, n_lags=model.n_lags, width=width)
+
+    @staticmethod
+    def _predict_execution(
+        model: Env2VecRegressor, execution: TestExecution
+    ) -> tuple[np.ndarray, np.ndarray]:
+        X, history, y = build_windows(execution.features, execution.cpu, model.n_lags)
+        environments = [execution.environment] * len(y)
+        return model.predict(environments, X, history), y

@@ -1,0 +1,350 @@
+"""A PromQL subset for querying the TSDB (Prometheus substitute, step 3).
+
+The paper's prediction pipeline "monitors the running VNF via Prometheus
+over HTTP" — i.e. it speaks PromQL. This module implements the slice of
+the language the workflow needs, so monitoring code can be written exactly
+as it would be against real Prometheus:
+
+    cpu_usage{env="em-000001"}                    # instant vector
+    cpu_usage{env="em-000001"}[30m]               # range vector
+    avg_over_time(cpu_usage{env="em-000001"}[1h]) # aggregation over range
+    rate(net_tx{env="em-000001"}[15m])            # per-second increase
+
+Supported functions: ``avg_over_time``, ``max_over_time``,
+``min_over_time``, ``sum_over_time``, ``count_over_time``, ``rate``.
+Durations accept ``s``/``m``/``h``/``d`` suffixes. Matchers support exact
+equality (``=``) and inequality (``!=``).
+
+The implementation is a hand-written tokenizer + recursive-descent parser
+producing a small AST, evaluated against a
+:class:`~repro.workflow.tsdb.TimeSeriesDB` at a caller-supplied evaluation
+time.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .tsdb import Series, TimeSeriesDB
+
+__all__ = [
+    "PromQLError",
+    "Selector",
+    "RangeQuery",
+    "FunctionCall",
+    "InstantSample",
+    "parse",
+    "evaluate",
+    "query",
+]
+
+RANGE_FUNCTIONS = (
+    "avg_over_time",
+    "max_over_time",
+    "min_over_time",
+    "sum_over_time",
+    "count_over_time",
+    "rate",
+)
+
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+class PromQLError(ValueError):
+    """Raised for syntax or evaluation errors, with position context."""
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Selector:
+    """``metric{label="value", other!="value"}``."""
+
+    metric: str
+    equals: tuple[tuple[str, str], ...] = ()
+    not_equals: tuple[tuple[str, str], ...] = ()
+
+    def matches(self, series: Series) -> bool:
+        if series.metric != self.metric:
+            return False
+        for name, value in self.equals:
+            if series.labels.get(name) != value:
+                return False
+        for name, value in self.not_equals:
+            if series.labels.get(name) == value:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """``selector[duration]``."""
+
+    selector: Selector
+    window_seconds: float
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """``func(selector[duration])``."""
+
+    function: str
+    argument: RangeQuery
+
+
+@dataclass(frozen=True)
+class InstantSample:
+    """One evaluated result: a label set and a value (and its timestamp)."""
+
+    metric: str
+    labels: dict[str, str] = field(hash=False)
+    value: float = 0.0
+    timestamp: float = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<space>\s+)
+  | (?P<duration>\d+(?:\.\d+)?[smhd])
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_:][A-Za-z0-9_:]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ne>!=)
+  | (?P<punct>[{}=\[\](),])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise PromQLError(f"unexpected character {text[position]!r} at position {position}")
+        kind = match.lastgroup
+        if kind != "space":
+            tokens.append(_Token(kind=kind, text=match.group(), position=position))
+        position = match.end()
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent)
+# ---------------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: list[_Token], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise PromQLError(f"unexpected end of query: {self.source!r}")
+        self.index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._advance()
+        if token.text != text:
+            raise PromQLError(
+                f"expected {text!r} at position {token.position}, found {token.text!r}"
+            )
+        return token
+
+    def parse(self) -> Selector | RangeQuery | FunctionCall:
+        expression = self._expression()
+        leftover = self._peek()
+        if leftover is not None:
+            raise PromQLError(
+                f"trailing input at position {leftover.position}: {leftover.text!r}"
+            )
+        return expression
+
+    def _expression(self) -> Selector | RangeQuery | FunctionCall:
+        token = self._advance()
+        if token.kind != "ident":
+            raise PromQLError(f"expected a metric or function at position {token.position}")
+        if token.text in RANGE_FUNCTIONS and self._peek() and self._peek().text == "(":
+            self._expect("(")
+            argument = self._selector_maybe_range()
+            if not isinstance(argument, RangeQuery):
+                raise PromQLError(f"{token.text} requires a range vector, e.g. metric[5m]")
+            self._expect(")")
+            return FunctionCall(function=token.text, argument=argument)
+        return self._selector_maybe_range(metric_token=token)
+
+    def _selector_maybe_range(self, metric_token: _Token | None = None):
+        token = metric_token if metric_token is not None else self._advance()
+        if token.kind != "ident":
+            raise PromQLError(f"expected a metric name at position {token.position}")
+        equals: list[tuple[str, str]] = []
+        not_equals: list[tuple[str, str]] = []
+        nxt = self._peek()
+        if nxt is not None and nxt.text == "{":
+            self._advance()
+            while True:
+                name_token = self._advance()
+                if name_token.kind != "ident":
+                    raise PromQLError(
+                        f"expected a label name at position {name_token.position}"
+                    )
+                op_token = self._advance()
+                if op_token.text not in ("=", "!="):
+                    raise PromQLError(
+                        f"expected '=' or '!=' at position {op_token.position}"
+                    )
+                value_token = self._advance()
+                if value_token.kind != "string":
+                    raise PromQLError(
+                        f"expected a quoted value at position {value_token.position}"
+                    )
+                value = value_token.text[1:-1].replace('\\"', '"')
+                if op_token.text == "=":
+                    equals.append((name_token.text, value))
+                else:
+                    not_equals.append((name_token.text, value))
+                separator = self._advance()
+                if separator.text == "}":
+                    break
+                if separator.text != ",":
+                    raise PromQLError(
+                        f"expected ',' or '}}' at position {separator.position}"
+                    )
+        selector = Selector(
+            metric=token.text, equals=tuple(equals), not_equals=tuple(not_equals)
+        )
+        nxt = self._peek()
+        if nxt is not None and nxt.text == "[":
+            self._advance()
+            duration_token = self._advance()
+            if duration_token.kind != "duration":
+                raise PromQLError(
+                    f"expected a duration like 5m at position {duration_token.position}"
+                )
+            seconds = float(duration_token.text[:-1]) * _DURATION_UNITS[duration_token.text[-1]]
+            self._expect("]")
+            return RangeQuery(selector=selector, window_seconds=seconds)
+        return selector
+
+
+def parse(text: str) -> Selector | RangeQuery | FunctionCall:
+    """Parse a query string into its AST."""
+    if not text or not text.strip():
+        raise PromQLError("empty query")
+    return _Parser(_tokenize(text), text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Evaluator
+# ---------------------------------------------------------------------------
+def _matching_series(db: TimeSeriesDB, selector: Selector) -> list[Series]:
+    return [series for series in db.query(selector.metric) if selector.matches(series)]
+
+
+def _apply_function(function: str, window: Series, window_seconds: float) -> float | None:
+    values = np.asarray(window.values, dtype=np.float64)
+    if values.size == 0:
+        return None
+    if function == "avg_over_time":
+        return float(values.mean())
+    if function == "max_over_time":
+        return float(values.max())
+    if function == "min_over_time":
+        return float(values.min())
+    if function == "sum_over_time":
+        return float(values.sum())
+    if function == "count_over_time":
+        return float(values.size)
+    if function == "rate":
+        if values.size < 2:
+            return None
+        span = window.timestamps[-1] - window.timestamps[0]
+        if span <= 0:
+            return None
+        return float((values[-1] - values[0]) / span)
+    raise PromQLError(f"unknown function {function!r}")  # pragma: no cover
+
+
+def evaluate(
+    db: TimeSeriesDB,
+    expression: Selector | RangeQuery | FunctionCall,
+    at: float,
+) -> list[InstantSample] | list[Series]:
+    """Evaluate an AST against the TSDB at time ``at``.
+
+    - ``Selector`` -> instant vector: the most recent sample at or before
+      ``at`` for every matching series;
+    - ``RangeQuery`` -> range vector: matching series restricted to
+      ``(at - window, at]``;
+    - ``FunctionCall`` -> instant vector of aggregated values.
+    """
+    if isinstance(expression, Selector):
+        samples = []
+        for series in _matching_series(db, expression):
+            timestamps = np.asarray(series.timestamps)
+            valid = np.flatnonzero(timestamps <= at)
+            if valid.size == 0:
+                continue
+            last = int(valid[-1])
+            samples.append(
+                InstantSample(
+                    metric=series.metric,
+                    labels=dict(series.labels),
+                    value=series.values[last],
+                    timestamp=series.timestamps[last],
+                )
+            )
+        return samples
+    if isinstance(expression, RangeQuery):
+        out = []
+        for series in _matching_series(db, expression.selector):
+            # Prometheus range semantics: (at - window, at] — the sample
+            # exactly one window ago is excluded, the one at `at` included.
+            window = series.range(at - expression.window_seconds + 1e-9, at + 1e-9)
+            if len(window):
+                out.append(window)
+        return out
+    if isinstance(expression, FunctionCall):
+        samples = []
+        windows = evaluate(db, expression.argument, at)
+        for window in windows:
+            value = _apply_function(
+                expression.function, window, expression.argument.window_seconds
+            )
+            if value is None:
+                continue
+            samples.append(
+                InstantSample(
+                    metric=window.metric,
+                    labels=dict(window.labels),
+                    value=value,
+                    timestamp=at,
+                )
+            )
+        return samples
+    raise PromQLError(f"cannot evaluate {type(expression).__name__}")
+
+
+def query(db: TimeSeriesDB, text: str, at: float) -> list[InstantSample] | list[Series]:
+    """Parse and evaluate in one call — the Prometheus HTTP API analogue."""
+    return evaluate(db, parse(text), at)

@@ -1,0 +1,109 @@
+"""Engineer-facing test reports (the human end of workflow step 4).
+
+The alarm "contains all the relevant information to allow a testing
+engineer ... to pinpoint on which testbed the issue occurred, and during
+which time interval". This module turns a monitored execution into the
+report an engineer would read: a header with the environment, a CPU
+sparkline with the flagged intervals marked, and the alarm list — plus a
+campaign-level summary across chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.anomaly import AnomalyReport
+from ..data.chains import TestExecution
+from .alarms import AlarmRecord, AlarmStore
+
+__all__ = ["sparkline", "execution_report", "campaign_summary"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, width: int = 72) -> str:
+    """Compress a series into a one-line unicode sparkline."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot sparkline an empty series")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if values.size > width:
+        # Average into `width` buckets.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array([values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    low, high = values.min(), values.max()
+    span = high - low or 1.0
+    indices = ((values - low) / span * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[i] for i in indices)
+
+
+def _interval_ruler(n_timesteps: int, intervals: list[tuple[int, int]], width: int = 72) -> str:
+    """A ruler line marking flagged intervals under the sparkline."""
+    ruler = [" "] * min(n_timesteps, width)
+    scale = len(ruler) / n_timesteps
+    for start, end in intervals:
+        a = int(start * scale)
+        b = max(a + 1, int(end * scale))
+        for i in range(a, min(b, len(ruler))):
+            ruler[i] = "^"
+    return "".join(ruler)
+
+
+def execution_report(
+    execution: TestExecution,
+    report: AnomalyReport,
+    n_lags: int,
+    width: int = 72,
+) -> str:
+    """The per-execution report: environment, sparkline, alarms."""
+    env = execution.environment
+    intervals = [(a.start + n_lags, a.end + n_lags) for a in report.alarms]
+    lines = [
+        f"TEST REPORT — {env.testbed} | {env.sut} | {env.testcase} | build {env.build}",
+        f"{execution.n_timesteps} timesteps @ 15 min | "
+        f"CPU mean {execution.cpu.mean():.1f}% (min {execution.cpu.min():.1f}, "
+        f"max {execution.cpu.max():.1f})",
+        "",
+        "CPU  " + sparkline(execution.cpu, width),
+        "     " + _interval_ruler(execution.n_timesteps, intervals, width),
+        "",
+    ]
+    if report.alarms:
+        lines.append(f"{report.n_alarms} alarm(s) at γ={report.gamma:g}:")
+        for i, alarm in enumerate(report.alarms, start=1):
+            start, end = alarm.start + n_lags, alarm.end + n_lags
+            hours = (end - start) * 0.25
+            lines.append(
+                f"  #{i}: timesteps [{start}, {end}) (~{hours:.1f} h) — "
+                f"peak deviation {alarm.peak_deviation:.1f}% CPU"
+            )
+        lines.append("")
+        lines.append("ACTION: investigate the flagged interval(s) before promoting this build.")
+    else:
+        lines.append(f"no alarms at γ={report.gamma:g} — build behaves like its predecessors.")
+    return "\n".join(lines)
+
+
+def campaign_summary(store: AlarmStore, width: int = 72) -> str:
+    """Roll up the alarm store by testbed — the team dashboard view."""
+    records = store.fetch()
+    if not records:
+        return "no alarms recorded."
+    by_testbed: dict[str, list[AlarmRecord]] = {}
+    for record in records:
+        by_testbed.setdefault(record.environment.testbed, []).append(record)
+    lines = [f"ALARM SUMMARY — {len(records)} alarms across {len(by_testbed)} testbeds", ""]
+    peak = max(len(v) for v in by_testbed.values())
+    for testbed in sorted(by_testbed, key=lambda t: -len(by_testbed[t])):
+        testbed_records = by_testbed[testbed]
+        bar = "#" * max(1, int(len(testbed_records) / peak * (width - 40)))
+        builds = sorted({r.environment.build for r in testbed_records})
+        lines.append(
+            f"  {testbed:<14} {len(testbed_records):>3} {bar}  builds: {', '.join(builds[:4])}"
+            + (" …" if len(builds) > 4 else "")
+        )
+    unacknowledged = len(store.fetch(unacknowledged_only=True))
+    lines.append("")
+    lines.append(f"{unacknowledged} alarm(s) awaiting engineer triage.")
+    return "\n".join(lines)

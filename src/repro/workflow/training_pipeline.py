@@ -1,0 +1,113 @@
+"""Model training pipeline (paper §3, workflow step 2).
+
+"The model is updated daily using all the new data generated where no
+performance problem was flagged. Executions with true positive alarms are
+masked out from the training data, along with any false negative problems
+discovered independently by the testing engineers. ... After training
+completion, the model is available via HTTP."
+
+:class:`TrainingPipeline` gathers historical executions, masks flagged
+environments, windows the series, trains a single
+:class:`~repro.core.model.Env2VecRegressor`, and publishes the serialized
+artifact to a :class:`~repro.workflow.model_store.ModelStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import Env2VecRegressor
+from ..data.environment import Environment
+from ..data.windows import build_windows_multi
+from .model_store import ModelStore, ModelVersion
+
+__all__ = ["TrainingPipeline", "TrainingResult"]
+
+TrainingRecord = tuple[Environment, np.ndarray, np.ndarray]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one (daily) training run."""
+
+    model: Env2VecRegressor
+    version: ModelVersion
+    n_examples: int
+    n_masked_executions: int
+    epochs_run: int
+    final_train_loss: float
+
+
+class TrainingPipeline:
+    def __init__(
+        self,
+        store: ModelStore,
+        n_lags: int = 3,
+        val_fraction: float = 0.1,
+        model_params: dict | None = None,
+        seed: int = 0,
+    ):
+        if not 0.0 <= val_fraction < 1.0:
+            raise ValueError("val_fraction must be in [0, 1)")
+        self.store = store
+        self.n_lags = n_lags
+        self.val_fraction = val_fraction
+        self.model_params = dict(model_params or {})
+        self.seed = seed
+
+    def train(
+        self,
+        records: list[TrainingRecord],
+        masked_environments: set[Environment] | None = None,
+    ) -> TrainingResult:
+        """Train on all non-masked executions and publish the model.
+
+        ``masked_environments`` are the executions with true-positive
+        alarms (and engineer-reported problems) excluded per step 2.
+        """
+        masked = masked_environments or set()
+        usable = [record for record in records if record[0] not in masked]
+        if not usable:
+            raise ValueError("no training data left after masking")
+        n_masked = len(records) - len(usable)
+
+        series = [(features, cpu) for _, features, cpu in usable]
+        X, history, y, series_ids = build_windows_multi(series, self.n_lags)
+        environments = [usable[i][0] for i in series_ids]
+
+        model = Env2VecRegressor(n_lags=self.n_lags, seed=self.seed, **self.model_params)
+        val = None
+        if self.val_fraction > 0 and len(y) >= 20:
+            rng = np.random.default_rng(self.seed)
+            order = rng.permutation(len(y))
+            n_val = max(1, int(len(y) * self.val_fraction))
+            val_idx, train_idx = order[:n_val], order[n_val:]
+            val = (
+                [environments[i] for i in val_idx],
+                X[val_idx],
+                history[val_idx],
+                y[val_idx],
+            )
+            environments = [environments[i] for i in train_idx]
+            X, history, y = X[train_idx], history[train_idx], y[train_idx]
+
+        model.fit(environments, X, history, y, val=val)
+        blob = model.to_bytes()
+        version = self.store.publish(
+            blob,
+            metadata={
+                "n_examples": int(len(y)),
+                "n_lags": self.n_lags,
+                "masked_executions": n_masked,
+            },
+        )
+        return TrainingResult(
+            model=model,
+            version=version,
+            n_examples=int(len(y)),
+            n_masked_executions=n_masked,
+            epochs_run=model.history_.epochs_run,
+            final_train_loss=model.history_.train_loss[-1],
+        )

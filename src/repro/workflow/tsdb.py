@@ -1,0 +1,147 @@
+"""An in-memory, label-indexed time-series database (Prometheus substitute).
+
+Workflow step 1 (paper §3): workload metrics (WMs), VNF performance
+metrics (PMs) and resource-utilization (RU) metrics "are linked to EM and
+pulled into a real-time time-series database (TSDB), in our case,
+Prometheus". This module provides the slice of Prometheus the Env2Vec
+pipelines rely on: append-only series keyed by (metric name, label set),
+exact-match label selectors, and range queries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Sample", "Series", "TimeSeriesDB"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    timestamp: float
+    value: float
+
+
+@dataclass
+class Series:
+    """One time series: a metric name, a label set, and ordered samples."""
+
+    metric: str
+    labels: dict[str, str]
+    timestamps: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, timestamp: float, value: float) -> None:
+        if self.timestamps and timestamp <= self.timestamps[-1]:
+            raise ValueError(
+                f"timestamps must be strictly increasing; got {timestamp} after {self.timestamps[-1]}"
+            )
+        self.timestamps.append(float(timestamp))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.timestamps), np.asarray(self.values)
+
+    def range(self, start: float, end: float) -> "Series":
+        """Samples with start <= timestamp < end (exact half-open interval)."""
+        lo = bisect_left(self.timestamps, start)
+        hi = bisect_left(self.timestamps, end)
+        return Series(
+            metric=self.metric,
+            labels=dict(self.labels),
+            timestamps=self.timestamps[lo:hi],
+            values=self.values[lo:hi],
+        )
+
+
+def _series_key(metric: str, labels: dict[str, str]) -> tuple:
+    return (metric, tuple(sorted(labels.items())))
+
+
+class TimeSeriesDB:
+    """Append-only store with Prometheus-style label matching."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple, Series] = {}
+
+    # -- ingestion ---------------------------------------------------------
+    def write(self, metric: str, labels: dict[str, str], timestamp: float, value: float) -> None:
+        """Append one sample to the series identified by (metric, labels)."""
+        if not metric:
+            raise ValueError("metric name must be non-empty")
+        labels = {str(k): str(v) for k, v in labels.items()}
+        key = _series_key(metric, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = Series(metric=metric, labels=labels)
+            self._series[key] = series
+        series.append(timestamp, value)
+
+    def write_array(
+        self,
+        metric: str,
+        labels: dict[str, str],
+        timestamps: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Bulk-append aligned timestamp/value arrays."""
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if timestamps.shape != values.shape or timestamps.ndim != 1:
+            raise ValueError("timestamps and values must be aligned 1-d arrays")
+        for timestamp, value in zip(timestamps, values):
+            self.write(metric, labels, timestamp, value)
+
+    # -- queries -------------------------------------------------------------
+    def query(self, metric: str, matchers: dict[str, str] | None = None) -> list[Series]:
+        """Series of ``metric`` whose labels include all ``matchers``."""
+        matchers = {str(k): str(v) for k, v in (matchers or {}).items()}
+        out = []
+        for series in self._series.values():
+            if series.metric != metric:
+                continue
+            if all(series.labels.get(k) == v for k, v in matchers.items()):
+                out.append(series)
+        return out
+
+    def query_one(self, metric: str, matchers: dict[str, str] | None = None) -> Series:
+        """Like :meth:`query` but requires exactly one matching series."""
+        matches = self.query(metric, matchers)
+        if len(matches) != 1:
+            raise LookupError(
+                f"expected exactly one series for {metric} {matchers}; found {len(matches)}"
+            )
+        return matches[0]
+
+    def query_range(
+        self,
+        metric: str,
+        matchers: dict[str, str] | None,
+        start: float,
+        end: float,
+    ) -> list[Series]:
+        """Matching series restricted to [start, end)."""
+        if end <= start:
+            raise ValueError("need start < end")
+        return [series.range(start, end) for series in self.query(metric, matchers)]
+
+    # -- introspection ----------------------------------------------------------
+    def metrics(self) -> list[str]:
+        return sorted({series.metric for series in self._series.values()})
+
+    def label_values(self, label: str) -> list[str]:
+        values = {
+            series.labels[label] for series in self._series.values() if label in series.labels
+        }
+        return sorted(values)
+
+    def n_series(self) -> int:
+        return len(self._series)
+
+    def n_samples(self) -> int:
+        return sum(len(series) for series in self._series.values())

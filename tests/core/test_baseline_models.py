@@ -1,0 +1,93 @@
+"""Direct tests on the FNN/RFNN autograd modules (below the regressor API)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FNNModel, RFNNModel
+from repro.nn import Tensor
+
+RNG = np.random.default_rng(71)
+
+
+class TestFNNModel:
+    def test_forward_shape(self):
+        model = FNNModel(5, hidden=8, rng=RNG)
+        out = model(RNG.standard_normal((7, 5)))
+        assert out.shape == (7,)
+
+    def test_single_hidden_layer_structure(self):
+        # Paper §4.1.3: the FNN baseline has exactly one hidden layer.
+        model = FNNModel(5, hidden=8, rng=RNG)
+        params = dict(model.named_parameters())
+        assert set(params) == {
+            "hidden_layer.weight",
+            "hidden_layer.bias",
+            "output.weight",
+            "output.bias",
+        }
+        assert params["hidden_layer.weight"].shape == (5, 8)
+        assert params["output.weight"].shape == (8, 1)
+
+    def test_dropout_only_in_training(self):
+        model = FNNModel(4, hidden=16, dropout=0.9, rng=np.random.default_rng(0))
+        x = RNG.standard_normal((30, 4))
+        model.eval()
+        a = model(x).numpy()
+        b = model(x).numpy()
+        np.testing.assert_allclose(a, b)
+
+    def test_gradients_reach_all_parameters(self):
+        model = FNNModel(3, hidden=4, rng=RNG)
+        (model(RNG.standard_normal((6, 3))) ** 2).sum().backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+
+
+class TestRFNNModel:
+    def test_forward_shape(self):
+        model = RFNNModel(5, n_lags=3, rng=RNG)
+        out = model(
+            cf=RNG.standard_normal((7, 5)), history=RNG.standard_normal((7, 3))
+        )
+        assert out.shape == (7,)
+
+    def test_combines_both_branches(self):
+        """Output must depend on both the CF branch and the history branch."""
+        model = RFNNModel(2, n_lags=2, dropout=0.0, rng=RNG)
+        model.eval()
+        cf = RNG.standard_normal((4, 2))
+        history = RNG.standard_normal((4, 2))
+        base = model(cf=cf, history=history).numpy()
+        cf_shift = model(cf=cf + 1.0, history=history).numpy()
+        history_shift = model(cf=cf, history=history + 1.0).numpy()
+        assert not np.allclose(base, cf_shift)
+        assert not np.allclose(base, history_shift)
+
+    def test_input_validation(self):
+        model = RFNNModel(3, n_lags=2, rng=RNG)
+        with pytest.raises(ValueError):
+            model(cf=np.zeros((2, 4)), history=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            model(cf=np.zeros((2, 3)), history=np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            RFNNModel(3, n_lags=0)
+
+    def test_dense_head_is_linear_regression(self):
+        """The prediction is an affine map of v_d (§4.1.3: 'made by the
+        dense layer (V_d) with regression')."""
+        model = RFNNModel(2, n_lags=1, dense_dim=6, dropout=0.0, rng=RNG)
+        model.eval()
+        cf = RNG.standard_normal((3, 2))
+        history = RNG.standard_normal((3, 1))
+        v_fs = model.fnn(Tensor(cf))
+        v_ts = model.gru(Tensor(history[:, :, None]))
+        v_d = model.combine(Tensor.concat([v_ts, v_fs], axis=1)).numpy()
+        expected = v_d @ model.output.weight.numpy().reshape(-1) + model.output.bias.numpy()[0]
+        np.testing.assert_allclose(model(cf=cf, history=history).numpy(), expected, atol=1e-12)
+
+    def test_gradients_flow_through_gru(self):
+        model = RFNNModel(2, n_lags=4, rng=RNG)
+        out = model(cf=RNG.standard_normal((5, 2)), history=RNG.standard_normal((5, 4)))
+        (out**2).sum().backward()
+        assert model.gru.cell.w_z.grad is not None
+        assert np.abs(model.gru.cell.w_z.grad).sum() > 0

@@ -1,0 +1,123 @@
+"""Property-based tests on Env2Vec model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Env2VecRegressor
+from repro.data import Environment
+
+
+def _fitted_model(seed=0, n=160, n_lags=2):
+    rng = np.random.default_rng(seed)
+    envs_catalog = [
+        Environment("T1", "S1", "C1", "B1"),
+        Environment("T2", "S1", "C2", "B2"),
+    ]
+    environments = [envs_catalog[i % 2] for i in range(n)]
+    X = rng.standard_normal((n, 3))
+    history = rng.standard_normal((n, n_lags))
+    y = 40.0 + 3.0 * X[:, 0] + history[:, -1] + 5.0 * (np.arange(n) % 2)
+    model = Env2VecRegressor(n_lags=n_lags, max_epochs=5, batch_size=32, seed=0)
+    model.fit(environments, X, history, y)
+    return model, environments, X, history
+
+
+class TestPredictionInvariants:
+    def test_batch_split_invariance(self):
+        """Predicting in one call equals predicting in chunks."""
+        model, environments, X, history = _fitted_model()
+        full = model.predict(environments, X, history)
+        chunked = np.concatenate(
+            [
+                model.predict(environments[:50], X[:50], history[:50]),
+                model.predict(environments[50:], X[50:], history[50:]),
+            ]
+        )
+        np.testing.assert_allclose(full, chunked, atol=1e-12)
+
+    def test_row_permutation_equivariance(self):
+        model, environments, X, history = _fitted_model()
+        rng = np.random.default_rng(1)
+        order = rng.permutation(len(X))
+        base = model.predict(environments, X, history)
+        permuted = model.predict(
+            [environments[i] for i in order], X[order], history[order]
+        )
+        np.testing.assert_allclose(permuted, base[order], atol=1e-12)
+
+    def test_predictions_deterministic_in_eval_mode(self):
+        model, environments, X, history = _fitted_model()
+        a = model.predict(environments, X, history)
+        b = model.predict(environments, X, history)
+        np.testing.assert_allclose(a, b, atol=0)
+
+    def test_same_seed_same_model(self):
+        m1, environments, X, history = _fitted_model(seed=0)
+        m2, _, _, _ = _fitted_model(seed=0)
+        np.testing.assert_allclose(
+            m1.predict(environments[:10], X[:10], history[:10]),
+            m2.predict(environments[:10], X[:10], history[:10]),
+            atol=1e-12,
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=30))
+    def test_property_prediction_length_matches_input(self, k):
+        model, environments, X, history = _fitted_model()
+        predictions = model.predict(environments[:k], X[:k], history[:k])
+        assert predictions.shape == (k,)
+        assert np.isfinite(predictions).all()
+
+    def test_serialization_preserves_predictions_exactly(self):
+        model, environments, X, history = _fitted_model()
+        restored = Env2VecRegressor.from_bytes(model.to_bytes())
+        np.testing.assert_allclose(
+            restored.predict(environments, X, history),
+            model.predict(environments, X, history),
+            atol=0,
+        )
+
+    def test_unknown_env_prediction_between_extremes(self):
+        """An all-unknown environment's prediction stays in a sane range."""
+        model, environments, X, history = _fitted_model()
+        alien = Environment("T_new", "S_new", "C_new", "B_new")
+        predictions = model.predict([alien] * 20, X[:20], history[:20])
+        known = model.predict(environments[:20], X[:20], history[:20])
+        assert np.isfinite(predictions).all()
+        # Within a generous envelope of the known-env prediction range.
+        span = known.max() - known.min() + 1.0
+        assert predictions.min() > known.min() - 5 * span
+        assert predictions.max() < known.max() + 5 * span
+
+
+class TestTrainingInvariants:
+    def test_ru_series_shift_equivariance(self):
+        """Shifting the whole RU series (targets AND history, which holds
+        past RU values) by a constant shifts predictions by exactly that
+        constant: standardization removes the offset during training and
+        restores it at prediction time."""
+        rng = np.random.default_rng(3)
+        env = Environment("T1", "S1", "C1", "B1")
+        n = 200
+        environments = [env] * n
+        X = rng.standard_normal((n, 3))
+        history = rng.standard_normal((n, 2))
+        y = 3.0 * X[:, 0] + history[:, -1]
+        base = Env2VecRegressor(n_lags=2, max_epochs=10, batch_size=64, dropout=0.0, seed=0)
+        base.fit(environments, X, history, y)
+        shifted = Env2VecRegressor(n_lags=2, max_epochs=10, batch_size=64, dropout=0.0, seed=0)
+        shifted.fit(environments, X, history + 100.0, y + 100.0)
+        delta = shifted.predict(
+            environments[:30], X[:30], history[:30] + 100.0
+        ) - base.predict(environments[:30], X[:30], history[:30])
+        np.testing.assert_allclose(delta, 100.0, atol=1e-8)
+
+    def test_history_scaling_consistency(self):
+        """History is scaled with the *target* statistics, so passing raw
+        CPU values as history after fit must not explode predictions."""
+        model, environments, X, history = _fitted_model()
+        big_history = history * 1.0 + 40.0  # CPU-scale values
+        predictions = model.predict(environments[:10], X[:10], big_history[:10])
+        assert np.isfinite(predictions).all()

@@ -1,0 +1,152 @@
+"""Frame (mini dataframe) and sliding-window tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Frame, build_windows, build_windows_multi
+
+
+class TestFrame:
+    def _frame(self):
+        return Frame(
+            {
+                "demand": [10.0, 20.0, 30.0],
+                "cpu": [40.0, 50.0, 60.0],
+                "build": ["S01", "S01", "S02"],
+            }
+        )
+
+    def test_shape_and_columns(self):
+        frame = self._frame()
+        assert frame.shape == (3, 3)
+        assert frame.columns == ["demand", "cpu", "build"]
+        assert "cpu" in frame and "nope" not in frame
+
+    def test_column_access(self):
+        np.testing.assert_allclose(self._frame()["cpu"], [40, 50, 60])
+        with pytest.raises(KeyError, match="nope"):
+            self._frame()["nope"]
+
+    def test_length_consistency_enforced(self):
+        frame = self._frame()
+        with pytest.raises(ValueError):
+            frame["bad"] = [1.0, 2.0]
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            Frame({"x": np.zeros((2, 2))})
+
+    def test_row(self):
+        row = self._frame().row(1)
+        assert row == {"demand": 20.0, "cpu": 50.0, "build": "S01"}
+        with pytest.raises(IndexError):
+            self._frame().row(5)
+
+    def test_select_and_take(self):
+        frame = self._frame()
+        sub = frame.select(["cpu"])
+        assert sub.columns == ["cpu"]
+        taken = frame.take(np.array([2, 0]))
+        np.testing.assert_allclose(taken["demand"], [30.0, 10.0])
+        masked = frame.take(frame["demand"] > 15)
+        assert len(masked) == 2
+
+    def test_filter(self):
+        frame = self._frame()
+        filtered = frame.filter(lambda row: row["build"] == "S01")
+        assert len(filtered) == 2
+
+    def test_with_columns(self):
+        frame = self._frame()
+        extended = frame.with_columns({"mem": [1.0, 2.0, 3.0]})
+        assert "mem" in extended
+        assert "mem" not in frame  # original untouched
+
+    def test_concat_rows(self):
+        frame = self._frame()
+        combined = Frame.concat_rows([frame, frame])
+        assert len(combined) == 6
+        with pytest.raises(ValueError):
+            Frame.concat_rows([frame, frame.select(["cpu"])])
+        with pytest.raises(ValueError):
+            Frame.concat_rows([])
+
+    def test_to_matrix_numeric_only(self):
+        frame = self._frame()
+        matrix = frame.to_matrix(["demand", "cpu"])
+        assert matrix.shape == (3, 2)
+        with pytest.raises(TypeError):
+            frame.to_matrix(["build"])
+
+    def test_head(self):
+        assert len(self._frame().head(2)) == 2
+        assert len(self._frame().head(99)) == 3
+
+
+class TestBuildWindows:
+    def test_alignment(self):
+        features = np.arange(12, dtype=float).reshape(6, 2)
+        target = np.array([10.0, 11, 12, 13, 14, 15])
+        X, history, y = build_windows(features, target, n_lags=2)
+        assert X.shape == (4, 2)
+        np.testing.assert_allclose(y, [12, 13, 14, 15])
+        # history row i holds [y_{p-2}, y_{p-1}] oldest first
+        np.testing.assert_allclose(history[0], [10, 11])
+        np.testing.assert_allclose(history[-1], [13, 14])
+        np.testing.assert_allclose(X[0], features[2])
+
+    def test_single_lag(self):
+        target = np.array([1.0, 2, 3])
+        X, history, y = build_windows(np.zeros((3, 1)), target, n_lags=1)
+        np.testing.assert_allclose(history[:, 0], [1, 2])
+        np.testing.assert_allclose(y, [2, 3])
+
+    def test_too_short_series(self):
+        with pytest.raises(ValueError):
+            build_windows(np.zeros((3, 1)), np.zeros(3), n_lags=3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            build_windows(np.zeros((5, 1)), np.zeros(5), n_lags=0)
+        with pytest.raises(ValueError):
+            build_windows(np.zeros(5), np.zeros(5), n_lags=1)
+        with pytest.raises(ValueError):
+            build_windows(np.zeros((5, 1)), np.zeros((5, 1)), n_lags=1)
+        with pytest.raises(ValueError):
+            build_windows(np.zeros((4, 1)), np.zeros(5), n_lags=1)
+
+    def test_multi_series_no_straddling(self):
+        series = [
+            (np.zeros((5, 1)), np.array([1.0, 2, 3, 4, 5])),
+            (np.zeros((4, 1)), np.array([10.0, 20, 30, 40])),
+        ]
+        X, history, y, ids = build_windows_multi(series, n_lags=2)
+        assert len(y) == 3 + 2
+        # No window mixes values from both series.
+        np.testing.assert_allclose(history[3], [10, 20])
+        np.testing.assert_allclose(ids, [0, 0, 0, 1, 1])
+
+    def test_multi_requires_series(self):
+        with pytest.raises(ValueError):
+            build_windows_multi([], n_lags=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=6, max_value=40),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_window_contents_match_source(self, n_lags, length, seed):
+        """Every history row equals the target slice immediately before y."""
+        rng = np.random.default_rng(seed)
+        features = rng.standard_normal((length, 3))
+        target = rng.standard_normal(length)
+        X, history, y = build_windows(features, target, n_lags)
+        assert len(y) == length - n_lags
+        for i in range(len(y)):
+            p = i + n_lags
+            np.testing.assert_allclose(history[i], target[p - n_lags : p])
+            assert y[i] == target[p]
+            np.testing.assert_allclose(X[i], features[p])

@@ -1,0 +1,106 @@
+"""Synthetic KDN dataset tests (Table 3 splits, Table 4 scale, VNF shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.data import KDN_CPU_SCALE, KDN_NAMES, KDN_SPLITS, load_all_kdn, load_kdn
+from repro.ml import Ridge, RidgeTS
+from repro.data.windows import build_windows
+
+
+class TestKDNStructure:
+    def test_table3_totals(self):
+        # Table 3: Snort 1,359; Switch 1,191; Firewall 755.
+        assert load_kdn("snort").n_samples == 1359
+        assert load_kdn("switch").n_samples == 1191
+        assert load_kdn("firewall").n_samples == 755
+
+    @pytest.mark.parametrize("name", KDN_NAMES)
+    def test_table3_split_sizes(self, name):
+        dataset = load_kdn(name)
+        train, val, test = dataset.split()
+        expected = KDN_SPLITS[name]
+        assert (len(train), len(val), len(test)) == expected
+        # Splits are disjoint and ordered.
+        assert train[-1] < val[0] <= val[-1] < test[0]
+
+    @pytest.mark.parametrize("name", KDN_NAMES)
+    def test_86_features(self, name):
+        dataset = load_kdn(name)
+        assert dataset.features.shape == (dataset.n_samples, 86)
+        assert len(dataset.feature_names) == 86
+        assert len(set(dataset.feature_names)) == 86
+
+    @pytest.mark.parametrize("name", KDN_NAMES)
+    def test_table4_cpu_scale(self, name):
+        dataset = load_kdn(name)
+        mean, std = KDN_CPU_SCALE[name]
+        assert dataset.cpu.mean() == pytest.approx(mean, abs=0.5)
+        assert dataset.cpu.std() == pytest.approx(std, abs=0.5)
+
+    def test_environments_differ_by_sut(self):
+        datasets = load_all_kdn()
+        suts = {d.environment.sut for d in datasets.values()}
+        assert len(suts) == 3
+        testbeds = {d.environment.testbed for d in datasets.values()}
+        assert len(testbeds) == 1
+
+    def test_deterministic_given_seed(self):
+        a = load_kdn("snort", seed=3)
+        b = load_kdn("snort", seed=3)
+        np.testing.assert_allclose(a.features, b.features)
+        np.testing.assert_allclose(a.cpu, b.cpu)
+
+    def test_seed_changes_data(self):
+        a = load_kdn("snort", seed=1)
+        b = load_kdn("snort", seed=2)
+        assert not np.allclose(a.cpu, b.cpu)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            load_kdn("router")
+
+    def test_features_finite_and_nonnegative_counts(self):
+        dataset = load_kdn("firewall")
+        assert np.isfinite(dataset.features).all()
+        packets = dataset.features[:, dataset.feature_names.index("packets_total")]
+        assert (packets > 0).all()
+
+
+class TestKDNLearnability:
+    """The generated data must preserve the paper's qualitative regimes."""
+
+    def test_cpu_predictable_from_features(self):
+        # A ridge model must beat the mean predictor by a wide margin
+        # (otherwise Table 4's comparisons would be meaningless).
+        dataset = load_kdn("snort")
+        train, _, test = dataset.split()
+        model = Ridge(alpha=1.0).fit(dataset.features[train], dataset.cpu[train])
+        predictions = model.predict(dataset.features[test])
+        mse = np.mean((predictions - dataset.cpu[test]) ** 2)
+        assert mse < dataset.cpu[test].var() * 0.7
+
+    def test_switch_history_helps_linear_model(self):
+        # Table 4: Ridge_ts wins on Switch thanks to the AR component.
+        dataset = load_kdn("switch")
+        X, history, y = build_windows(dataset.features, dataset.cpu, n_lags=1)
+        n_train = 800
+        plain = Ridge(alpha=1.0).fit(X[:n_train], y[:n_train])
+        with_ts = RidgeTS(alpha=1.0, n_lags=1).fit(
+            X[:n_train], y[:n_train], history=history[:n_train]
+        )
+        mae_plain = np.abs(plain.predict(X[n_train:]) - y[n_train:]).mean()
+        mae_ts = np.abs(with_ts.predict(X[n_train:], history=history[n_train:]) - y[n_train:]).mean()
+        assert mae_ts < mae_plain
+
+    def test_vnf_responses_differ(self):
+        # Fitting Snort's model on Firewall data must be much worse than
+        # Firewall's own model: the per-VNF response shapes differ, which is
+        # what makes pooling without embeddings (RFNN_all) lossy.
+        snort = load_kdn("snort")
+        firewall = load_kdn("firewall")
+        model_snort = Ridge(alpha=1.0).fit(snort.features, snort.cpu)
+        model_fw = Ridge(alpha=1.0).fit(firewall.features, firewall.cpu)
+        own = np.mean((model_fw.predict(firewall.features) - firewall.cpu) ** 2)
+        cross = np.mean((model_snort.predict(firewall.features) - firewall.cpu) ** 2)
+        assert cross > own * 2

@@ -1,0 +1,110 @@
+"""Corpus serialization round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    TelecomConfig,
+    dataset_from_bytes,
+    dataset_to_bytes,
+    generate_telecom,
+    load_dataset,
+    save_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_telecom(
+        TelecomConfig(
+            n_chains=6,
+            n_testbeds=3,
+            builds_per_chain=(2, 3),
+            timesteps_per_build=(40, 50),
+            n_focus=2,
+            include_rare_testbed=True,
+            emit_memory=True,
+            seed=8,
+        )
+    )
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, dataset):
+        restored = dataset_from_bytes(dataset_to_bytes(dataset))
+        assert restored.n_chains == dataset.n_chains
+        assert restored.focus_indices == dataset.focus_indices
+        assert restored.feature_names == dataset.feature_names
+        assert [c.key for c in restored.chains] == [c.key for c in dataset.chains]
+        assert [len(c) for c in restored.chains] == [len(c) for c in dataset.chains]
+
+    def test_series_bitwise_equal(self, dataset):
+        restored = dataset_from_bytes(dataset_to_bytes(dataset))
+        for original, copy in zip(dataset.chains, restored.chains):
+            for a, b in zip(original.executions, copy.executions):
+                np.testing.assert_array_equal(a.features, b.features)
+                np.testing.assert_array_equal(a.cpu, b.cpu)
+                np.testing.assert_array_equal(a.extra_kpis["memory"], b.extra_kpis["memory"])
+
+    def test_faults_preserved(self, dataset):
+        restored = dataset_from_bytes(dataset_to_bytes(dataset))
+        for original, copy in zip(dataset.focus_chains, restored.focus_chains):
+            assert copy.current.faults == original.current.faults
+            np.testing.assert_array_equal(
+                copy.current.anomaly_mask(), original.current.anomaly_mask()
+            )
+
+    def test_config_preserved(self, dataset):
+        restored = dataset_from_bytes(dataset_to_bytes(dataset))
+        assert restored.config == dataset.config
+
+    def test_file_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "corpus.npz"
+        size = save_dataset(dataset, path)
+        assert path.stat().st_size == size
+        restored = load_dataset(path)
+        assert restored.total_timesteps() == dataset.total_timesteps()
+
+    def test_restored_corpus_usable_for_training(self, dataset):
+        from repro.eval import train_env2vec_telecom
+
+        restored = dataset_from_bytes(dataset_to_bytes(dataset))
+        model = train_env2vec_telecom(restored, fast=True, max_epochs=3)
+        assert model.model is not None
+
+
+class TestValidation:
+    def test_garbage_blob_rejected(self):
+        import io
+
+        import numpy as np
+
+        buffer = io.BytesIO()
+        np.savez(buffer, data=np.zeros(3))
+        with pytest.raises(ValueError, match="manifest"):
+            dataset_from_bytes(buffer.getvalue())
+
+    def test_wrong_version_rejected(self, dataset):
+        import io
+        import json
+
+        blob = dataset_to_bytes(dataset)
+        with np.load(io.BytesIO(blob)) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        manifest = json.loads(arrays["__manifest__"].tobytes().decode())
+        manifest["format_version"] = 99
+        arrays["__manifest__"] = np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8)
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            dataset_from_bytes(buffer.getvalue())
+
+
+class TestTestbedMetadataRoundTrip:
+    def test_testbed_labels_preserved(self, dataset):
+        from repro.data import dataset_from_bytes, dataset_to_bytes
+
+        restored = dataset_from_bytes(dataset_to_bytes(dataset))
+        assert set(restored.testbeds) == set(dataset.testbeds)
+        for name, testbed in dataset.testbeds.items():
+            assert restored.testbeds[name].labels == testbed.labels

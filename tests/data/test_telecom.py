@@ -1,0 +1,218 @@
+"""Telecom build-chain simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import FEATURE_NAMES, TelecomConfig, generate_telecom
+from repro.ml import Ridge
+
+
+def small_config(**overrides):
+    defaults = dict(
+        n_chains=15,
+        n_testbeds=6,
+        builds_per_chain=(3, 4),
+        timesteps_per_build=(60, 80),
+        n_focus=3,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return TelecomConfig(**defaults)
+
+
+class TestTelecomConfig:
+    def test_defaults_match_paper_scale(self):
+        config = TelecomConfig()
+        assert config.n_chains == 125
+        assert config.n_focus == 11
+        assert config.rare_history_timesteps == 17  # Table 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelecomConfig(n_chains=0)
+        with pytest.raises(ValueError):
+            TelecomConfig(builds_per_chain=(1, 3))
+        with pytest.raises(ValueError):
+            TelecomConfig(builds_per_chain=(5, 3))
+        with pytest.raises(ValueError):
+            TelecomConfig(timesteps_per_build=(10, 20))
+        with pytest.raises(ValueError):
+            TelecomConfig(n_focus=200, n_chains=100)
+        with pytest.raises(ValueError):
+            TelecomConfig(n_chains=100_000)
+
+
+class TestTelecomStructure:
+    def test_chain_count(self):
+        dataset = generate_telecom(small_config())
+        assert dataset.n_chains == 15
+
+    def test_chain_keys_unique(self):
+        dataset = generate_telecom(small_config())
+        keys = [chain.key for chain in dataset.chains]
+        assert len(set(keys)) == len(keys)
+
+    def test_builds_within_configured_range(self):
+        config = small_config(include_rare_testbed=False)
+        dataset = generate_telecom(config)
+        for chain in dataset.chains:
+            assert config.builds_per_chain[0] <= len(chain) <= config.builds_per_chain[1]
+
+    def test_builds_are_consecutive_versions_of_one_type(self):
+        dataset = generate_telecom(small_config(include_rare_testbed=False))
+        for chain in dataset.chains:
+            types = {env_build.removeprefix("Build_")[0] for env_build in chain.builds}
+            assert len(types) == 1
+            versions = [int(b.removeprefix("Build_")[1:]) for b in chain.builds]
+            assert versions == list(range(versions[0], versions[0] + len(versions)))
+
+    def test_feature_names(self):
+        dataset = generate_telecom(small_config())
+        assert dataset.feature_names == FEATURE_NAMES
+        for chain in dataset.chains:
+            assert chain.current.features.shape[1] == len(FEATURE_NAMES)
+
+    def test_cpu_in_percent_range(self):
+        dataset = generate_telecom(small_config())
+        for chain in dataset.chains:
+            for execution in chain.executions:
+                assert execution.cpu.min() >= 0.0
+                assert execution.cpu.max() <= 100.0
+
+    def test_focus_chains_have_problems_history_clean(self):
+        dataset = generate_telecom(small_config())
+        assert len(dataset.focus_indices) == 3
+        for chain in dataset.focus_chains:
+            assert chain.current.has_performance_problem
+            for execution in chain.history:
+                assert not execution.has_performance_problem
+
+    def test_non_focus_currents_clean(self):
+        dataset = generate_telecom(small_config())
+        focus = set(dataset.focus_indices)
+        for i, chain in enumerate(dataset.chains):
+            if i not in focus:
+                assert not chain.current.has_performance_problem
+
+    def test_ground_truth_count_positive(self):
+        dataset = generate_telecom(small_config())
+        assert dataset.total_ground_truth_problems() >= 3
+
+    def test_deterministic(self):
+        a = generate_telecom(small_config())
+        b = generate_telecom(small_config())
+        assert a.focus_indices == b.focus_indices
+        np.testing.assert_allclose(a.chains[0].current.cpu, b.chains[0].current.cpu)
+
+    def test_seed_changes_corpus(self):
+        a = generate_telecom(small_config(seed=1))
+        b = generate_telecom(small_config(seed=2))
+        keys_differ = [c.key for c in a.chains] != [c.key for c in b.chains]
+        sizes_differ = a.total_timesteps() != b.total_timesteps()
+        cpu_a, cpu_b = a.chains[0].current.cpu, b.chains[0].current.cpu
+        cpu_differ = cpu_a.shape != cpu_b.shape or not np.allclose(cpu_a, cpu_b)
+        assert keys_differ or sizes_differ or cpu_differ
+
+    def test_rare_testbed_chain(self):
+        config = small_config(include_rare_testbed=True)
+        dataset = generate_telecom(config)
+        rare_chains = [c for c in dataset.chains if c.key[0] == "Testbed_rare"]
+        assert len(rare_chains) == 1
+        rare = rare_chains[0]
+        # Table 7: tiny history (17 examples), and it is a focus execution.
+        assert rare.history[0].n_timesteps == config.rare_history_timesteps
+        assert rare.current.has_performance_problem
+
+    def test_environments_listing(self):
+        dataset = generate_telecom(small_config())
+        envs = dataset.environments()
+        assert len(envs) == len(set(envs))
+        without_current = dataset.environments(include_current=False)
+        assert len(without_current) < len(envs)
+
+    def test_history_training_series_excludes_currents(self):
+        dataset = generate_telecom(small_config())
+        training_builds = {env.build for env, _, _ in dataset.history_training_series()}
+        for chain in dataset.chains:
+            # A chain's current build never appears in its own training data
+            # (builds are per-chain consecutive versions).
+            assert chain.current.environment not in [
+                env for env, _, _ in dataset.history_training_series()
+            ]
+        assert training_builds  # non-empty
+
+
+class TestTelecomLearnability:
+    def test_environment_determines_response(self):
+        """Chains sharing EM values respond more similarly than random pairs.
+
+        The response is estimated in the generator's driver space (which is
+        a deterministic function of the observable features), where the
+        compositional latent structure shows up directly — this is the
+        property environment embeddings exploit (§3.1).
+        """
+        from repro.data.telecom import _drivers
+
+        dataset = generate_telecom(
+            small_config(n_chains=30, n_testbeds=4, include_rare_testbed=False)
+        )
+
+        def chain_weights(chain):
+            X = np.concatenate([e.features for e in chain.executions])
+            y = np.concatenate([e.cpu for e in chain.executions])
+            return Ridge(alpha=1.0).fit(_drivers(None, X), y).coef_
+
+        weights = {chain.key: chain_weights(chain) for chain in dataset.chains}
+        similar, dissimilar = [], []
+        keys = list(weights)
+        for i in range(len(keys)):
+            for j in range(i + 1, len(keys)):
+                a, b = keys[i], keys[j]
+                shared = sum(x == y for x, y in zip(a, b))
+                distance = np.linalg.norm(weights[a] - weights[b])
+                if shared == 2:
+                    similar.append(distance)
+                elif shared == 0:
+                    dissimilar.append(distance)
+        assert similar and dissimilar
+        assert np.mean(similar) < np.mean(dissimilar)
+
+    def test_cpu_predictable_within_chain(self):
+        dataset = generate_telecom(small_config())
+        chain = dataset.chains[0]
+        X = np.concatenate([e.features for e in chain.history])
+        y = np.concatenate([e.cpu for e in chain.history])
+        model = Ridge(alpha=1.0).fit(X, y)
+        mse = np.mean((model.predict(X) - y) ** 2)
+        assert mse < y.var()  # features clearly informative
+
+    def test_faults_visible_in_cpu(self):
+        dataset = generate_telecom(small_config())
+        chain = dataset.focus_chains[0]
+        mask = chain.current.anomaly_mask()
+        cpu = chain.current.cpu
+        # Mean CPU inside impactful intervals differs from outside.
+        assert abs(cpu[mask].mean() - cpu[~mask].mean()) > 2.0
+
+
+class TestTestbedMetadata:
+    def test_every_testbed_has_table1_labels(self):
+        from repro.data import TABLE1_SCHEMA
+
+        dataset = generate_telecom(small_config())
+        used = {chain.key[0] for chain in dataset.chains}
+        assert set(dataset.testbeds) == used
+        hardware_labels = set(TABLE1_SCHEMA["hardware"])
+        for testbed in dataset.testbeds.values():
+            assert hardware_labels <= set(testbed.labels)
+
+    def test_labels_deterministic_per_seed(self):
+        a = generate_telecom(small_config())
+        b = generate_telecom(small_config())
+        for name in a.testbeds:
+            assert a.testbeds[name].labels == b.testbeds[name].labels
+
+    def test_testbeds_differ_from_each_other(self):
+        dataset = generate_telecom(small_config())
+        label_sets = [tuple(sorted(t.labels.items())) for t in dataset.testbeds.values()]
+        assert len(set(label_sets)) > 1

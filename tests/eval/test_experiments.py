@@ -1,0 +1,208 @@
+"""Smoke + shape tests for the experiment drivers on tiny configurations.
+
+These verify the drivers' mechanics (dimensions, invariants, bookkeeping).
+The paper-scale shape assertions live in the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import TelecomConfig, generate_telecom
+from repro.eval import (
+    run_anomaly_table,
+    run_chain_mae,
+    run_coverage_table,
+    run_embedding_pca,
+    run_figure1,
+    run_kdn_comparison,
+    run_unseen_table,
+    train_env2vec_telecom,
+    train_rfnn_all_telecom,
+    window_history_pool,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_telecom(
+        TelecomConfig(
+            n_chains=10,
+            n_testbeds=4,
+            builds_per_chain=(3, 4),
+            timesteps_per_build=(50, 70),
+            n_focus=3,
+            include_rare_testbed=True,
+            fault_magnitude=(14.0, 25.0),
+            seed=21,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def models(dataset):
+    env2vec = train_env2vec_telecom(dataset, fast=True, max_epochs=10)
+    rfnn_all = train_rfnn_all_telecom(dataset, fast=True, max_epochs=10)
+    return env2vec, rfnn_all
+
+
+class TestWindowPool:
+    def test_pool_dimensions(self, dataset):
+        envs, X, history, y = window_history_pool(dataset.history_training_series(), 3)
+        assert len(envs) == len(X) == len(history) == len(y)
+        assert history.shape[1] == 3
+        assert X.shape[1] == len(dataset.feature_names)
+
+    def test_short_series_skipped(self, dataset):
+        # The rare chain's 17-step history must survive n_lags=3 windowing
+        # but a hypothetical n_lags >= its length would drop it silently.
+        records = dataset.history_training_series()
+        envs, _, _, y = window_history_pool(records, 3)
+        assert len(y) == sum(max(0, len(c) - 3) for _, _, c in records)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            window_history_pool([], 3)
+
+
+class TestFigure1Driver:
+    def test_shapes(self, dataset):
+        result = run_figure1(dataset)
+        n_chains = dataset.n_chains
+        assert result.weights.shape == (len(dataset.feature_names), n_chains)
+        assert result.residual_quantiles.shape == (n_chains, 5)
+        assert result.over_10_percent.shape == (n_chains,)
+        assert len(result.chain_keys) == n_chains
+
+    def test_weights_normalized(self, dataset):
+        result = run_figure1(dataset)
+        assert np.abs(result.weights).max() <= 1.0 + 1e-12
+
+    def test_quantiles_ordered(self, dataset):
+        result = run_figure1(dataset)
+        assert (np.diff(result.residual_quantiles, axis=1) >= -1e-12).all()
+
+    def test_summary_text(self, dataset):
+        assert "chains" in run_figure1(dataset).summary()
+
+
+class TestChainMAEDriver:
+    def test_per_chain_scores(self, dataset, models):
+        env2vec, rfnn_all = models
+        result = run_chain_mae(dataset, env2vec, rfnn_all)
+        for method in ("ridge", "ridge_ts", "rfnn_all", "env2vec"):
+            assert len(result.per_chain_mae[method]) == len(result.chain_keys)
+            assert (result.per_chain_mae[method] > 0).all()
+
+    def test_cdf_and_improvement(self, dataset, models):
+        env2vec, rfnn_all = models
+        result = run_chain_mae(dataset, env2vec, rfnn_all)
+        values, fractions = result.cdf("env2vec")
+        assert fractions[-1] == pytest.approx(1.0)
+        improvement = result.improvement("env2vec", "ridge_ts")
+        assert improvement.shape == (len(result.chain_keys),)
+
+    def test_tail_mean(self, dataset, models):
+        env2vec, rfnn_all = models
+        result = run_chain_mae(dataset, env2vec, rfnn_all)
+        # Tail over the hardest chains is >= the overall mean for the
+        # baseline method defining difficulty.
+        assert result.tail_mean("ridge") >= 0
+
+    def test_mean_table_text(self, dataset, models):
+        env2vec, rfnn_all = models
+        text = run_chain_mae(dataset, env2vec, rfnn_all).mean_table()
+        assert "env2vec" in text and "MAE" in text
+
+    def test_rfnn_optional(self, dataset, models):
+        env2vec, _ = models
+        result = run_chain_mae(dataset, env2vec, None)
+        assert "rfnn_all" not in result.per_chain_mae
+
+
+class TestAnomalyTableDriver:
+    def test_rows_and_per_execution(self, dataset, models):
+        env2vec, rfnn_all = models
+        result = run_anomaly_table(dataset, env2vec, rfnn_all, gammas=(1.0, 3.0), include_htm=False)
+        methods = {row.method for row in result.rows}
+        assert methods == {"ridge", "ridge_ts", "rfnn_all", "env2vec"}
+        for row in result.rows:
+            assert 0 <= row.correct_alarms <= row.n_alarms
+            assert 0.0 <= row.a_t <= 1.0
+            assert row.a_t + row.a_f == pytest.approx(1.0) or row.n_alarms == 0
+        scores = result.per_execution[("env2vec", 1.0)]
+        assert len(scores) == len(dataset.focus_chains)
+
+    def test_gamma_monotone_alarm_counts(self, dataset, models):
+        env2vec, rfnn_all = models
+        result = run_anomaly_table(dataset, env2vec, None, gammas=(1.0, 2.0, 3.0), include_htm=False, include_ridge=False)
+        counts = [result.row("env2vec", g).n_alarms for g in (1.0, 2.0, 3.0)]
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_problems_detected_bounded(self, dataset, models):
+        env2vec, _ = models
+        result = run_anomaly_table(dataset, env2vec, None, gammas=(1.0,), include_htm=False, include_ridge=False)
+        row = result.row("env2vec", 1.0)
+        assert row.problems_detected <= result.ground_truth_problems
+
+    def test_row_lookup_and_table(self, dataset, models):
+        env2vec, _ = models
+        result = run_anomaly_table(dataset, env2vec, None, gammas=(2.0,), include_htm=False, include_ridge=False)
+        assert result.row("env2vec", 2.0).gamma == 2.0
+        with pytest.raises(KeyError):
+            result.row("nope", 2.0)
+        assert "ground truth" in result.table("t")
+
+    def test_htm_row(self, dataset, models):
+        env2vec, _ = models
+        result = run_anomaly_table(dataset, env2vec, None, gammas=(2.0,), include_htm=True, include_ridge=False)
+        htm = result.row("htm_ad", None)
+        assert htm.n_alarms >= 0
+
+
+class TestUnseenDriver:
+    def test_no_ridge_rows(self, dataset):
+        result = run_unseen_table(dataset, gammas=(2.0,), fast=True, include_htm=False)
+        methods = {row.method for row in result.rows}
+        assert methods == {"rfnn_all", "env2vec"}
+
+    def test_scores_per_focus_chain(self, dataset):
+        result = run_unseen_table(dataset, gammas=(2.0,), fast=True, include_htm=False)
+        assert len(result.per_execution[("env2vec", 2.0)]) == len(dataset.focus_chains)
+
+
+class TestCoverageDriver:
+    def test_table7_fields(self, dataset, models):
+        env2vec, _ = models
+        table5 = run_anomaly_table(dataset, env2vec, None, gammas=(1.0,), include_htm=False, include_ridge=False)
+        result = run_coverage_table(dataset, table5)
+        assert result.under_examples >= 0
+        assert result.under_a_t <= result.rest_a_t_mean + 1e-9
+        assert "Table 7" in result.table()
+
+
+class TestEmbeddingPCADriver:
+    def test_figure6_output(self, dataset, models):
+        env2vec, _ = models
+        result = run_embedding_pca(env2vec, dataset)
+        n_envs = len(dataset.environments(include_current=False))
+        assert result.coordinates.shape == (n_envs, 2)
+        assert len(result.build_types) == n_envs
+        assert result.explained_variance_ratio.shape == (2,)
+        assert result.cluster_ratio() > 0
+
+
+class TestKDNDriver:
+    def test_minimal_methods_run(self):
+        result = run_kdn_comparison(n_nn_runs=1, fast=True, methods=("ridge", "ridge_ts"))
+        for dataset in ("snort", "switch", "firewall"):
+            assert set(result.scores[dataset]) == {"ridge", "ridge_ts"}
+            assert result.scores[dataset]["ridge"].mae_mean > 0
+        assert "Table 4" in result.table4()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            run_kdn_comparison(methods=("ridge", "xgboost"))
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            run_kdn_comparison(n_nn_runs=0)

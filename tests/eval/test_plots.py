@@ -1,0 +1,91 @@
+"""ASCII plot renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.plots import ascii_cdf, ascii_heatmap, ascii_scatter
+
+
+class TestHeatmap:
+    def test_dimensions(self):
+        out = ascii_heatmap(np.random.default_rng(0).standard_normal((5, 30)))
+        lines = out.split("\n")
+        assert len(lines) == 5
+        assert all(len(line) == 30 for line in lines)
+
+    def test_column_subsampling(self):
+        out = ascii_heatmap(np.ones((2, 200)), max_cols=50)
+        assert len(out.split("\n")[0]) <= 100
+
+    def test_intensity_scaling(self):
+        matrix = np.array([[0.0, 1.0]])
+        out = ascii_heatmap(matrix)
+        assert out[0] == " "  # zero -> blank
+        assert out[1] == "@"  # max -> darkest shade
+
+    def test_zero_matrix(self):
+        out = ascii_heatmap(np.zeros((2, 3)))
+        assert set(out.replace("\n", "")) == {" "}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(3))
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((2, 2)), max_cols=0)
+
+
+class TestScatter:
+    def test_grid_dimensions(self):
+        coords = np.random.default_rng(0).standard_normal((20, 2))
+        out = ascii_scatter(coords, rows=10, cols=30)
+        lines = out.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 30 for line in lines)
+
+    def test_labels_used_as_marks(self):
+        coords = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = ascii_scatter(coords, labels=["S", "D"], rows=5, cols=5)
+        assert "S" in out and "D" in out
+
+    def test_default_mark(self):
+        out = ascii_scatter(np.array([[0.0, 0.0], [1.0, 1.0]]), rows=4, cols=4)
+        assert "*" in out
+
+    def test_degenerate_coordinates(self):
+        # All points identical: must not divide by zero.
+        out = ascii_scatter(np.zeros((3, 2)), rows=4, cols=4)
+        assert "*" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros((2, 2)), labels=["a"])
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros((2, 2)), rows=1)
+
+
+class TestCDF:
+    def test_quantile_table(self):
+        curves = {"a": np.array([1.0, 2.0, 3.0]), "bb": np.array([2.0, 4.0])}
+        out = ascii_cdf(curves)
+        assert "p50" in out and "a" in out and "bb" in out
+        assert "median..max" in out
+
+    def test_bars_scale_with_values(self):
+        out = ascii_cdf({"small": np.array([0.1, 0.2]), "big": np.array([5.0, 10.0])})
+        small_bar = next(line for line in out.split("\n") if line.startswith("small"))
+        big_bar = next(line for line in out.split("\n") if line.startswith("big"))
+        assert big_bar.count("#") >= small_bar.count("#")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+        with pytest.raises(ValueError):
+            ascii_cdf({"a": np.array([])})
+        with pytest.raises(ValueError):
+            ascii_cdf({"a": np.array([1.0])}, width=5)

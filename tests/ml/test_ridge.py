@@ -1,0 +1,141 @@
+"""Ridge / LinearRegression / RidgeTS correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import LinearRegression, Ridge, RidgeTS
+
+RNG = np.random.default_rng(42)
+
+
+def _linear_data(n=200, d=4, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, d))
+    w = rng.standard_normal(d)
+    b = 1.7
+    y = X @ w + b + noise * rng.standard_normal(n)
+    return X, y, w, b
+
+
+class TestRidge:
+    def test_recovers_exact_linear_relation(self):
+        X, y, w, b = _linear_data()
+        model = Ridge(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(model.coef_, w, atol=1e-8)
+        assert model.intercept_ == pytest.approx(b, abs=1e-8)
+
+    def test_regularization_shrinks_coefficients(self):
+        X, y, _, _ = _linear_data(noise=0.5)
+        small = Ridge(alpha=0.01).fit(X, y)
+        large = Ridge(alpha=1000.0).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_intercept_not_penalized(self):
+        # With huge alpha, coef -> 0 but intercept -> mean(y).
+        X, y, _, _ = _linear_data()
+        model = Ridge(alpha=1e9).fit(X, y)
+        np.testing.assert_allclose(model.coef_, 0.0, atol=1e-5)
+        assert model.intercept_ == pytest.approx(y.mean(), rel=1e-6)
+
+    def test_predict_shape_and_values(self):
+        X, y, _, _ = _linear_data()
+        model = Ridge(alpha=1.0).fit(X, y)
+        preds = model.predict(X)
+        assert preds.shape == y.shape
+        assert model.score(X, y) > -1.0
+
+    def test_singular_design_does_not_crash(self):
+        # Duplicate columns make X^T X singular at alpha=0.
+        X = RNG.standard_normal((50, 2))
+        X = np.hstack([X, X[:, :1]])
+        y = X[:, 0] + 2.0
+        model = Ridge(alpha=0.0).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0)
+
+    def test_rejects_wrong_feature_count(self):
+        X, y, _, _ = _linear_data()
+        model = Ridge().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(X[:, :2])
+
+    def test_rejects_nan_inputs(self):
+        X, y, _, _ = _linear_data()
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            Ridge().fit(X, y)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            Ridge().predict(np.zeros((2, 2)))
+
+    def test_linear_regression_is_alpha_zero(self):
+        X, y, _, _ = _linear_data(noise=0.1)
+        lr = LinearRegression().fit(X, y)
+        ridge0 = Ridge(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(lr.coef_, ridge0.coef_, atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=10, max_value=60),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_residuals_orthogonal_to_design(self, n, d, seed):
+        """OLS residuals are orthogonal to every (centered) feature column."""
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((n, d))
+        y = rng.standard_normal(n)
+        model = Ridge(alpha=0.0).fit(X, y)
+        residuals = y - model.predict(X)
+        centered = X - X.mean(axis=0)
+        np.testing.assert_allclose(centered.T @ residuals, 0.0, atol=1e-6)
+
+
+class TestRidgeTS:
+    def _history_data(self, n=300, d=3, n_lags=2, seed=1):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((n, d))
+        history = rng.standard_normal((n, n_lags))
+        # Target depends on both features and lagged RU.
+        y = X @ np.array([1.0, -2.0, 0.5]) + 0.8 * history[:, 0] - 0.3 * history[:, -1]
+        return X, history, y
+
+    def test_exploits_history(self):
+        X, history, y = self._history_data()
+        with_history = RidgeTS(alpha=0.01, n_lags=2).fit(X, y, history=history)
+        plain = Ridge(alpha=0.01).fit(X, y)
+        mse_ts = np.mean((with_history.predict(X, history=history) - y) ** 2)
+        mse_plain = np.mean((plain.predict(X) - y) ** 2)
+        assert mse_ts < mse_plain * 0.1
+
+    def test_design_matches_manual_concatenation(self):
+        X, history, y = self._history_data()
+        model = RidgeTS(alpha=1.0, n_lags=2).fit(X, y, history=history)
+        manual = Ridge(alpha=1.0).fit(np.hstack([X, history]), y)
+        np.testing.assert_allclose(model.coef_, manual.coef_, atol=1e-10)
+        assert model.intercept_ == pytest.approx(manual.intercept_)
+
+    def test_requires_history(self):
+        X, history, y = self._history_data()
+        with pytest.raises(ValueError, match="history"):
+            RidgeTS(n_lags=2).fit(X, y)
+
+    def test_rejects_wrong_lag_count(self):
+        X, history, y = self._history_data()
+        with pytest.raises(ValueError):
+            RidgeTS(n_lags=3).fit(X, y, history=history)
+
+    def test_rejects_invalid_n_lags(self):
+        with pytest.raises(ValueError):
+            RidgeTS(n_lags=0)
+
+    def test_score(self):
+        X, history, y = self._history_data()
+        model = RidgeTS(alpha=0.01, n_lags=2).fit(X, y, history=history)
+        assert model.score(X, y, history=history) > -0.1

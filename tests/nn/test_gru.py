@@ -1,0 +1,139 @@
+"""GRU correctness: equations of Appendix A, shapes, and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, GRUCell, Tensor
+
+RNG = np.random.default_rng(3)
+
+
+def manual_gru_step(cell: GRUCell, y, h, activation):
+    """Reference implementation of the Appendix A equations in raw numpy."""
+
+    def sigmoid(v):
+        return 1.0 / (1.0 + np.exp(-v))
+
+    z = sigmoid(y @ cell.w_z.numpy() + h @ cell.u_z.numpy() + cell.b_z.numpy())
+    r = sigmoid(y @ cell.w_r.numpy() + h @ cell.u_r.numpy() + cell.b_r.numpy())
+    candidate = y @ cell.w_h.numpy() + r * (h @ cell.u_h.numpy()) + cell.b_h.numpy()
+    if activation == "relu":
+        candidate = np.maximum(candidate, 0.0)
+    else:
+        candidate = np.tanh(candidate)
+    return (1.0 - z) * candidate + z * h
+
+
+class TestGRUCell:
+    @pytest.mark.parametrize("activation", ["relu", "tanh"])
+    def test_matches_reference_equations(self, activation):
+        cell = GRUCell(2, 4, activation=activation, rng=RNG)
+        y = RNG.standard_normal((5, 2))
+        h = RNG.standard_normal((5, 4))
+        out = cell(Tensor(y), Tensor(h))
+        np.testing.assert_allclose(out.numpy(), manual_gru_step(cell, y, h, activation), atol=1e-12)
+
+    def test_update_gate_one_keeps_state(self):
+        # Forcing z_t -> 1 (huge positive bias) should pass h_prev through.
+        cell = GRUCell(1, 3, rng=RNG)
+        cell.b_z.data[:] = 50.0
+        h = RNG.standard_normal((2, 3))
+        out = cell(Tensor(RNG.standard_normal((2, 1))), Tensor(h))
+        np.testing.assert_allclose(out.numpy(), h, atol=1e-8)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            GRUCell(1, 2, activation="softmax")
+
+    def test_gradcheck_all_parameters(self):
+        cell = GRUCell(2, 3, activation="tanh", rng=RNG)
+        y = RNG.standard_normal((4, 2))
+        h0 = RNG.standard_normal((4, 3))
+
+        def loss_value():
+            return (cell(Tensor(y), Tensor(h0)) ** 2).sum()
+
+        loss_value().backward()
+        eps = 1e-6
+        for name, param in cell.named_parameters():
+            analytic = param.grad
+            assert analytic is not None, name
+            flat = param.data.reshape(-1)
+            for i in range(0, flat.size, max(1, flat.size // 4)):
+                orig = flat[i]
+                flat[i] = orig + eps
+                plus = loss_value().item()
+                flat[i] = orig - eps
+                minus = loss_value().item()
+                flat[i] = orig
+                numeric = (plus - minus) / (2 * eps)
+                np.testing.assert_allclose(
+                    analytic.reshape(-1)[i], numeric, rtol=1e-4, atol=1e-6, err_msg=name
+                )
+
+
+class TestGRULayer:
+    def test_output_shape_last_state(self):
+        gru = GRU(2, 5, rng=RNG)
+        out = gru(Tensor(RNG.standard_normal((7, 4, 2))))
+        assert out.shape == (7, 5)
+
+    def test_return_sequences_shape(self):
+        gru = GRU(2, 5, return_sequences=True, rng=RNG)
+        out = gru(Tensor(RNG.standard_normal((7, 4, 2))))
+        assert out.shape == (7, 4, 5)
+
+    def test_last_state_matches_sequence_tail(self):
+        rng = np.random.default_rng(5)
+        gru_last = GRU(2, 3, rng=rng)
+        gru_seq = GRU(2, 3, rng=np.random.default_rng(5))
+        gru_seq.cell.load_state_dict(gru_last.cell.state_dict())
+        gru_seq.return_sequences = True
+        x = RNG.standard_normal((4, 6, 2))
+        last = gru_last(Tensor(x)).numpy()
+        seq = gru_seq(Tensor(x)).numpy()
+        np.testing.assert_allclose(last, seq[:, -1, :])
+
+    def test_manual_unroll_matches(self):
+        gru = GRU(1, 3, activation="tanh", rng=RNG)
+        x = RNG.standard_normal((2, 5, 1))
+        h = np.zeros((2, 3))
+        for t in range(5):
+            h = manual_gru_step(gru.cell, x[:, t, :], h, "tanh")
+        np.testing.assert_allclose(gru(Tensor(x)).numpy(), h, atol=1e-12)
+
+    def test_rejects_non_3d(self):
+        gru = GRU(2, 3, rng=RNG)
+        with pytest.raises(ValueError):
+            gru(Tensor(RNG.standard_normal((5, 2))))
+
+    def test_gradient_flows_through_time(self):
+        gru = GRU(1, 3, activation="tanh", rng=RNG)
+        x = Tensor(RNG.standard_normal((2, 4, 1)), requires_grad=True)
+        gru(x).sum().backward()
+        # Every timestep influences the final state.
+        assert x.grad is not None
+        assert (np.abs(x.grad) > 0).all()
+
+    def test_gradcheck_input_through_time(self):
+        gru = GRU(1, 2, activation="tanh", rng=RNG)
+        x = RNG.standard_normal((1, 3, 1))
+
+        def run(arr):
+            return (gru(Tensor(arr)) ** 2).sum()
+
+        t = Tensor(x.copy(), requires_grad=True)
+        (gru(t) ** 2).sum().backward()
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        flat = x.reshape(-1)
+        num_flat = numeric.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = run(x).item()
+            flat[i] = orig - eps
+            minus = run(x).item()
+            flat[i] = orig
+            num_flat[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(t.grad, numeric, rtol=1e-4, atol=1e-7)

@@ -1,0 +1,133 @@
+"""LSTM cell/layer correctness and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, LSTMCell, Tensor
+
+
+RNG = np.random.default_rng(61)
+
+
+def manual_lstm_step(cell: LSTMCell, x, h, c):
+    """Raw-numpy reference of the classic LSTM equations."""
+
+    def sigmoid(v):
+        return 1.0 / (1.0 + np.exp(-v))
+
+    i = sigmoid(x @ cell.w_i.numpy() + h @ cell.u_i.numpy() + cell.b_i.numpy())
+    f = sigmoid(x @ cell.w_f.numpy() + h @ cell.u_f.numpy() + cell.b_f.numpy())
+    o = sigmoid(x @ cell.w_o.numpy() + h @ cell.u_o.numpy() + cell.b_o.numpy())
+    g = np.tanh(x @ cell.w_g.numpy() + h @ cell.u_g.numpy() + cell.b_g.numpy())
+    c_next = f * c + i * g
+    h_next = o * np.tanh(c_next)
+    return h_next, c_next
+
+
+class TestLSTMCell:
+    def test_matches_reference_equations(self):
+        cell = LSTMCell(3, 5, rng=RNG)
+        x = RNG.standard_normal((4, 3))
+        h = RNG.standard_normal((4, 5))
+        c = RNG.standard_normal((4, 5))
+        h_out, c_out = cell(Tensor(x), Tensor(h), Tensor(c))
+        h_ref, c_ref = manual_lstm_step(cell, x, h, c)
+        np.testing.assert_allclose(h_out.numpy(), h_ref, atol=1e-12)
+        np.testing.assert_allclose(c_out.numpy(), c_ref, atol=1e-12)
+
+    def test_forget_gate_bias_initialized_to_one(self):
+        cell = LSTMCell(2, 3, rng=RNG)
+        np.testing.assert_allclose(cell.b_f.numpy(), 1.0)
+        np.testing.assert_allclose(cell.b_i.numpy(), 0.0)
+
+    def test_saturated_forget_gate_preserves_cell(self):
+        cell = LSTMCell(1, 3, rng=RNG)
+        cell.b_f.data[:] = 50.0  # f -> 1
+        cell.b_i.data[:] = -50.0  # i -> 0
+        c = RNG.standard_normal((2, 3))
+        _, c_out = cell(
+            Tensor(RNG.standard_normal((2, 1))), Tensor(np.zeros((2, 3))), Tensor(c)
+        )
+        np.testing.assert_allclose(c_out.numpy(), c, atol=1e-8)
+
+    def test_gradcheck_parameters(self):
+        cell = LSTMCell(2, 3, rng=RNG)
+        x = RNG.standard_normal((3, 2))
+        h0 = RNG.standard_normal((3, 3))
+        c0 = RNG.standard_normal((3, 3))
+
+        def loss():
+            h, c = cell(Tensor(x), Tensor(h0), Tensor(c0))
+            return (h * h).sum() + (c * c).sum()
+
+        loss().backward()
+        eps = 1e-6
+        for name, param in cell.named_parameters():
+            flat = param.data.reshape(-1)
+            analytic = param.grad.reshape(-1)
+            for i in range(0, flat.size, max(1, flat.size // 3)):
+                original = flat[i]
+                flat[i] = original + eps
+                plus = loss().item()
+                flat[i] = original - eps
+                minus = loss().item()
+                flat[i] = original
+                numeric = (plus - minus) / (2 * eps)
+                np.testing.assert_allclose(analytic[i], numeric, rtol=1e-4, atol=1e-6, err_msg=name)
+
+
+class TestLSTMLayer:
+    def test_output_shapes(self):
+        lstm = LSTM(2, 4, rng=RNG)
+        out = lstm(Tensor(RNG.standard_normal((5, 6, 2))))
+        assert out.shape == (5, 4)
+        seq = LSTM(2, 4, return_sequences=True, rng=RNG)
+        assert seq(Tensor(RNG.standard_normal((5, 6, 2)))).shape == (5, 6, 4)
+
+    def test_manual_unroll_matches(self):
+        lstm = LSTM(1, 3, rng=RNG)
+        x = RNG.standard_normal((2, 5, 1))
+        h = np.zeros((2, 3))
+        c = np.zeros((2, 3))
+        for t in range(5):
+            h, c = manual_lstm_step(lstm.cell, x[:, t, :], h, c)
+        np.testing.assert_allclose(lstm(Tensor(x)).numpy(), h, atol=1e-12)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            LSTM(2, 3, rng=RNG)(Tensor(RNG.standard_normal((4, 2))))
+
+    def test_gradient_flows_through_time(self):
+        lstm = LSTM(1, 3, rng=RNG)
+        x = Tensor(RNG.standard_normal((2, 4, 1)), requires_grad=True)
+        lstm(x).sum().backward()
+        assert (np.abs(x.grad) > 0).all()
+
+    def test_learns_lagged_dependence(self):
+        """Train the LSTM head to output the first timestep's value."""
+        from repro.nn import Adam, Dense, Module, mse_loss
+
+        rng = np.random.default_rng(5)
+
+        class Reader(Module):
+            def __init__(self):
+                super().__init__()
+                self.lstm = LSTM(1, 8, rng=np.random.default_rng(0))
+                self.out = Dense(8, 1, rng=np.random.default_rng(1))
+
+            def forward(self, x):
+                return self.out(self.lstm(Tensor(x))).reshape(-1)
+
+        model = Reader()
+        optimizer = Adam(model.parameters(), lr=0.02)
+        for _ in range(150):
+            x = rng.standard_normal((32, 4, 1))
+            target = Tensor(x[:, 0, 0])
+            optimizer.zero_grad()
+            loss = mse_loss(model(x), target)
+            loss.backward()
+            optimizer.step()
+        x = rng.standard_normal((64, 4, 1))
+        predictions = model(x).numpy()
+        error = np.abs(predictions - x[:, 0, 0]).mean()
+        assert error < 0.4  # clearly remembers the oldest input

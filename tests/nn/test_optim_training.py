@@ -1,0 +1,396 @@
+"""Optimizers, losses, training loop, early stopping, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dense,
+    EarlyStopping,
+    Module,
+    Parameter,
+    SGD,
+    Sequential,
+    Tensor,
+    Trainer,
+    load_model_bytes,
+    load_state,
+    mae_loss,
+    mse_loss,
+    get_loss,
+    save_model_bytes,
+    save_state,
+)
+
+RNG = np.random.default_rng(21)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        target = Tensor(np.array([1.0, 4.0, 2.0]))
+        assert mse_loss(pred, target).item() == pytest.approx((0 + 4 + 1) / 3)
+
+    def test_mae_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        target = Tensor(np.array([1.0, 4.0, 2.0]))
+        assert mae_loss(pred, target).item() == pytest.approx(1.0)
+
+    def test_get_loss(self):
+        from repro.nn import huber_loss
+
+        assert get_loss("mse") is mse_loss
+        assert get_loss("mae") is mae_loss
+        assert get_loss("huber") is huber_loss
+        with pytest.raises(ValueError):
+            get_loss("quantile")
+
+    def test_mse_gradient(self):
+        pred = Tensor(np.array([2.0, 0.0]), requires_grad=True)
+        mse_loss(pred, Tensor(np.array([0.0, 0.0]))).backward()
+        np.testing.assert_allclose(pred.grad, [2.0, 0.0])
+
+    def test_huber_values(self):
+        from repro.nn import huber_loss
+
+        pred = Tensor(np.array([0.5, 3.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        # 0.5*0.25 = 0.125 (quadratic) and 3 - 0.5 = 2.5 (linear) -> mean
+        assert huber_loss(pred, target, delta=1.0).item() == pytest.approx(1.3125)
+
+    def test_huber_equals_mse_half_inside_delta(self):
+        from repro.nn import huber_loss
+
+        rng = np.random.default_rng(0)
+        pred = Tensor(rng.uniform(-0.5, 0.5, 20))
+        target = Tensor(np.zeros(20))
+        assert huber_loss(pred, target, delta=1.0).item() == pytest.approx(
+            0.5 * mse_loss(pred, target).item()
+        )
+
+    def test_huber_gradient_bounded(self):
+        from repro.nn import huber_loss
+
+        pred = Tensor(np.array([100.0, -100.0]), requires_grad=True)
+        huber_loss(pred, Tensor(np.zeros(2)), delta=1.0).backward()
+        np.testing.assert_allclose(np.abs(pred.grad), 0.5)  # delta/len
+
+    def test_huber_invalid_delta(self):
+        from repro.nn import huber_loss
+
+        with pytest.raises(ValueError):
+            huber_loss(Tensor(np.zeros(2)), Tensor(np.zeros(2)), delta=0.0)
+
+
+class QuadraticModel(Module):
+    """f(w) = w; used so loss (w - target)^2 has a known minimum."""
+
+    def __init__(self, start):
+        super().__init__()
+        self.w = Parameter(np.array(start, dtype=float))
+
+    def forward(self):
+        return self.w
+
+
+class TestOptimizers:
+    def _minimize(self, optimizer_factory, steps=300):
+        model = QuadraticModel([5.0, -3.0])
+        target = Tensor(np.array([1.0, 2.0]))
+        opt = optimizer_factory(model.parameters())
+        for _ in range(steps):
+            opt.zero_grad()
+            loss = mse_loss(model(), target)
+            loss.backward()
+            opt.step()
+        return model.w.numpy()
+
+    def test_sgd_converges(self):
+        final = self._minimize(lambda p: SGD(p, lr=0.1))
+        np.testing.assert_allclose(final, [1.0, 2.0], atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        final = self._minimize(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(final, [1.0, 2.0], atol=1e-3)
+
+    def test_adam_converges(self):
+        final = self._minimize(lambda p: Adam(p, lr=0.1), steps=500)
+        np.testing.assert_allclose(final, [1.0, 2.0], atol=1e-3)
+
+    def test_adam_skips_params_without_grad(self):
+        model = QuadraticModel([1.0])
+        opt = Adam(model.parameters(), lr=0.1)
+        opt.step()  # no backward yet; must not crash or move weights
+        np.testing.assert_allclose(model.w.numpy(), [1.0])
+
+    def test_invalid_hyperparameters(self):
+        params = list(QuadraticModel([1.0]).parameters())
+        with pytest.raises(ValueError):
+            SGD(params, lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD(params, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam(params, beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class Regressor(Module):
+    def __init__(self, in_features, rng):
+        super().__init__()
+        self.net = Sequential(Dense(in_features, 16, activation="relu", rng=rng), Dense(16, 1, rng=rng))
+
+    def forward(self, x):
+        return self.net(Tensor(x)).reshape(-1)
+
+
+def _toy_regression(n=400, noise=0.01):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((n, 3))
+    y = 2.0 * x[:, 0] - x[:, 1] + 0.5 * x[:, 2] ** 2 + noise * rng.standard_normal(n)
+    return x, y
+
+
+class TestTrainer:
+    def test_fit_reduces_loss(self):
+        x, y = _toy_regression()
+        model = Regressor(3, np.random.default_rng(1))
+        trainer = Trainer(model, lr=0.01, batch_size=64, max_epochs=30, rng=np.random.default_rng(2))
+        history = trainer.fit({"x": x}, y)
+        assert history.train_loss[-1] < history.train_loss[0] * 0.3
+
+    def test_early_stopping_restores_best(self):
+        x, y = _toy_regression()
+        split = 300
+        model = Regressor(3, np.random.default_rng(1))
+        stopper = EarlyStopping(patience=3)
+        trainer = Trainer(
+            model,
+            lr=0.01,
+            batch_size=64,
+            max_epochs=200,
+            early_stopping=stopper,
+            rng=np.random.default_rng(2),
+        )
+        history = trainer.fit({"x": x[:split]}, y[:split], {"x": x[split:]}, y[split:])
+        assert history.epochs_run < 200
+        # The restored weights should achieve the recorded best val loss.
+        final_val = trainer.evaluate({"x": x[split:]}, y[split:])
+        assert final_val == pytest.approx(stopper.best_loss, rel=1e-9)
+
+    def test_early_stopping_requires_validation(self):
+        model = Regressor(3, np.random.default_rng(1))
+        trainer = Trainer(model, early_stopping=EarlyStopping())
+        x, y = _toy_regression(20)
+        with pytest.raises(ValueError):
+            trainer.fit({"x": x}, y)
+
+    def test_predict_matches_manual_forward(self):
+        x, y = _toy_regression(50)
+        model = Regressor(3, np.random.default_rng(1))
+        trainer = Trainer(model, batch_size=16)
+        preds = trainer.predict({"x": x})
+        assert preds.shape == (50,)
+        model.eval()
+        np.testing.assert_allclose(preds, model(x).numpy(), atol=1e-12)
+
+    def test_mismatched_lengths_rejected(self):
+        model = Regressor(3, np.random.default_rng(1))
+        trainer = Trainer(model)
+        with pytest.raises(ValueError):
+            trainer.fit({"x": np.zeros((5, 3))}, np.zeros(4))
+
+    def test_empty_data_rejected(self):
+        model = Regressor(3, np.random.default_rng(1))
+        trainer = Trainer(model)
+        with pytest.raises(ValueError):
+            trainer.fit({"x": np.zeros((0, 3))}, np.zeros(0))
+
+    def test_invalid_constructor_args(self):
+        model = Regressor(3, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            Trainer(model, batch_size=0)
+        with pytest.raises(ValueError):
+            Trainer(model, max_epochs=0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        model = QuadraticModel([0.0])
+        stopper = EarlyStopping(patience=2, restore_best=False)
+        assert not stopper.update(1.0, model)
+        assert not stopper.update(1.0, model)  # wait=1
+        assert stopper.update(1.0, model)  # wait=2 -> stop
+
+    def test_improvement_resets_wait(self):
+        model = QuadraticModel([0.0])
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, model)
+        stopper.update(1.0, model)
+        assert not stopper.update(0.5, model)
+        assert stopper.wait == 0
+
+    def test_min_delta(self):
+        model = QuadraticModel([0.0])
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(1.0, model)
+        # 0.95 is not enough improvement given min_delta=0.1
+        assert stopper.update(0.95, model)
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestSerialization:
+    def test_bytes_roundtrip(self):
+        model = Regressor(3, np.random.default_rng(1))
+        blob = save_model_bytes(model, {"arch": "test", "n": 3})
+        state, config = load_model_bytes(blob)
+        assert config == {"arch": "test", "n": 3}
+        other = Regressor(3, np.random.default_rng(99))
+        other.net.load_state_dict({k.removeprefix("net."): v for k, v in state.items()})
+        x = RNG.standard_normal((4, 3))
+        model.eval(), other.eval()
+        np.testing.assert_allclose(model(x).numpy(), other(x).numpy())
+
+    def test_file_roundtrip(self, tmp_path):
+        model = Regressor(3, np.random.default_rng(1))
+        path = tmp_path / "model.npz"
+        size = save_state(model, path, {"v": 1})
+        assert path.stat().st_size == size
+        other = Regressor(3, np.random.default_rng(5))
+        config = load_state(other, path)
+        assert config == {"v": 1}
+        x = RNG.standard_normal((4, 3))
+        model.eval(), other.eval()
+        np.testing.assert_allclose(model(x).numpy(), other(x).numpy())
+
+    def test_model_smaller_than_paper_budget(self, tmp_path):
+        # Paper §6: the serialized Env2Vec artifact is < 10 MB.
+        model = Regressor(3, np.random.default_rng(1))
+        size = save_state(model, tmp_path / "m.npz")
+        assert size < 10 * 1024 * 1024
+
+
+class TestReduceLROnPlateau:
+    def test_reduces_after_patience(self):
+        from repro.nn import ReduceLROnPlateau
+
+        model = QuadraticModel([1.0])
+        opt = Adam(model.parameters(), lr=0.1)
+        scheduler = ReduceLROnPlateau(patience=2, factor=0.5)
+        scheduler.update(1.0, opt)
+        assert not scheduler.update(1.0, opt)  # wait=1
+        assert scheduler.update(1.0, opt)  # wait=2 -> reduce
+        assert opt.lr == pytest.approx(0.05)
+        assert scheduler.reductions == 1
+
+    def test_improvement_resets(self):
+        from repro.nn import ReduceLROnPlateau
+
+        opt = Adam(list(QuadraticModel([1.0]).parameters()), lr=0.1)
+        scheduler = ReduceLROnPlateau(patience=1)
+        scheduler.update(1.0, opt)
+        assert not scheduler.update(0.5, opt)
+        assert opt.lr == 0.1
+
+    def test_min_lr_floor(self):
+        from repro.nn import ReduceLROnPlateau
+
+        opt = Adam(list(QuadraticModel([1.0]).parameters()), lr=2e-5)
+        scheduler = ReduceLROnPlateau(patience=1, factor=0.5, min_lr=1e-5)
+        scheduler.update(1.0, opt)
+        scheduler.update(1.0, opt)  # reduce to max(1e-5, 1e-5) = 1e-5
+        scheduler.update(1.0, opt)  # at the floor: no further reduction
+        assert opt.lr == pytest.approx(1e-5)
+
+    def test_validation(self):
+        from repro.nn import ReduceLROnPlateau
+
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(patience=0)
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(factor=1.0)
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(min_lr=0.0)
+
+    def test_trainer_integration(self):
+        from repro.nn import ReduceLROnPlateau
+
+        x, y = _toy_regression()
+        model = Regressor(3, np.random.default_rng(1))
+        scheduler = ReduceLROnPlateau(patience=1, factor=0.5)
+        trainer = Trainer(
+            model,
+            lr=0.01,
+            batch_size=64,
+            max_epochs=25,
+            lr_scheduler=scheduler,
+            rng=np.random.default_rng(2),
+        )
+        trainer.fit({"x": x[:300]}, y[:300], {"x": x[300:]}, y[300:])
+        # The scheduler observed every epoch; lr never increased.
+        assert trainer.optimizer.lr <= 0.01
+
+    def test_trainer_requires_val_for_scheduler(self):
+        from repro.nn import ReduceLROnPlateau
+
+        x, y = _toy_regression(30)
+        model = Regressor(3, np.random.default_rng(1))
+        trainer = Trainer(model, lr_scheduler=ReduceLROnPlateau())
+        with pytest.raises(ValueError):
+            trainer.fit({"x": x}, y)
+
+
+class TestWeightDecayAndClipping:
+    def test_weight_decay_shrinks_weights(self):
+        model = QuadraticModel([10.0])
+        opt = SGD(model.parameters(), lr=0.1, weight_decay=0.5)
+        # Zero gradient: only decay acts.
+        model.w.grad = np.zeros(1)
+        opt.step()
+        assert model.w.numpy()[0] == pytest.approx(10.0 - 0.1 * 0.5 * 10.0)
+
+    def test_adam_weight_decay_decoupled(self):
+        model = QuadraticModel([4.0])
+        opt = Adam(model.parameters(), lr=0.01, weight_decay=1.0)
+        model.w.grad = np.zeros(1)
+        opt.step()
+        # Decoupled decay ignores Adam moments entirely (grad is zero).
+        assert model.w.numpy()[0] == pytest.approx(4.0 - 0.01 * 4.0)
+
+    def test_invalid_weight_decay(self):
+        with pytest.raises(ValueError):
+            SGD(list(QuadraticModel([1.0]).parameters()), weight_decay=-0.1)
+
+    def test_clip_gradients_scales_to_norm(self):
+        from repro.nn import clip_gradients
+
+        p1 = Parameter(np.zeros(2))
+        p2 = Parameter(np.zeros(2))
+        p1.grad = np.array([3.0, 0.0])
+        p2.grad = np.array([0.0, 4.0])
+        pre = clip_gradients([p1, p2], max_norm=1.0)
+        assert pre == pytest.approx(5.0)
+        total = np.sqrt(np.sum(p1.grad**2) + np.sum(p2.grad**2))
+        assert total == pytest.approx(1.0)
+
+    def test_clip_noop_below_threshold(self):
+        from repro.nn import clip_gradients
+
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_gradients([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_clip_skips_gradless_params(self):
+        from repro.nn import clip_gradients
+
+        assert clip_gradients([Parameter(np.zeros(2))], max_norm=1.0) == 0.0
+
+    def test_clip_invalid_norm(self):
+        from repro.nn import clip_gradients
+
+        with pytest.raises(ValueError):
+            clip_gradients([], max_norm=0.0)

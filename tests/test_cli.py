@@ -1,0 +1,39 @@
+"""CLI tests: argument parsing and a fast end-to-end experiment run."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table5"])
+        assert args.experiment == "table5"
+        assert not args.full
+        assert args.chains == 125
+
+    def test_all_choice(self):
+        assert build_parser().parse_args(["all"]).experiment == "all"
+
+    def test_flags(self):
+        args = build_parser().parse_args(["table4", "--full", "--seed", "3", "--chains", "30"])
+        assert args.full and args.seed == 3 and args.chains == 30
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_experiment_registry_complete(self):
+        from repro.cli import _RUNNERS
+
+        assert set(_RUNNERS) == set(EXPERIMENTS)
+
+
+class TestMain:
+    def test_figure1_small_corpus(self, capsys):
+        exit_code = main(["figure1", "--chains", "10", "--seed", "1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "### figure1" in out
+        assert "chains" in out

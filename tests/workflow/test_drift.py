@@ -1,0 +1,94 @@
+"""Page-Hinkley drift detection tests."""
+
+import numpy as np
+import pytest
+
+from repro.workflow import DriftMonitor, PageHinkley
+
+
+class TestPageHinkley:
+    def test_no_drift_on_stationary_stream(self):
+        rng = np.random.default_rng(0)
+        detector = PageHinkley(delta=0.1, threshold=5.0, warmup=10)
+        fired = [detector.update(float(v)) for v in 2.0 + 0.2 * rng.standard_normal(300)]
+        assert not any(fired)
+
+    def test_detects_upward_shift(self):
+        rng = np.random.default_rng(1)
+        detector = PageHinkley(delta=0.05, threshold=3.0, warmup=10)
+        stream = np.concatenate([
+            2.0 + 0.2 * rng.standard_normal(50),
+            3.5 + 0.2 * rng.standard_normal(50),
+        ])
+        fired_at = next((i for i, v in enumerate(stream) if detector.update(float(v))), None)
+        assert fired_at is not None
+        assert fired_at >= 50  # not before the shift
+
+    def test_ignores_downward_shift(self):
+        detector = PageHinkley(delta=0.05, threshold=3.0, warmup=5)
+        stream = [3.0] * 30 + [1.0] * 50
+        assert not any(detector.update(v) for v in stream)
+
+    def test_warmup_suppresses_early_alarms(self):
+        detector = PageHinkley(delta=0.0, threshold=0.001, warmup=20)
+        # Even wildly shifting values cannot fire during warmup.
+        for i, value in enumerate([0.0, 100.0] * 10):
+            assert not detector.update(value) or i >= 20
+
+    def test_reset(self):
+        detector = PageHinkley(delta=0.0, threshold=1.0, warmup=1)
+        for v in [1.0, 1.0, 5.0, 5.0, 5.0]:
+            detector.update(v)
+        detector.reset()
+        assert detector.statistic == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(delta=-0.1)
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkley(warmup=0)
+        with pytest.raises(ValueError):
+            PageHinkley().update(float("nan"))
+
+
+class TestDriftMonitor:
+    def test_recommends_retrain_after_drift(self):
+        monitor = DriftMonitor(delta=0.05, threshold=2.0, warmup=5)
+        decisions = [monitor.observe(2.0) for _ in range(20)]
+        assert not any(d.drifted for d in decisions)
+        drifted = []
+        for _ in range(20):
+            drifted.append(monitor.observe(3.5).drifted)
+        assert any(drifted)
+        assert monitor.retrain_recommendations == sum(drifted)
+
+    def test_resets_after_recommendation(self):
+        monitor = DriftMonitor(delta=0.05, threshold=1.0, warmup=2)
+        for _ in range(10):
+            monitor.observe(1.0)
+        # Force drift.
+        while not monitor.observe(5.0).drifted:
+            pass
+        # After reset the statistic starts over.
+        decision = monitor.observe(5.0)
+        assert not decision.drifted
+        assert decision.observations == 1
+
+    def test_negative_mae_rejected(self):
+        with pytest.raises(ValueError):
+            DriftMonitor().observe(-1.0)
+
+    def test_end_to_end_with_model_errors(self):
+        """Aging model scenario: response shifts between build generations."""
+        rng = np.random.default_rng(7)
+        monitor = DriftMonitor(delta=0.02, threshold=1.5, warmup=5)
+        # Generation 1: model fits well (MAE ~1.2).
+        for _ in range(25):
+            assert not monitor.observe(float(1.2 + 0.1 * rng.standard_normal())).drifted
+        # Generation 2: infrastructure change doubles the error.
+        fired = False
+        for _ in range(25):
+            fired = fired or monitor.observe(float(2.6 + 0.1 * rng.standard_normal())).drifted
+        assert fired

@@ -1,0 +1,99 @@
+"""Multi-day campaign orchestration tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import TelecomConfig, generate_telecom
+from repro.workflow import TestingCampaign
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_telecom(
+        TelecomConfig(
+            n_chains=8,
+            n_testbeds=4,
+            builds_per_chain=(3, 4),
+            timesteps_per_build=(50, 60),
+            n_focus=2,
+            include_rare_testbed=False,
+            fault_magnitude=(14.0, 25.0),
+            seed=4,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def finished_campaign(dataset):
+    campaign = TestingCampaign(model_params={"max_epochs": 12, "batch_size": 256})
+    reports = campaign.run(dataset)
+    return campaign, reports
+
+
+class TestCampaignLifecycle:
+    def test_one_model_version_per_day(self, dataset, finished_campaign):
+        _, reports = finished_campaign
+        max_builds = max(len(chain) for chain in dataset.chains)
+        assert len(reports) == max_builds
+        assert [r.model_version for r in reports] == list(range(1, max_builds + 1))
+
+    def test_day_zero_raises_no_alarms(self, finished_campaign):
+        # No model exists before the first training, so day 0 only ingests.
+        _, reports = finished_campaign
+        assert reports[0].alarms_raised == 0
+        assert not reports[0].any_flagged
+
+    def test_executions_per_day_match_chain_lengths(self, dataset, finished_campaign):
+        _, reports = finished_campaign
+        for day, report in enumerate(reports):
+            expected = sum(1 for chain in dataset.chains if day < len(chain))
+            assert report.executions_run == expected
+
+    def test_problem_builds_get_masked(self, dataset, finished_campaign):
+        campaign, _ = finished_campaign
+        problem_envs = {
+            execution.environment
+            for chain in dataset.chains
+            for execution in chain.executions
+            if execution.has_performance_problem
+        }
+        # Every ground-truth problem execution ends up masked (flagged by
+        # alarms or discovered independently, per workflow step 2).
+        assert problem_envs <= campaign.masked_environments
+
+    def test_clean_builds_mostly_unmasked(self, dataset, finished_campaign):
+        campaign, _ = finished_campaign
+        clean = [
+            execution.environment
+            for chain in dataset.chains
+            for execution in chain.executions
+            if not execution.has_performance_problem
+        ]
+        masked_clean = sum(1 for env in clean if env in campaign.masked_environments)
+        assert masked_clean == 0
+
+    def test_alarm_store_populated(self, finished_campaign):
+        campaign, reports = finished_campaign
+        assert campaign.alarm_store.count() == sum(r.alarms_raised for r in reports)
+
+    def test_latest_model_usable(self, dataset, finished_campaign):
+        campaign, _ = finished_campaign
+        from repro.data.windows import build_windows
+
+        execution = dataset.chains[0].current
+        X, history, y = build_windows(execution.features, execution.cpu, campaign.n_lags)
+        predictions = campaign.latest_model.predict(
+            [execution.environment] * len(y), X, history
+        )
+        assert np.isfinite(predictions).all()
+
+
+class TestCampaignValidation:
+    def test_empty_day_rejected(self):
+        campaign = TestingCampaign(model_params={"max_epochs": 1})
+        with pytest.raises(ValueError):
+            campaign.run_day(0, [])
+
+    def test_latest_model_before_training_raises(self):
+        with pytest.raises(RuntimeError):
+            TestingCampaign().latest_model

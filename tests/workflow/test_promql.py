@@ -1,0 +1,169 @@
+"""PromQL-subset parser and evaluator tests."""
+
+import numpy as np
+import pytest
+
+from repro.workflow import TimeSeriesDB
+from repro.workflow.promql import (
+    FunctionCall,
+    PromQLError,
+    RangeQuery,
+    Selector,
+    evaluate,
+    parse,
+    query,
+)
+
+
+@pytest.fixture()
+def db():
+    store = TimeSeriesDB()
+    for i in range(10):
+        store.write("cpu_usage", {"env": "em-1", "testbed": "T1"}, i * 60.0, 40.0 + i)
+        store.write("cpu_usage", {"env": "em-2", "testbed": "T2"}, i * 60.0, 70.0 + i)
+    store.write("net_tx", {"env": "em-1"}, 0.0, 100.0)
+    store.write("net_tx", {"env": "em-1"}, 300.0, 400.0)
+    return store
+
+
+class TestParser:
+    def test_bare_selector(self):
+        ast = parse("cpu_usage")
+        assert ast == Selector(metric="cpu_usage")
+
+    def test_selector_with_matchers(self):
+        ast = parse('cpu_usage{env="em-1", testbed!="T2"}')
+        assert isinstance(ast, Selector)
+        assert ast.equals == (("env", "em-1"),)
+        assert ast.not_equals == (("testbed", "T2"),)
+
+    def test_range_query(self):
+        ast = parse('cpu_usage{env="em-1"}[5m]')
+        assert isinstance(ast, RangeQuery)
+        assert ast.window_seconds == 300.0
+
+    def test_duration_units(self):
+        assert parse("cpu[30s]").window_seconds == 30.0
+        assert parse("cpu[2h]").window_seconds == 7200.0
+        assert parse("cpu[1d]").window_seconds == 86400.0
+        assert parse("cpu[1.5m]").window_seconds == 90.0
+
+    def test_function_call(self):
+        ast = parse('avg_over_time(cpu_usage{env="em-1"}[1h])')
+        assert isinstance(ast, FunctionCall)
+        assert ast.function == "avg_over_time"
+        assert ast.argument.window_seconds == 3600.0
+
+    def test_escaped_quotes_in_value(self):
+        ast = parse('cpu{build="Build_\\"S1\\""}')
+        assert ast.equals == (("build", 'Build_"S1"'),)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "cpu{",
+            "cpu{env}",
+            'cpu{env="a"',
+            "cpu[5x]",
+            "cpu[5m",
+            "rate(cpu)",  # function needs a range vector
+            'cpu{env="a"} extra',
+            "avg_over_time(cpu[5m]",
+            "{env=\"a\"}",
+            "cpu{env='a'}",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(PromQLError):
+            parse(bad)
+
+
+class TestEvaluator:
+    def test_instant_vector_latest_sample(self, db):
+        samples = query(db, 'cpu_usage{env="em-1"}', at=10_000.0)
+        assert len(samples) == 1
+        assert samples[0].value == 49.0  # last written sample
+        assert samples[0].timestamp == 540.0
+
+    def test_instant_vector_respects_eval_time(self, db):
+        samples = query(db, 'cpu_usage{env="em-1"}', at=125.0)
+        assert samples[0].value == 42.0  # sample at t=120
+
+    def test_instant_vector_before_first_sample_empty(self, db):
+        assert query(db, 'cpu_usage{env="em-1"}', at=-5.0) == []
+
+    def test_matcher_inequality(self, db):
+        samples = query(db, 'cpu_usage{testbed!="T2"}', at=10_000.0)
+        assert len(samples) == 1
+        assert samples[0].labels["env"] == "em-1"
+
+    def test_unmatched_metric_empty(self, db):
+        assert query(db, "memory_usage", at=10_000.0) == []
+
+    def test_range_vector_window(self, db):
+        (window,) = query(db, 'cpu_usage{env="em-1"}[3m]', at=540.0)
+        # (540-180, 540] -> t in {420, 480, 540}
+        np.testing.assert_allclose(window.timestamps, [420.0, 480.0, 540.0])
+
+    def test_avg_over_time(self, db):
+        (sample,) = query(db, 'avg_over_time(cpu_usage{env="em-1"}[3m])', at=540.0)
+        assert sample.value == pytest.approx(np.mean([47.0, 48.0, 49.0]))
+
+    def test_max_min_sum_count(self, db):
+        at = 540.0
+        expr = 'cpu_usage{env="em-1"}[3m]'
+        assert query(db, f"max_over_time({expr})", at=at)[0].value == 49.0
+        assert query(db, f"min_over_time({expr})", at=at)[0].value == 47.0
+        assert query(db, f"sum_over_time({expr})", at=at)[0].value == pytest.approx(144.0)
+        assert query(db, f"count_over_time({expr})", at=at)[0].value == 3.0
+
+    def test_rate(self, db):
+        (sample,) = query(db, 'rate(net_tx{env="em-1"}[10m])', at=300.0)
+        # (400 - 100) / (300 - 0) = 1.0 per second
+        assert sample.value == pytest.approx(1.0)
+
+    def test_rate_needs_two_samples(self, db):
+        assert query(db, 'rate(net_tx{env="em-1"}[1m])', at=300.0) == []
+
+    def test_function_over_multiple_series(self, db):
+        samples = query(db, "avg_over_time(cpu_usage[1h])", at=540.0)
+        assert len(samples) == 2
+        values = {s.labels["env"]: s.value for s in samples}
+        assert values["em-2"] == pytest.approx(values["em-1"] + 30.0)
+
+    def test_evaluate_rejects_unknown_node(self, db):
+        with pytest.raises(PromQLError):
+            evaluate(db, "not-an-ast", at=0.0)
+
+
+class TestWorkflowIntegration:
+    def test_collector_data_queryable_via_promql(self):
+        """The step-1/step-3 loop: collect an execution, query it back."""
+        from repro.data import FEATURE_NAMES, TelecomConfig, generate_telecom
+        from repro.workflow import EMRegistry, MetricCollector
+
+        dataset = generate_telecom(
+            TelecomConfig(
+                n_chains=3,
+                n_testbeds=2,
+                builds_per_chain=(2, 2),
+                timesteps_per_build=(40, 45),
+                n_focus=2,
+                include_rare_testbed=False,
+                seed=3,
+            )
+        )
+        db = TimeSeriesDB()
+        collector = MetricCollector(db, EMRegistry(), feature_names=FEATURE_NAMES)
+        execution = dataset.chains[0].current
+        record_id = collector.collect(execution)
+
+        horizon = 900.0 * execution.n_timesteps
+        (sample,) = query(
+            db,
+            f'avg_over_time(cpu_usage{{env="{record_id}"}}[{int(2 * horizon)}s])',
+            at=horizon,
+        )
+        assert sample.value == pytest.approx(execution.cpu.mean())

@@ -1,0 +1,97 @@
+"""Reporting module tests: sparklines, execution reports, alarm summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import Alarm, AnomalyReport
+from repro.data import Environment
+from repro.data import TestExecution as Execution
+from repro.workflow import AlarmStore, campaign_summary, execution_report, sparkline
+
+
+def _execution(n=60, testbed="Testbed_01"):
+    rng = np.random.default_rng(0)
+    return Execution(
+        environment=Environment(testbed, "SUT_A", "Testcase_Load", "Build_S05"),
+        features=rng.standard_normal((n, 3)),
+        cpu=50.0 + 5.0 * np.sin(np.linspace(0, 6, n)),
+    )
+
+
+def _report(alarms, n=57, gamma=2.0):
+    return AnomalyReport(
+        flags=np.zeros(n, dtype=bool),
+        alarms=alarms,
+        errors=np.zeros(n),
+        gamma=gamma,
+    )
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        assert len(sparkline(np.arange(500.0), width=40)) == 40
+
+    def test_short_series_one_char_each(self):
+        assert len(sparkline(np.arange(5.0), width=40)) == 5
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline(np.arange(8.0), width=8)
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        line = sparkline(np.full(10, 3.0), width=10)
+        assert len(set(line)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline(np.array([]))
+        with pytest.raises(ValueError):
+            sparkline(np.ones(3), width=0)
+
+
+class TestExecutionReport:
+    def test_contains_environment_and_alarms(self):
+        execution = _execution()
+        report = _report([Alarm(start=10, end=14, peak_deviation=12.3)])
+        text = execution_report(execution, report, n_lags=3)
+        assert "Testbed_01" in text and "Build_S05" in text
+        assert "[13, 17)" in text  # alarm offset by n_lags
+        assert "12.3% CPU" in text
+        assert "ACTION" in text
+        assert "^" in text  # ruler marks the interval
+
+    def test_clean_report_has_no_action(self):
+        text = execution_report(_execution(), _report([]), n_lags=3)
+        assert "no alarms" in text
+        assert "ACTION" not in text
+
+    def test_alarm_duration_in_hours(self):
+        # 8 timesteps x 15 min = 2 hours.
+        report = _report([Alarm(start=0, end=8, peak_deviation=9.0)])
+        text = execution_report(_execution(), report, n_lags=3)
+        assert "~2.0 h" in text
+
+
+class TestCampaignSummary:
+    def test_empty_store(self):
+        with AlarmStore() as store:
+            assert campaign_summary(store) == "no alarms recorded."
+
+    def test_grouped_by_testbed_sorted_by_count(self):
+        with AlarmStore() as store:
+            env_a = _execution(testbed="Testbed_A").environment
+            env_b = _execution(testbed="Testbed_B").environment
+            for _ in range(3):
+                store.push(env_a, 0, 5, 10.0, 2.0)
+            store.push(env_b, 0, 5, 10.0, 2.0)
+            text = campaign_summary(store)
+            assert text.index("Testbed_A") < text.index("Testbed_B")
+            assert "4 alarms across 2 testbeds" in text
+
+    def test_triage_count(self):
+        with AlarmStore() as store:
+            env = _execution().environment
+            first = store.push(env, 0, 5, 10.0, 2.0)
+            store.push(env, 10, 15, 10.0, 2.0)
+            store.acknowledge(first)
+            assert "1 alarm(s) awaiting engineer triage" in campaign_summary(store)

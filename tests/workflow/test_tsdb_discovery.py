@@ -1,0 +1,148 @@
+"""TSDB, service discovery, and EM registry tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import Environment
+from repro.workflow import EMRegistry, ServiceDiscovery, TimeSeriesDB
+
+
+def _env(testbed="Testbed_01"):
+    return Environment(testbed, "SUT_A", "Testcase_Load", "Build_S01")
+
+
+class TestTimeSeriesDB:
+    def test_write_and_query(self):
+        db = TimeSeriesDB()
+        db.write("cpu", {"env": "em-1"}, 0.0, 50.0)
+        db.write("cpu", {"env": "em-1"}, 900.0, 52.0)
+        series = db.query_one("cpu", {"env": "em-1"})
+        timestamps, values = series.as_arrays()
+        np.testing.assert_allclose(timestamps, [0.0, 900.0])
+        np.testing.assert_allclose(values, [50.0, 52.0])
+
+    def test_label_isolation(self):
+        db = TimeSeriesDB()
+        db.write("cpu", {"env": "em-1"}, 0.0, 50.0)
+        db.write("cpu", {"env": "em-2"}, 0.0, 70.0)
+        assert len(db.query("cpu")) == 2
+        assert len(db.query("cpu", {"env": "em-1"})) == 1
+
+    def test_query_one_requires_unique_match(self):
+        db = TimeSeriesDB()
+        db.write("cpu", {"env": "em-1"}, 0.0, 1.0)
+        db.write("cpu", {"env": "em-2"}, 0.0, 1.0)
+        with pytest.raises(LookupError):
+            db.query_one("cpu")
+        with pytest.raises(LookupError):
+            db.query_one("cpu", {"env": "em-3"})
+
+    def test_timestamps_strictly_increasing(self):
+        db = TimeSeriesDB()
+        db.write("cpu", {}, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            db.write("cpu", {}, 10.0, 2.0)
+        with pytest.raises(ValueError):
+            db.write("cpu", {}, 5.0, 2.0)
+
+    def test_write_array(self):
+        db = TimeSeriesDB()
+        db.write_array("mem", {"env": "a"}, np.arange(5.0), np.arange(5.0) * 2)
+        assert len(db.query_one("mem", {"env": "a"})) == 5
+        with pytest.raises(ValueError):
+            db.write_array("mem", {"env": "b"}, np.arange(5.0), np.arange(4.0))
+
+    def test_query_range(self):
+        db = TimeSeriesDB()
+        db.write_array("cpu", {"env": "a"}, np.arange(10.0), np.arange(10.0))
+        (ranged,) = db.query_range("cpu", {"env": "a"}, 3.0, 7.0)
+        timestamps, values = ranged.as_arrays()
+        np.testing.assert_allclose(timestamps, [3, 4, 5, 6])
+        with pytest.raises(ValueError):
+            db.query_range("cpu", None, 5.0, 5.0)
+
+    def test_introspection(self):
+        db = TimeSeriesDB()
+        db.write("cpu", {"env": "a"}, 0, 1)
+        db.write("mem", {"env": "b"}, 0, 1)
+        assert db.metrics() == ["cpu", "mem"]
+        assert db.label_values("env") == ["a", "b"]
+        assert db.n_series() == 2
+        assert db.n_samples() == 2
+
+    def test_empty_metric_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesDB().write("", {}, 0, 1)
+
+
+class TestEMRegistry:
+    def test_register_idempotent(self):
+        registry = EMRegistry()
+        record_a = registry.register(_env())
+        record_b = registry.register(_env())
+        assert record_a == record_b
+        assert len(registry) == 1
+
+    def test_lookup_roundtrip(self):
+        registry = EMRegistry()
+        record = registry.register(_env())
+        assert registry.lookup(record) == _env()
+        assert record in registry
+
+    def test_distinct_envs_distinct_ids(self):
+        registry = EMRegistry()
+        a = registry.register(_env("Testbed_01"))
+        b = registry.register(_env("Testbed_02"))
+        assert a != b
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            EMRegistry().lookup("em-999999")
+
+
+class TestServiceDiscovery:
+    def test_paper_json_shape(self, tmp_path):
+        config = tmp_path / "sd.json"
+        discovery = ServiceDiscovery(config)
+        discovery.add_target("10.0.0.1:9100", "em-000001")
+        data = json.loads(config.read_text())
+        assert data == [{"targets": ["10.0.0.1:9100"], "labels": {"env": "em-000001"}}]
+
+    def test_add_remove(self, tmp_path):
+        discovery = ServiceDiscovery(tmp_path / "sd.json")
+        discovery.add_target("10.0.0.1:9100", "em-1")
+        discovery.add_target("10.0.0.2:9100", "em-2")
+        assert len(discovery) == 2
+        assert discovery.env_of("10.0.0.2:9100") == "em-2"
+        discovery.remove_target("10.0.0.1:9100")
+        assert len(discovery) == 1
+        with pytest.raises(KeyError):
+            discovery.remove_target("10.0.0.1:9100")
+        with pytest.raises(KeyError):
+            discovery.env_of("10.0.0.1:9100")
+
+    def test_duplicate_endpoint_rejected(self, tmp_path):
+        discovery = ServiceDiscovery(tmp_path / "sd.json")
+        discovery.add_target("10.0.0.1:9100", "em-1")
+        with pytest.raises(ValueError):
+            discovery.add_target("10.0.0.1:9100", "em-2")
+
+    def test_malformed_endpoint_rejected(self, tmp_path):
+        discovery = ServiceDiscovery(tmp_path / "sd.json")
+        with pytest.raises(ValueError):
+            discovery.add_target("not-an-endpoint", "em-1")
+
+    def test_reload_from_disk(self, tmp_path):
+        path = tmp_path / "sd.json"
+        first = ServiceDiscovery(path)
+        first.add_target("10.0.0.1:9100", "em-1")
+        second = ServiceDiscovery(path)
+        assert second.env_of("10.0.0.1:9100") == "em-1"
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "sd.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(ValueError):
+            ServiceDiscovery(path)
