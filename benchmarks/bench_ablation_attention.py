@@ -14,7 +14,6 @@ from conftest import emit
 from repro.data import TelecomConfig, generate_telecom
 from repro.data.windows import build_windows
 from repro.eval import mae, train_env2vec_telecom
-from repro.nn import Tensor
 
 
 def _evaluate():

@@ -8,7 +8,6 @@ manageable at low γ: without it, alarms multiply and precision drops.
 
 from conftest import emit
 from repro.core import ContextualAnomalyDetector, GaussianErrorModel, score_alarms
-from repro.data.windows import build_windows
 from repro.eval.telecom_experiments import _predict_execution, _problem_intervals
 
 import numpy as np

@@ -12,7 +12,6 @@ Paper claims being reproduced:
 
 import time
 
-import numpy as np
 
 from conftest import emit
 from repro.data.windows import build_windows_multi

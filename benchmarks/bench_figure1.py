@@ -8,7 +8,6 @@ Paper shape being reproduced:
   data (the red boxplots), showing per-chain linear models underperform.
 """
 
-import numpy as np
 
 from conftest import emit
 from repro.eval import run_figure1

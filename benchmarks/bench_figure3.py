@@ -10,7 +10,6 @@ Paper shape being reproduced (Figures 3a, 3b, and the embedded table):
 - the paired t-test at 0.05 confirms the Env2Vec vs RFNN_all difference.
 """
 
-import numpy as np
 
 from conftest import emit
 from repro.eval import paired_t_test

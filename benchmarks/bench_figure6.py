@@ -6,7 +6,6 @@ closer than cross-type pairs — because build versions of one type share
 latent behaviour the embeddings recover.
 """
 
-import numpy as np
 
 from conftest import emit
 from repro.eval import run_embedding_pca

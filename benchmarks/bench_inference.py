@@ -1,0 +1,144 @@
+"""Benchmark — autograd forward vs. the compiled tape-free inference engine.
+
+The paper's serving loop (§3 steps 3-5) predicts RU once per timestep per
+running testbed, i.e. batch-size-1 streaming, where tape bookkeeping and
+Tensor allocation dominate the numpy math. This benchmark measures both
+serving shapes on a trained Env2Vec model:
+
+- **batch-1 streaming**: one prediction per call over consecutive
+  timesteps of one execution (the production monitoring pattern);
+- **batch-256 throughput**: one vectorized call over a large window
+  (the calibration/backfill pattern),
+
+each through (a) the autograd forward under ``no_grad`` and (b) the
+compiled :class:`~repro.nn.inference.InferenceModel`. Results go to
+``benchmarks/results/BENCH_inference.json`` (machine-readable) and the
+usual rendered table.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import emit
+from repro.core.model import Env2VecRegressor
+from repro.data import Environment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Acceptance floor: the engine must beat the no_grad autograd forward by
+#: at least this factor on batch-1 streaming.
+MIN_STREAMING_SPEEDUP = 3.0
+
+
+def _trained_regressor(seed: int = 0) -> Env2VecRegressor:
+    rng = np.random.default_rng(seed)
+    environments = [
+        Environment(f"Testbed_{i % 5:02d}", f"SUT_{i % 3}", f"Testcase_{i % 4}", f"Build_{i % 6}")
+        for i in range(240)
+    ]
+    X = rng.standard_normal((240, 6))
+    history = rng.standard_normal((240, 3))
+    y = X @ rng.standard_normal(6) + 0.5 * history.sum(axis=1)
+    regressor = Env2VecRegressor(
+        n_lags=3, embedding_dim=10, fnn_hidden=64, gru_hidden=16,
+        max_epochs=2, batch_size=64, seed=seed,
+    )
+    return regressor.fit(environments, X, history, y)
+
+
+def _time_pair(fn_a, fn_b, repeats: int, rounds: int = 7) -> tuple[float, float]:
+    """Best-of-``rounds`` wall time for each contender, interleaved.
+
+    Alternating A/B within every round means a background load spike hits
+    both sides rather than biasing whichever happened to run under it.
+    """
+    best_a = best_b = np.inf
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def run_inference_bench(n_stream: int = 300) -> dict:
+    regressor = _trained_regressor()
+    engine = regressor.compile()
+    model = regressor.model
+    model.eval()
+    rng = np.random.default_rng(1)
+
+    environment = Environment("Testbed_00", "SUT_0", "Testcase_0", "Build_0")
+    stream_batch = regressor._batch([environment], rng.standard_normal((1, 6)),
+                                    rng.standard_normal((1, 3)))
+    big_batch = regressor._batch([environment] * 256, rng.standard_normal((256, 6)),
+                                 rng.standard_normal((256, 3)))
+
+    engine.assert_close(stream_batch, atol=1e-10)
+    engine.assert_close(big_batch, atol=1e-10)
+
+    from repro.nn import no_grad
+
+    def autograd_forward(batch):
+        with no_grad():
+            return model(**batch).numpy()
+
+    results = {}
+    for name, batch, repeats in (
+        ("batch1_streaming", stream_batch, n_stream),
+        ("batch256_throughput", big_batch, max(1, n_stream // 10)),
+    ):
+        autograd_s, compiled_s = _time_pair(
+            lambda: autograd_forward(batch), lambda: engine(**batch), repeats
+        )
+        results[name] = {
+            "calls": repeats,
+            "autograd_no_grad_us_per_call": 1e6 * autograd_s / repeats,
+            "compiled_us_per_call": 1e6 * compiled_s / repeats,
+            "speedup": autograd_s / compiled_s,
+        }
+    results["env_cache"] = {"hits": engine.env_cache.hits, "misses": engine.env_cache.misses}
+    return results
+
+
+def _render(results: dict) -> str:
+    lines = ["Inference engine — autograd no_grad vs compiled (trained Env2Vec)"]
+    for name in ("batch1_streaming", "batch256_throughput"):
+        row = results[name]
+        lines.append(
+            f"  {name:<22} autograd={row['autograd_no_grad_us_per_call']:9.1f}us  "
+            f"compiled={row['compiled_us_per_call']:9.1f}us  "
+            f"speedup={row['speedup']:5.1f}x"
+        )
+    cache = results["env_cache"]
+    lines.append(f"  embedding row cache: {cache['hits']} hits / {cache['misses']} misses")
+    return "\n".join(lines)
+
+
+def test_bench_inference(benchmark):
+    results = benchmark.pedantic(run_inference_bench, rounds=1, iterations=1)
+    emit("inference", _render(results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_inference.json").write_text(json.dumps(results, indent=2) + "\n")
+
+    assert results["batch1_streaming"]["speedup"] >= MIN_STREAMING_SPEEDUP, (
+        f"compiled batch-1 inference is only "
+        f"{results['batch1_streaming']['speedup']:.2f}x faster; need {MIN_STREAMING_SPEEDUP}x"
+    )
+    assert results["batch256_throughput"]["speedup"] >= 1.0, (
+        "compiled batched inference must not be slower than autograd"
+    )
+
+
+if __name__ == "__main__":
+    bench_results = run_inference_bench()
+    print(_render(bench_results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_inference.json").write_text(json.dumps(bench_results, indent=2) + "\n")

@@ -14,7 +14,7 @@ Paper shape being reproduced:
 """
 
 from conftest import emit
-from repro.core import EnvironmentVocabulary, blind_chains, composable
+from repro.core import EnvironmentVocabulary, blind_chains
 from repro.eval import run_unseen_table
 
 GAMMAS = (1.0, 2.0, 3.0)

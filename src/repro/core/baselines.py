@@ -21,6 +21,7 @@ import numpy as np
 
 from ..ml.preprocessing import StandardScaler
 from ..nn.gru import GRU
+from ..nn.inference import CompiledDense, compile_recurrent, register_compiler
 from ..nn.layers import Dense, Dropout, Module
 from ..nn.tensor import Tensor
 from ..nn.training import EarlyStopping, Trainer, TrainingHistory
@@ -98,6 +99,38 @@ class RFNNModel(Module):
         v_ts = self.gru(Tensor(history[:, :, None]))
         v_d = self.combine(Tensor.concat([v_ts, v_fs], axis=1))
         return self.output(v_d).reshape(-1)
+
+
+@register_compiler(FNNModel)
+def _compile_fnn(model: FNNModel, dtype: np.dtype):
+    hidden_layer = CompiledDense(model.hidden_layer, dtype)
+    output = CompiledDense(model.output, dtype)
+
+    def forward(cf: np.ndarray) -> np.ndarray:
+        return output(hidden_layer(np.asarray(cf, dtype=dtype))).reshape(-1)
+
+    return forward
+
+
+@register_compiler(RFNNModel)
+def _compile_rfnn(model: RFNNModel, dtype: np.dtype):
+    fnn = CompiledDense(model.fnn, dtype)
+    gru = compile_recurrent(model.gru, dtype)
+    combine = CompiledDense(model.combine, dtype)
+    output = CompiledDense(model.output, dtype)
+    n_features, n_lags = model.n_features, model.n_lags
+
+    def forward(cf: np.ndarray, history: np.ndarray) -> np.ndarray:
+        cf = np.asarray(cf, dtype=dtype)
+        history = np.asarray(history, dtype=dtype)
+        if cf.shape[1] != n_features:
+            raise ValueError(f"expected {n_features} contextual features, got {cf.shape[1]}")
+        if history.shape[1] != n_lags:
+            raise ValueError(f"expected history window of {n_lags}, got {history.shape[1]}")
+        v_s = np.concatenate([gru(history[:, :, None]), fnn(cf)], axis=1)
+        return output(combine(v_s)).reshape(-1)
+
+    return forward
 
 
 class _ScaledNNRegressor:

@@ -174,6 +174,15 @@ class EnvironmentEmbeddings(Module):
             pieces.append(self.tables[field](column))
         return Tensor.concat(pieces, axis=1)
 
+    def table_arrays(self) -> list[np.ndarray]:
+        """Raw per-field weight matrices in ``vocabulary.fields`` order.
+
+        The inference engine snapshots these into an
+        :class:`~repro.nn.inference.EmbeddingRowCache`; keeping the field
+        order here means the cache's concatenation matches eq. 1 exactly.
+        """
+        return [self.tables[field].weight.data for field in self.vocabulary.fields]
+
     def grow_tables(self, added: dict[str, list[str]], noise: float = 0.01) -> None:
         """Expand the lookup tables after a vocabulary extension.
 

@@ -28,11 +28,23 @@ import numpy as np
 
 from ..data.environment import EM_FIELDS, Environment
 from ..ml.preprocessing import StandardScaler
+from ..nn import init as initializers
+from ..nn import ops
 from ..nn.attention import AdditiveAttention
 from ..nn.gru import GRU
+from ..nn.inference import (
+    CompiledDense,
+    EmbeddingRowCache,
+    InferenceModel,
+    compile_attention,
+    compile_module,
+    compile_recurrent,
+    register_compiler,
+    snapshot,
+)
 from ..nn.layers import Dense, Dropout, Module
 from ..nn.lstm import LSTM
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, no_grad
 from ..nn.training import EarlyStopping, Trainer, TrainingHistory
 from .embeddings import EnvironmentEmbeddings, EnvironmentVocabulary
 
@@ -96,7 +108,6 @@ class Env2VecModel(Module):
         self.combine = Dense(fnn_hidden + gru_hidden, c_dim, rng=rng)
         if head == "bilinear":
             from ..nn.layers import Parameter
-            from ..nn import init as initializers
 
             self.bilinear = Parameter(
                 initializers.glorot_uniform((c_dim, c_dim), rng), name="bilinear"
@@ -130,6 +141,51 @@ class Env2VecModel(Module):
             return ((v_d @ self.bilinear) * c).sum(axis=1)
         merged = Tensor.concat([v_d, c], axis=1)
         return self.head_out(self.head_hidden(merged)).reshape(-1)
+
+
+@register_compiler(Env2VecModel)
+def _compile_env2vec(model: Env2VecModel, dtype: np.dtype):
+    """Compile rule for the full Env2Vec architecture.
+
+    Mirrors :meth:`Env2VecModel.forward` in eval mode: dropout and
+    unknown-dropout are elided, the recurrent branch runs the fused
+    sequence kernels, and the embedding branch is served from an LRU
+    :class:`EmbeddingRowCache` keyed by the env-id tuple.
+    """
+    fnn = CompiledDense(model.fnn, dtype)
+    recurrent = compile_recurrent(model.gru, dtype)
+    attention = compile_attention(model.attention, dtype) if model.use_attention else None
+    combine = CompiledDense(model.combine, dtype)
+    env_cache = EmbeddingRowCache(model.embeddings.table_arrays(), dtype)
+    head = model.head
+    if head == "bilinear":
+        bilinear = snapshot(model.bilinear.data, dtype)
+    elif head == "mlp":
+        head_hidden = CompiledDense(model.head_hidden, dtype)
+        head_out = CompiledDense(model.head_out, dtype)
+    n_features, n_lags = model.n_features, model.n_lags
+
+    def forward(cf: np.ndarray, history: np.ndarray, env: np.ndarray) -> np.ndarray:
+        cf = np.asarray(cf, dtype=dtype)
+        history = np.asarray(history, dtype=dtype)
+        if cf.shape[1] != n_features:
+            raise ValueError(f"expected {n_features} contextual features, got {cf.shape[1]}")
+        if history.shape[1] != n_lags:
+            raise ValueError(f"expected history window of {n_lags}, got {history.shape[1]}")
+        v_fs = fnn(cf)
+        v_ts = recurrent(history[:, :, None])
+        if attention is not None:
+            v_ts = attention(v_ts)
+        v_d = combine(np.concatenate([v_ts, v_fs], axis=1))
+        c = env_cache.rows(env)
+        if head == "hadamard":
+            return ops.hadamard_head(v_d, c)
+        if head == "bilinear":
+            return ops.bilinear_head(v_d, bilinear, c)[0]
+        return head_out(head_hidden(np.concatenate([v_d, c], axis=1))).reshape(-1)
+
+    forward.env_cache = env_cache
+    return forward
 
 
 class Env2VecRegressor:
@@ -176,6 +232,7 @@ class Env2VecRegressor:
         self.model: Env2VecModel | None = None
         self.vocabulary: EnvironmentVocabulary | None = None
         self.history_: TrainingHistory | None = None
+        self._engine: InferenceModel | None = None
 
     # -- internals --------------------------------------------------------
     def _scale_inputs(self, X, history):
@@ -250,12 +307,51 @@ class Env2VecRegressor:
             rng=rng,
         )
         self.history_ = trainer.fit(inputs, targets, val_inputs, val_targets)
-        self._trainer = trainer
+        self._engine = None  # weights changed; any compiled engine is stale
         return self
 
-    def predict(self, environments: list[Environment], X: np.ndarray, history: np.ndarray) -> np.ndarray:
+    def compile(self, dtype=np.float64) -> InferenceModel:
+        """Snapshot the fitted model into a tape-free inference engine.
+
+        The engine is cached and reused by :meth:`predict` until the next
+        ``fit``/``fine_tune`` invalidates it. Pass ``np.float32`` to halve
+        the weight footprint (at float32 accuracy).
+        """
+        if self.model is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        self.model.eval()
+        self._engine = compile_module(self.model, dtype=dtype)
+        return self._engine
+
+    def _ensure_engine(self) -> InferenceModel:
+        if self._engine is None:
+            self.compile()
+        return self._engine
+
+    def predict(
+        self,
+        environments: list[Environment],
+        X: np.ndarray,
+        history: np.ndarray,
+        compiled: bool = True,
+    ) -> np.ndarray:
+        """Inverse-scaled predictions for aligned environments/features/windows.
+
+        By default this runs the compiled tape-free engine (compiling on
+        first use). ``compiled=False`` keeps the autograd forward under
+        ``no_grad`` — slower, retained as the parity/benchmark baseline.
+        """
         batch = self._batch(environments, X, history)
-        scaled = self._trainer.predict(batch)
+        if compiled:
+            scaled = self._ensure_engine().predict(batch, batch_size=self.batch_size)
+        else:
+            self.model.eval()
+            outputs = []
+            with no_grad():
+                for start in range(0, len(X), self.batch_size):
+                    chunk = {k: v[start : start + self.batch_size] for k, v in batch.items()}
+                    outputs.append(self.model(**chunk).numpy())
+            scaled = np.concatenate(outputs, axis=0)
         return scaled * self._y_std + self._y_mean
 
     def embed_environments(self, environments: list[Environment]) -> np.ndarray:
@@ -322,7 +418,7 @@ class Env2VecRegressor:
             rng=np.random.default_rng(self.seed + 1),
         )
         trainer.fit(inputs, targets)
-        self._trainer = trainer
+        self._engine = None  # tables grew and weights moved; recompile lazily
         return self
 
     def coverage(self, environment: Environment) -> dict[str, bool]:
@@ -366,7 +462,14 @@ class Env2VecRegressor:
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "Env2VecRegressor":
-        """Reconstruct a fitted regressor from :meth:`to_bytes` output."""
+        """Reconstruct a fitted regressor from :meth:`to_bytes` output.
+
+        Construction runs under :func:`repro.nn.init.deferred_init`: every
+        parameter is about to be overwritten by ``load_state_dict``, so the
+        usual Glorot/orthogonal draws (a QR decomposition per recurrent
+        kernel) would be thrown away. The deserialized regressor predicts
+        through the compiled inference path directly — no Trainer needed.
+        """
         from ..nn.serialize import load_model_bytes
 
         state, config = load_model_bytes(blob)
@@ -383,20 +486,20 @@ class Env2VecRegressor:
             recurrent_unit=hyper.get("recurrent_unit", "gru"),
         )
         regressor.vocabulary = EnvironmentVocabulary.from_config(config["vocabulary"])
-        regressor.model = Env2VecModel(
-            n_features=config["n_features"],
-            n_lags=hyper["n_lags"],
-            vocabulary=regressor.vocabulary,
-            embedding_dim=hyper["embedding_dim"],
-            fnn_hidden=hyper["fnn_hidden"],
-            gru_hidden=hyper["gru_hidden"],
-            dropout=hyper["dropout"],
-            head=hyper["head"],
-            unknown_dropout=hyper.get("unknown_dropout", 0.0),
-            use_attention=hyper.get("use_attention", False),
-            recurrent_unit=hyper.get("recurrent_unit", "gru"),
-            rng=np.random.default_rng(0),
-        )
+        with initializers.deferred_init():
+            regressor.model = Env2VecModel(
+                n_features=config["n_features"],
+                n_lags=hyper["n_lags"],
+                vocabulary=regressor.vocabulary,
+                embedding_dim=hyper["embedding_dim"],
+                fnn_hidden=hyper["fnn_hidden"],
+                gru_hidden=hyper["gru_hidden"],
+                dropout=hyper["dropout"],
+                head=hyper["head"],
+                unknown_dropout=hyper.get("unknown_dropout", 0.0),
+                use_attention=hyper.get("use_attention", False),
+                recurrent_unit=hyper.get("recurrent_unit", "gru"),
+            )
         regressor.model.load_state_dict(state)
         scaler = StandardScaler()
         scaler.mean_ = np.asarray(config["x_mean"], dtype=np.float64)
@@ -404,5 +507,4 @@ class Env2VecRegressor:
         regressor._x_scaler = scaler
         regressor._y_mean = float(config["y_mean"])
         regressor._y_std = float(config["y_std"])
-        regressor._trainer = Trainer(regressor.model, batch_size=regressor.batch_size)
         return regressor

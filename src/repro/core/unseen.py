@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..data.chains import BuildChain, TestExecution
+from ..data.chains import TestExecution
 from ..data.environment import EM_FIELDS, Environment
 from ..data.telecom import TelecomDataset
 from .embeddings import EnvironmentVocabulary

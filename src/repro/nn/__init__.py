@@ -1,28 +1,49 @@
 """A from-scratch deep-learning stack (autograd, layers, GRU, training).
 
 This package substitutes for Keras/TensorFlow, which the paper uses but
-which are unavailable offline. It provides exactly the pieces the Env2Vec
-architecture needs: a reverse-mode autograd engine over numpy, Dense /
-Embedding / Dropout layers, the GRU of the paper's Appendix A, MSE/MAE
-losses, the Adam optimizer, a mini-batch training loop with early stopping,
-and model serialization.
+which are unavailable offline. It is layered as three tiers:
+
+- :mod:`repro.nn.ops` — pure numpy forward/backward kernels, no tape;
+- the autograd tier — :class:`Tensor` + layer classes that run the ops
+  kernels and attach gradients as fused tape nodes (training math);
+- :mod:`repro.nn.inference` — a tape-free engine that compiles a fitted
+  module into contiguous-weight numpy closures (serving math).
+
+Plus everything around them: MSE/MAE losses, the Adam optimizer, a
+mini-batch training loop with early stopping, and model serialization.
 """
 
+from . import ops
 from .attention import AdditiveAttention
 from .gru import GRU, GRUCell
-from .init import embedding_uniform, glorot_uniform, he_uniform, orthogonal, zeros
+from .inference import (
+    EmbeddingRowCache,
+    InferenceModel,
+    UnsupportedModuleError,
+    compile_module,
+    register_compiler,
+)
+from .init import deferred_init, embedding_uniform, glorot_uniform, he_uniform, orthogonal, zeros
 from .layers import ACTIVATIONS, Dense, Dropout, Embedding, Module, Parameter, Sequential
 from .losses import get_loss, huber_loss, mae_loss, mse_loss
 from .lstm import LSTM, LSTMCell
 from .optim import SGD, Adam, Optimizer, clip_gradients
 from .serialize import load_model_bytes, load_state, save_model_bytes, save_state
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import Tensor, apply_op, is_grad_enabled, no_grad
 from .training import EarlyStopping, ReduceLROnPlateau, Trainer, TrainingHistory
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "apply_op",
+    "ops",
+    "InferenceModel",
+    "EmbeddingRowCache",
+    "UnsupportedModuleError",
+    "compile_module",
+    "register_compiler",
+    "deferred_init",
     "Module",
     "Parameter",
     "Dense",

@@ -22,8 +22,9 @@ from __future__ import annotations
 import numpy as np
 
 from . import init as initializers
+from . import ops
 from .layers import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, apply_op
 
 __all__ = ["AdditiveAttention"]
 
@@ -59,17 +60,16 @@ class AdditiveAttention(Module):
             raise ValueError(
                 f"expected (batch, timesteps, {self.hidden_size}); got shape {sequence.shape}"
             )
-        batch, timesteps, hidden = sequence.shape
-        flat = sequence.reshape(batch * timesteps, hidden)
-        scores = (flat @ self.projection).tanh() @ self.context  # (B*T, 1)
-        scores = scores.reshape(batch, timesteps)
-        # Numerically stable softmax over the time axis.
-        shifted = scores - Tensor(scores.numpy().max(axis=1, keepdims=True))
-        exp = shifted.exp()
-        weights = exp / exp.sum(axis=1, keepdims=True)  # (B, T)
-        self._last_weights = weights.numpy().copy()
-        weighted = sequence * weights.reshape(batch, timesteps, 1)
-        return weighted.sum(axis=1)
+        sequence = sequence if isinstance(sequence, Tensor) else Tensor(sequence)
+        out, cache = ops.attention_forward(
+            sequence.data, self.projection.data, self.context.data
+        )
+        self._last_weights = cache["weights"].copy()
+        return apply_op(
+            (sequence, self.projection, self.context),
+            out,
+            lambda grad: ops.attention_backward(grad, cache),
+        )
 
     @property
     def last_weights(self) -> np.ndarray:

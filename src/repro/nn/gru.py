@@ -19,8 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from . import init as initializers
+from . import ops
 from .layers import ACTIVATIONS, Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, apply_op
 
 __all__ = ["GRUCell", "GRU"]
 
@@ -56,12 +57,22 @@ class GRUCell(Module):
         self.b_h = Parameter(initializers.zeros((hidden_size,)), name="b_h")
 
     def forward(self, y_t: Tensor, h_prev: Tensor) -> Tensor:
-        z_t = (y_t @ self.w_z + h_prev @ self.u_z + self.b_z).sigmoid()
-        r_t = (y_t @ self.w_r + h_prev @ self.u_r + self.b_r).sigmoid()
-        candidate = ACTIVATIONS[self.activation_name](
-            y_t @ self.w_h + r_t * (h_prev @ self.u_h) + self.b_h
+        y_t = y_t if isinstance(y_t, Tensor) else Tensor(y_t)
+        h_prev = h_prev if isinstance(h_prev, Tensor) else Tensor(h_prev)
+        h, cache = ops.gru_step_forward(
+            y_t.data, h_prev.data,
+            self.w_z.data, self.u_z.data, self.b_z.data,
+            self.w_r.data, self.u_r.data, self.b_r.data,
+            self.w_h.data, self.u_h.data, self.b_h.data,
+            act=self.activation_name,
         )
-        return (1.0 - z_t) * candidate + z_t * h_prev
+        parents = (
+            y_t, h_prev,
+            self.w_z, self.u_z, self.b_z,
+            self.w_r, self.u_r, self.b_r,
+            self.w_h, self.u_h, self.b_h,
+        )
+        return apply_op(parents, h, lambda grad: ops.gru_step_backward(grad, cache))
 
 
 class GRU(Module):

@@ -1,0 +1,304 @@
+"""Tape-free inference engine: compile a fitted Module into pure numpy.
+
+Training needs the autograd tape; serving does not. The paper's production
+loop (§3 steps 3–5) runs the trained Env2Vec model continuously over
+streaming testbed metrics, so every wasted allocation on the predict path
+is paid once per timestep per testbed. This module "compiles" a fitted
+:class:`~repro.nn.layers.Module` into an :class:`InferenceModel`:
+
+- weights are snapshotted as contiguous arrays (optionally ``float32``),
+  with recurrent gate kernels fused into single matmuls
+  (:func:`repro.nn.ops.fuse_gru_weights` / ``fuse_lstm_weights``);
+- dropout is elided entirely (it is already a no-op in eval mode — here it
+  doesn't even appear in the compiled plan);
+- no :class:`~repro.nn.tensor.Tensor` objects, backward closures, or graph
+  bookkeeping exist anywhere on the path — each forward is plain vectorized
+  numpy over the :mod:`repro.nn.ops` kernels;
+- :meth:`InferenceModel.assert_close` checks numerical parity against the
+  autograd forward, so a compiled model can prove it matches the weights it
+  was built from.
+
+Model-specific compile rules live next to the model classes (e.g.
+:mod:`repro.core.model` registers the Env2Vec architecture) and plug in via
+:func:`register_compiler`. Matching is by *exact* type: a subclass that
+overrides ``forward`` must register its own rule, otherwise compilation
+refuses rather than silently using the parent's plan.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Mapping
+
+import numpy as np
+
+from . import ops
+from .attention import AdditiveAttention
+from .gru import GRU
+from .layers import Dense, Dropout, Sequential
+from .lstm import LSTM
+from .tensor import no_grad
+
+__all__ = [
+    "UnsupportedModuleError",
+    "InferenceModel",
+    "EmbeddingRowCache",
+    "CompiledDense",
+    "compile_module",
+    "compile_recurrent",
+    "compile_attention",
+    "register_compiler",
+    "snapshot",
+]
+
+
+class UnsupportedModuleError(TypeError):
+    """No compile rule is registered for the module's exact type."""
+
+
+def snapshot(array: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Contiguous, dtype-converted copy of a parameter — the engine never
+    aliases live training weights, so an optimizer step cannot corrupt a
+    compiled model. (``ascontiguousarray`` alone would alias when the input
+    is already contiguous in the right dtype, hence the explicit copy.)"""
+    return np.array(array, dtype=dtype, order="C", copy=True)
+
+
+class CompiledDense:
+    """``activation(x @ W + b)`` over snapshotted weights."""
+
+    __slots__ = ("weight", "bias", "act")
+
+    def __init__(self, dense: Dense, dtype: np.dtype):
+        self.weight = snapshot(dense.weight.data, dtype)
+        self.bias = snapshot(dense.bias.data, dtype)
+        self.act = dense.activation_name
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return ops.activation(self.act, x @ self.weight + self.bias)
+
+
+def compile_recurrent(module: GRU | LSTM, dtype: np.dtype) -> Callable[[np.ndarray], np.ndarray]:
+    """Compile a GRU/LSTM layer into a fused tape-free sequence runner."""
+    if isinstance(module, GRU):
+        cell = module.cell
+        fused = ops.fuse_gru_weights(
+            cell.w_z.data, cell.u_z.data, cell.b_z.data,
+            cell.w_r.data, cell.u_r.data, cell.b_r.data,
+            cell.w_h.data, cell.u_h.data, cell.b_h.data,
+            dtype=dtype,
+        )
+        act = cell.activation_name
+        return_sequences = module.return_sequences
+
+        def run_gru(sequence: np.ndarray) -> np.ndarray:
+            return ops.gru_sequence(sequence, fused, act, return_sequences)
+
+        return run_gru
+    if isinstance(module, LSTM):
+        cell = module.cell
+        fused = ops.fuse_lstm_weights(
+            cell.w_i.data, cell.u_i.data, cell.b_i.data,
+            cell.w_f.data, cell.u_f.data, cell.b_f.data,
+            cell.w_o.data, cell.u_o.data, cell.b_o.data,
+            cell.w_g.data, cell.u_g.data, cell.b_g.data,
+            dtype=dtype,
+        )
+        return_sequences = module.return_sequences
+
+        def run_lstm(sequence: np.ndarray) -> np.ndarray:
+            return ops.lstm_sequence(sequence, fused, return_sequences)
+
+        return run_lstm
+    raise UnsupportedModuleError(f"not a recurrent layer: {type(module).__name__}")
+
+
+def compile_attention(
+    module: AdditiveAttention, dtype: np.dtype
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Compile additive attention pooling (weights snapshotted)."""
+    projection = snapshot(module.projection.data, dtype)
+    context = snapshot(module.context.data, dtype)
+
+    def run_attention(sequence: np.ndarray) -> np.ndarray:
+        out, _ = ops.attention_forward(sequence, projection, context)
+        return out
+
+    return run_attention
+
+
+class EmbeddingRowCache:
+    """LRU cache of concatenated environment-embedding rows ``C``.
+
+    Environments repeat for every timestep of a test execution (and across
+    executions of the same build chain), so the per-field gathers and the
+    concatenation ``C = [ec^1, ..., ec^k]`` (eq. 1) are recomputed millions
+    of times on identical id tuples. Caching the finished row keyed by the
+    env-id tuple turns the embedding branch of a streaming prediction into
+    one dict hit; with the Hadamard head the whole environment side of
+    eq. 2 then costs a single cached gather + dot per step.
+    """
+
+    def __init__(self, tables: list[np.ndarray], dtype: np.dtype, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.tables = [snapshot(table, dtype) for table in tables]
+        self.dim = int(sum(table.shape[1] for table in self.tables))
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._cache: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def _row(self, key: tuple[int, ...]) -> np.ndarray:
+        row = self._cache.get(key)
+        if row is not None:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            return row
+        self.misses += 1
+        row = np.concatenate([table[i] for table, i in zip(self.tables, key)])
+        self._cache[key] = row
+        if len(self._cache) > self.maxsize:
+            self._cache.popitem(last=False)
+        return row
+
+    def rows(self, ids: np.ndarray) -> np.ndarray:
+        """``(n, n_fields)`` id matrix -> ``(n, dim)`` concatenated rows."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 2 or ids.shape[1] != len(self.tables):
+            raise ValueError(f"expected ids of shape (n, {len(self.tables)}); got {ids.shape}")
+        if len(ids) == 1:  # streaming fast path: one tuple hash
+            return self._row(tuple(ids[0].tolist()))[None, :]
+        # Dict-based dedup: each distinct tuple touches the LRU cache once.
+        # (np.unique(axis=0) would argsort a structured view — far slower
+        # than hashing for the few-environments-per-batch case.)
+        index_of: dict[tuple[int, ...], int] = {}
+        inverse = np.empty(len(ids), dtype=np.intp)
+        gathered: list[np.ndarray] = []
+        for position, key in enumerate(map(tuple, ids.tolist())):
+            slot = index_of.get(key)
+            if slot is None:
+                slot = len(gathered)
+                index_of[key] = slot
+                gathered.append(self._row(key))
+            inverse[position] = slot
+        return np.asarray(gathered)[inverse]
+
+
+_COMPILERS: dict[type, Callable[[object, np.dtype], Callable[..., np.ndarray]]] = {}
+
+
+def register_compiler(cls: type):
+    """Register a compile rule: ``fn(module, dtype) -> forward_fn``.
+
+    ``forward_fn`` takes the same keyword arrays as the module's ``forward``
+    and returns a numpy array. Attributes set on ``forward_fn`` (e.g. an
+    ``env_cache``) are surfaced on the :class:`InferenceModel`.
+    """
+
+    def decorator(fn):
+        _COMPILERS[cls] = fn
+        return fn
+
+    return decorator
+
+
+class InferenceModel:
+    """A compiled, tape-free forward for a fitted module."""
+
+    def __init__(self, forward_fn: Callable[..., np.ndarray], source, dtype: np.dtype):
+        self._forward = forward_fn
+        self._source = source
+        self.dtype = dtype
+        #: the Env2Vec engine's embedding-row cache, if the plan has one
+        self.env_cache: EmbeddingRowCache | None = getattr(forward_fn, "env_cache", None)
+
+    def __call__(self, **inputs) -> np.ndarray:
+        return self._forward(**inputs)
+
+    def predict(self, inputs: Mapping[str, np.ndarray], batch_size: int | None = None) -> np.ndarray:
+        """Vectorized prediction, optionally chunked to bound peak memory."""
+        if batch_size is None:
+            return self._forward(**inputs)
+        n = len(next(iter(inputs.values())))
+        outputs = [
+            self._forward(**{key: value[start : start + batch_size] for key, value in inputs.items()})
+            for start in range(0, n, batch_size)
+        ]
+        return np.concatenate(outputs, axis=0)
+
+    def assert_close(self, inputs: Mapping[str, np.ndarray], atol: float = 1e-10) -> float:
+        """Check parity against the source module's autograd forward.
+
+        Runs the original module in eval mode under ``no_grad`` and compares
+        elementwise. Returns the max absolute difference; raises
+        ``AssertionError`` beyond ``atol``. For ``float32`` engines pass a
+        correspondingly looser tolerance.
+        """
+        compiled = np.asarray(self._forward(**inputs), dtype=np.float64)
+        was_training = getattr(self._source, "training", False)
+        self._source.eval()
+        try:
+            with no_grad():
+                reference = self._source(**inputs).numpy()
+        finally:
+            if was_training:
+                self._source.train()
+        max_err = float(np.max(np.abs(compiled - reference))) if compiled.size else 0.0
+        if max_err > atol:
+            raise AssertionError(
+                f"compiled inference diverges from autograd forward: "
+                f"max |Δ| = {max_err:.3e} > atol = {atol:.1e}"
+            )
+        return max_err
+
+
+def compile_module(module, dtype=np.float64) -> InferenceModel:
+    """Compile a fitted module into an :class:`InferenceModel`.
+
+    Raises :class:`UnsupportedModuleError` when no rule is registered for
+    the module's exact type (subclasses may override ``forward``, so they
+    are deliberately not matched through the MRO).
+    """
+    dtype = np.dtype(dtype)
+    compiler = _COMPILERS.get(type(module))
+    if compiler is None:
+        raise UnsupportedModuleError(
+            f"no inference compiler registered for {type(module).__name__}"
+        )
+    return InferenceModel(compiler(module, dtype), module, dtype)
+
+
+@register_compiler(Dense)
+def _compile_dense(module: Dense, dtype: np.dtype):
+    layer = CompiledDense(module, dtype)
+
+    def forward(x: np.ndarray) -> np.ndarray:
+        return layer(np.asarray(x, dtype=dtype))
+
+    return forward
+
+
+@register_compiler(Sequential)
+def _compile_sequential(module: Sequential, dtype: np.dtype):
+    steps = []
+    for sub in module.modules:
+        if type(sub) is Dropout:  # eval-mode identity: elide from the plan
+            continue
+        if type(sub) is Dense:
+            steps.append(CompiledDense(sub, dtype))
+            continue
+        raise UnsupportedModuleError(
+            f"Sequential contains uncompilable layer {type(sub).__name__}"
+        )
+
+    def forward(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=dtype)
+        for step in steps:
+            x = step(x)
+        return x
+
+    return forward

@@ -8,6 +8,9 @@ embedding tables.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
+
 import numpy as np
 
 __all__ = [
@@ -16,11 +19,38 @@ __all__ = [
     "orthogonal",
     "zeros",
     "embedding_uniform",
+    "deferred_init",
 ]
+
+
+class _InitMode(threading.local):
+    deferred = False
+
+
+_INIT_MODE = _InitMode()
+
+
+@contextmanager
+def deferred_init():
+    """Skip random weight initialization inside the block (zeros instead).
+
+    Deserialization builds a model only to immediately overwrite every
+    parameter via ``load_state_dict``; drawing Glorot/orthogonal weights
+    (the latter costs a QR decomposition per recurrent kernel) for throwaway
+    arrays is pure waste. Thread-local, like the autograd grad mode.
+    """
+    prev = _INIT_MODE.deferred
+    _INIT_MODE.deferred = True
+    try:
+        yield
+    finally:
+        _INIT_MODE.deferred = prev
 
 
 def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Glorot/Xavier uniform: U(-l, l) with l = sqrt(6 / (fan_in + fan_out))."""
+    if _INIT_MODE.deferred:
+        return np.zeros(shape, dtype=np.float64)
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
     return rng.uniform(-limit, limit, size=shape)
@@ -28,6 +58,8 @@ def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarr
 
 def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """He uniform: U(-l, l) with l = sqrt(6 / fan_in); suits ReLU layers."""
+    if _INIT_MODE.deferred:
+        return np.zeros(shape, dtype=np.float64)
     fan_in, _ = _fans(shape)
     limit = np.sqrt(6.0 / fan_in)
     return rng.uniform(-limit, limit, size=shape)
@@ -35,6 +67,8 @@ def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
 
 def orthogonal(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     """Orthogonal initializer (used for GRU recurrent kernels)."""
+    if _INIT_MODE.deferred:
+        return np.zeros(shape, dtype=np.float64)
     rows, cols = shape
     flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
     q, r = np.linalg.qr(flat)
@@ -52,6 +86,8 @@ def embedding_uniform(
     shape: tuple[int, ...], rng: np.random.Generator, scale: float = 0.05
 ) -> np.ndarray:
     """Keras-style RandomUniform(-scale, scale) used for embedding tables."""
+    if _INIT_MODE.deferred:
+        return np.zeros(shape, dtype=np.float64)
     return rng.uniform(-scale, scale, size=shape)
 
 

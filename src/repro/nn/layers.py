@@ -1,9 +1,15 @@
-"""Neural-network layers built on the :mod:`repro.nn.tensor` autograd engine.
+"""Neural-network layers built on the :mod:`repro.nn.ops` functional core.
 
 The layer set mirrors what the Env2Vec architecture (paper §3.1 and
 Appendix A) requires from Keras: ``Dense`` (the FNN and dense combination
 layers), ``Embedding`` (per-EM-field lookup tables with an ``<unk>`` row),
 ``Dropout`` (regularization, Appendix A.1), and ``Sequential`` for stacking.
+
+Each layer's forward runs the pure-numpy kernel from :mod:`repro.nn.ops`
+once and attaches the matching backward kernel as a single tape node
+(:func:`repro.nn.tensor.apply_op`), so training records one fused node per
+layer while the inference engine (:mod:`repro.nn.inference`) reuses the
+identical kernels with no tape at all.
 """
 
 from __future__ import annotations
@@ -13,7 +19,8 @@ from typing import Callable, Iterator
 import numpy as np
 
 from . import init as initializers
-from .tensor import Tensor
+from . import ops
+from .tensor import Tensor, apply_op, is_grad_enabled
 
 __all__ = ["Module", "Parameter", "Dense", "Dropout", "Embedding", "Sequential", "ACTIVATIONS"]
 
@@ -170,7 +177,13 @@ class Dense(Module):
         self.bias = Parameter(initializers.zeros((out_features,)), name="bias")
 
     def forward(self, x: Tensor) -> Tensor:
-        return ACTIVATIONS[self.activation_name](x @ self.weight + self.bias)
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        out, cache = ops.dense_forward(
+            x.data, self.weight.data, self.bias.data, self.activation_name
+        )
+        return apply_op(
+            (x, self.weight, self.bias), out, lambda grad: ops.dense_backward(grad, cache)
+        )
 
 
 class Dropout(Module):
@@ -184,9 +197,10 @@ class Dropout(Module):
         self.rng = rng if rng is not None else np.random.default_rng()
 
     def forward(self, x: Tensor) -> Tensor:
-        if not self.training or self.rate == 0.0:
+        if not self.training or self.rate == 0.0 or not is_grad_enabled():
             return x
-        return x.dropout(self.rate, self.rng)
+        out, cache = ops.dropout_forward(x.data, self.rate, self.rng)
+        return apply_op((x,), out, lambda grad: ops.dropout_backward(grad, cache))
 
 
 class Embedding(Module):
@@ -223,7 +237,8 @@ class Embedding(Module):
                 f"embedding ids out of range [0, {self.num_embeddings}): "
                 f"min={ids.min()}, max={ids.max()}"
             )
-        return self.weight.take_rows(ids)
+        out, cache = ops.embedding_forward(self.weight.data, ids)
+        return apply_op((self.weight,), out, lambda grad: ops.embedding_backward(grad, cache))
 
 
 class Sequential(Module):

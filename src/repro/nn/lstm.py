@@ -23,8 +23,9 @@ from __future__ import annotations
 import numpy as np
 
 from . import init as initializers
+from . import ops
 from .layers import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, apply_op
 
 __all__ = ["LSTMCell", "LSTM"]
 
@@ -57,12 +58,35 @@ class LSTMCell(Module):
             setattr(self, f"b_{gate}", Parameter(bias, name=f"b_{gate}"))
 
     def forward(self, x_t: Tensor, h_prev: Tensor, c_prev: Tensor) -> tuple[Tensor, Tensor]:
-        i_t = (x_t @ self.w_i + h_prev @ self.u_i + self.b_i).sigmoid()
-        f_t = (x_t @ self.w_f + h_prev @ self.u_f + self.b_f).sigmoid()
-        o_t = (x_t @ self.w_o + h_prev @ self.u_o + self.b_o).sigmoid()
-        g_t = (x_t @ self.w_g + h_prev @ self.u_g + self.b_g).tanh()
-        c_t = f_t * c_prev + i_t * g_t
-        h_t = o_t * c_t.tanh()
+        x_t = x_t if isinstance(x_t, Tensor) else Tensor(x_t)
+        h_prev = h_prev if isinstance(h_prev, Tensor) else Tensor(h_prev)
+        c_prev = c_prev if isinstance(c_prev, Tensor) else Tensor(c_prev)
+        h_data, c_data, cache = ops.lstm_step_forward(
+            x_t.data, h_prev.data, c_prev.data,
+            self.w_i.data, self.u_i.data, self.b_i.data,
+            self.w_f.data, self.u_f.data, self.b_f.data,
+            self.w_o.data, self.u_o.data, self.b_o.data,
+            self.w_g.data, self.u_g.data, self.b_g.data,
+        )
+        # Two tape nodes share one kernel cache: the cell state depends on
+        # the i/f/g gates, the hidden state on the output gate and c_t.
+        # Gradients flowing into c_t from *both* the next timestep and h_t
+        # accumulate on the c_t node before its backward runs.
+        c_t = apply_op(
+            (
+                x_t, h_prev, c_prev,
+                self.w_i, self.u_i, self.b_i,
+                self.w_f, self.u_f, self.b_f,
+                self.w_g, self.u_g, self.b_g,
+            ),
+            c_data,
+            lambda grad: ops.lstm_step_backward_c(grad, cache),
+        )
+        h_t = apply_op(
+            (x_t, h_prev, c_t, self.w_o, self.u_o, self.b_o),
+            h_data,
+            lambda grad: ops.lstm_step_backward_h(grad, cache),
+        )
         return h_t, c_t
 
 

@@ -1,0 +1,433 @@
+"""Functional numpy kernels shared by the autograd layers and the inference engine.
+
+This module is the *ops core* of the ``repro.nn`` stack: every forward
+kernel is pure numpy — no :class:`~repro.nn.tensor.Tensor`, no tape — and
+returns ``(output, cache)`` where ``cache`` holds exactly the intermediates
+its matching ``*_backward`` kernel needs. Two consumers sit on top:
+
+- the layer classes (:mod:`repro.nn.layers`, :mod:`repro.nn.gru`,
+  :mod:`repro.nn.lstm`, :mod:`repro.nn.attention`) call a forward kernel
+  once and register the matching backward kernel as a single tape node via
+  :func:`repro.nn.tensor.apply_op` — differentiable training math;
+- the tape-free engine (:mod:`repro.nn.inference`) calls the forward
+  kernels (and the fused sequence runners at the bottom of this module)
+  directly and throws the caches away — lean serving math.
+
+Keeping both paths on one set of kernels is what makes the engine's
+``assert_close`` parity guarantee cheap to maintain: there is one
+implementation of the math, exercised by the finite-difference gradient
+checks in ``tests/nn/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "activation",
+    "activation_delta",
+    "dense_forward",
+    "dense_backward",
+    "embedding_forward",
+    "embedding_backward",
+    "dropout_forward",
+    "dropout_backward",
+    "gru_step_forward",
+    "gru_step_backward",
+    "lstm_step_forward",
+    "lstm_step_backward_h",
+    "lstm_step_backward_c",
+    "attention_forward",
+    "attention_backward",
+    "hadamard_head",
+    "hadamard_head_backward",
+    "bilinear_head",
+    "bilinear_head_backward",
+    "fuse_gru_weights",
+    "gru_sequence",
+    "fuse_lstm_weights",
+    "lstm_sequence",
+    "ACTIVATION_NAMES",
+]
+
+ACTIVATION_NAMES = ("linear", "relu", "sigmoid", "tanh")
+
+
+try:  # scipy's expit is a single C ufunc (no temporaries for exp/add/divide)
+    from scipy.special import expit as _sigmoid
+except ImportError:  # pragma: no cover - scipy is a declared dependency
+
+    def _sigmoid(x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+
+def activation(name: str, pre: np.ndarray) -> np.ndarray:
+    """Apply a named activation to pre-activation values."""
+    if name == "linear":
+        return pre
+    if name == "relu":
+        return np.maximum(pre, 0.0)
+    if name == "sigmoid":
+        return _sigmoid(pre)
+    if name == "tanh":
+        return np.tanh(pre)
+    raise ValueError(f"unknown activation {name!r}; choose from {ACTIVATION_NAMES}")
+
+
+def activation_delta(name: str, grad: np.ndarray, pre: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Gradient w.r.t. ``pre`` given the gradient w.r.t. ``out``."""
+    if name == "linear":
+        return grad
+    if name == "relu":
+        return grad * (pre > 0)
+    if name == "sigmoid":
+        return grad * out * (1.0 - out)
+    if name == "tanh":
+        return grad * (1.0 - out * out)
+    raise ValueError(f"unknown activation {name!r}; choose from {ACTIVATION_NAMES}")
+
+
+# ---------------------------------------------------------------------------
+# Dense
+# ---------------------------------------------------------------------------
+def dense_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, act: str = "linear"
+) -> tuple[np.ndarray, dict]:
+    """``activation(x @ weight + bias)`` for 1-d or 2-d ``x``."""
+    pre = x @ weight + bias
+    out = activation(act, pre)
+    return out, {"x": x, "weight": weight, "pre": pre, "out": out, "act": act}
+
+
+def dense_backward(grad: np.ndarray, cache: dict) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns ``(d_x, d_weight, d_bias)``."""
+    x, weight = cache["x"], cache["weight"]
+    delta = activation_delta(cache["act"], grad, cache["pre"], cache["out"])
+    if x.ndim == 1:
+        return delta @ weight.T, np.outer(x, delta), delta
+    return delta @ weight.T, x.T @ delta, delta.sum(axis=0)
+
+
+# ---------------------------------------------------------------------------
+# Embedding gather
+# ---------------------------------------------------------------------------
+def embedding_forward(table: np.ndarray, ids: np.ndarray) -> tuple[np.ndarray, dict]:
+    """Row gather ``out[i] = table[ids[i]]``."""
+    ids = np.asarray(ids, dtype=np.int64)
+    return table[ids], {"shape": table.shape, "ids": ids}
+
+
+def embedding_backward(grad: np.ndarray, cache: dict) -> tuple[np.ndarray]:
+    """Scatter-add the output gradient back into a dense table gradient."""
+    full = np.zeros(cache["shape"], dtype=np.float64)
+    np.add.at(full, cache["ids"], grad)
+    return (full,)
+
+
+# ---------------------------------------------------------------------------
+# Dropout
+# ---------------------------------------------------------------------------
+def dropout_forward(
+    x: np.ndarray, rate: float, rng: np.random.Generator
+) -> tuple[np.ndarray, dict]:
+    """Inverted dropout; the inference engine simply never calls this."""
+    if not 0.0 < rate < 1.0:
+        raise ValueError("dropout rate must be in (0, 1)")
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * mask, {"mask": mask}
+
+
+def dropout_backward(grad: np.ndarray, cache: dict) -> tuple[np.ndarray]:
+    return (grad * cache["mask"],)
+
+
+# ---------------------------------------------------------------------------
+# GRU step (Appendix A equations)
+# ---------------------------------------------------------------------------
+def gru_step_forward(
+    y: np.ndarray,
+    h_prev: np.ndarray,
+    w_z: np.ndarray,
+    u_z: np.ndarray,
+    b_z: np.ndarray,
+    w_r: np.ndarray,
+    u_r: np.ndarray,
+    b_r: np.ndarray,
+    w_h: np.ndarray,
+    u_h: np.ndarray,
+    b_h: np.ndarray,
+    act: str = "relu",
+) -> tuple[np.ndarray, dict]:
+    """One GRU timestep on ``(batch, input)`` / ``(batch, hidden)`` arrays."""
+    z = _sigmoid(y @ w_z + h_prev @ u_z + b_z)
+    r = _sigmoid(y @ w_r + h_prev @ u_r + b_r)
+    hu = h_prev @ u_h
+    pre = y @ w_h + r * hu + b_h
+    cand = activation(act, pre)
+    h = (1.0 - z) * cand + z * h_prev
+    cache = {
+        "y": y, "h_prev": h_prev, "z": z, "r": r, "hu": hu,
+        "pre": pre, "cand": cand, "act": act,
+        "w_z": w_z, "u_z": u_z, "w_r": w_r, "u_r": u_r, "w_h": w_h, "u_h": u_h,
+    }
+    return h, cache
+
+
+def gru_step_backward(grad: np.ndarray, cache: dict) -> tuple[np.ndarray, ...]:
+    """Gradients aligned with ``(y, h_prev, w_z, u_z, b_z, w_r, u_r, b_r, w_h, u_h, b_h)``."""
+    y, h_prev = cache["y"], cache["h_prev"]
+    z, r, hu, cand = cache["z"], cache["r"], cache["hu"], cache["cand"]
+
+    d_z = grad * (h_prev - cand)
+    d_cand = grad * (1.0 - z)
+    d_h_prev = grad * z
+
+    d_pre = activation_delta(cache["act"], d_cand, cache["pre"], cand)
+    d_w_h = y.T @ d_pre
+    d_b_h = d_pre.sum(axis=0)
+    d_y = d_pre @ cache["w_h"].T
+    d_r = d_pre * hu
+    d_hu = d_pre * r
+    d_u_h = h_prev.T @ d_hu
+    d_h_prev = d_h_prev + d_hu @ cache["u_h"].T
+
+    d_z_pre = d_z * z * (1.0 - z)
+    d_r_pre = d_r * r * (1.0 - r)
+    d_w_z = y.T @ d_z_pre
+    d_u_z = h_prev.T @ d_z_pre
+    d_b_z = d_z_pre.sum(axis=0)
+    d_w_r = y.T @ d_r_pre
+    d_u_r = h_prev.T @ d_r_pre
+    d_b_r = d_r_pre.sum(axis=0)
+    d_y = d_y + d_z_pre @ cache["w_z"].T + d_r_pre @ cache["w_r"].T
+    d_h_prev = d_h_prev + d_z_pre @ cache["u_z"].T + d_r_pre @ cache["u_r"].T
+
+    return (d_y, d_h_prev, d_w_z, d_u_z, d_b_z, d_w_r, d_u_r, d_b_r, d_w_h, d_u_h, d_b_h)
+
+
+# ---------------------------------------------------------------------------
+# LSTM step
+# ---------------------------------------------------------------------------
+def lstm_step_forward(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: np.ndarray,
+    w_i: np.ndarray, u_i: np.ndarray, b_i: np.ndarray,
+    w_f: np.ndarray, u_f: np.ndarray, b_f: np.ndarray,
+    w_o: np.ndarray, u_o: np.ndarray, b_o: np.ndarray,
+    w_g: np.ndarray, u_g: np.ndarray, b_g: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, dict]:
+    """One LSTM timestep; returns ``(h, c, cache)``.
+
+    The cell state and hidden state become *two* tape nodes sharing this
+    cache (see :class:`repro.nn.lstm.LSTMCell`), so the backward pass is
+    split into :func:`lstm_step_backward_c` (through ``c``'s gates) and
+    :func:`lstm_step_backward_h` (through the output gate).
+    """
+    i = _sigmoid(x @ w_i + h_prev @ u_i + b_i)
+    f = _sigmoid(x @ w_f + h_prev @ u_f + b_f)
+    o = _sigmoid(x @ w_o + h_prev @ u_o + b_o)
+    g = np.tanh(x @ w_g + h_prev @ u_g + b_g)
+    c = f * c_prev + i * g
+    tc = np.tanh(c)
+    h = o * tc
+    cache = {
+        "x": x, "h_prev": h_prev, "c_prev": c_prev,
+        "i": i, "f": f, "o": o, "g": g, "tc": tc,
+        "w_i": w_i, "u_i": u_i, "w_f": w_f, "u_f": u_f,
+        "w_o": w_o, "u_o": u_o, "w_g": w_g, "u_g": u_g,
+    }
+    return h, c, cache
+
+
+def lstm_step_backward_h(grad: np.ndarray, cache: dict) -> tuple[np.ndarray, ...]:
+    """Gradients aligned with ``(x, h_prev, c, w_o, u_o, b_o)`` for ``h = o * tanh(c)``."""
+    x, h_prev, o, tc = cache["x"], cache["h_prev"], cache["o"], cache["tc"]
+    d_o = grad * tc
+    d_c = grad * o * (1.0 - tc * tc)
+    d_o_pre = d_o * o * (1.0 - o)
+    return (
+        d_o_pre @ cache["w_o"].T,
+        d_o_pre @ cache["u_o"].T,
+        d_c,
+        x.T @ d_o_pre,
+        h_prev.T @ d_o_pre,
+        d_o_pre.sum(axis=0),
+    )
+
+
+def lstm_step_backward_c(grad: np.ndarray, cache: dict) -> tuple[np.ndarray, ...]:
+    """Gradients for ``c = f * c_prev + i * g`` aligned with
+    ``(x, h_prev, c_prev, w_i, u_i, b_i, w_f, u_f, b_f, w_g, u_g, b_g)``."""
+    x, h_prev, c_prev = cache["x"], cache["h_prev"], cache["c_prev"]
+    i, f, g = cache["i"], cache["f"], cache["g"]
+
+    d_i_pre = (grad * g) * i * (1.0 - i)
+    d_f_pre = (grad * c_prev) * f * (1.0 - f)
+    d_g_pre = (grad * i) * (1.0 - g * g)
+    d_x = d_i_pre @ cache["w_i"].T + d_f_pre @ cache["w_f"].T + d_g_pre @ cache["w_g"].T
+    d_h_prev = d_i_pre @ cache["u_i"].T + d_f_pre @ cache["u_f"].T + d_g_pre @ cache["u_g"].T
+    return (
+        d_x,
+        d_h_prev,
+        grad * f,
+        x.T @ d_i_pre, h_prev.T @ d_i_pre, d_i_pre.sum(axis=0),
+        x.T @ d_f_pre, h_prev.T @ d_f_pre, d_f_pre.sum(axis=0),
+        x.T @ d_g_pre, h_prev.T @ d_g_pre, d_g_pre.sum(axis=0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Additive attention pooling
+# ---------------------------------------------------------------------------
+def attention_forward(
+    sequence: np.ndarray, projection: np.ndarray, context: np.ndarray
+) -> tuple[np.ndarray, dict]:
+    """Bahdanau-style pooling of ``(batch, timesteps, hidden)`` to ``(batch, hidden)``.
+
+    The cache exposes ``weights`` — the softmax attention distribution —
+    for analysis (:attr:`repro.nn.attention.AdditiveAttention.last_weights`).
+    """
+    batch, timesteps, hidden = sequence.shape
+    flat = sequence.reshape(batch * timesteps, hidden)
+    proj = np.tanh(flat @ projection)
+    scores = (proj @ context).reshape(batch, timesteps)
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    weights = exp / exp.sum(axis=1, keepdims=True)
+    out = np.einsum("bt,bth->bh", weights, sequence)
+    cache = {
+        "sequence": sequence, "projection": projection, "context": context,
+        "flat": flat, "proj": proj, "weights": weights,
+    }
+    return out, cache
+
+
+def attention_backward(grad: np.ndarray, cache: dict) -> tuple[np.ndarray, ...]:
+    """Gradients aligned with ``(sequence, projection, context)``."""
+    sequence, weights, proj = cache["sequence"], cache["weights"], cache["proj"]
+    batch, timesteps, hidden = sequence.shape
+
+    d_weights = np.einsum("bh,bth->bt", grad, sequence)
+    d_sequence = weights[:, :, None] * grad[:, None, :]
+    # Softmax backward over the time axis.
+    d_scores = weights * (d_weights - (d_weights * weights).sum(axis=1, keepdims=True))
+    d_scores_flat = d_scores.reshape(batch * timesteps, 1)
+    d_context = proj.T @ d_scores_flat
+    d_proj_pre = (d_scores_flat @ cache["context"].T) * (1.0 - proj * proj)
+    d_projection = cache["flat"].T @ d_proj_pre
+    d_sequence = d_sequence + (d_proj_pre @ cache["projection"].T).reshape(
+        batch, timesteps, hidden
+    )
+    return (d_sequence, d_projection, d_context)
+
+
+# ---------------------------------------------------------------------------
+# Prediction heads (paper §3.2)
+# ---------------------------------------------------------------------------
+def hadamard_head(v_d: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """``y' = Σ v_d ⊙ C`` (eq. 2) — row-wise dot product."""
+    return np.einsum("ij,ij->i", v_d, c)
+
+
+def hadamard_head_backward(grad: np.ndarray, v_d: np.ndarray, c: np.ndarray):
+    return grad[:, None] * c, grad[:, None] * v_d
+
+
+def bilinear_head(v_d: np.ndarray, r: np.ndarray, c: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``y' = v_d · R · C``; also returns the intermediate ``v_d @ R``."""
+    projected = v_d @ r
+    return np.einsum("ij,ij->i", projected, c), projected
+
+
+def bilinear_head_backward(
+    grad: np.ndarray, v_d: np.ndarray, r: np.ndarray, c: np.ndarray, projected: np.ndarray
+):
+    d_projected = grad[:, None] * c
+    return d_projected @ r.T, v_d.T @ d_projected, grad[:, None] * projected
+
+
+# ---------------------------------------------------------------------------
+# Fused sequence runners (inference engine fast path)
+# ---------------------------------------------------------------------------
+def fuse_gru_weights(
+    w_z, u_z, b_z, w_r, u_r, b_r, w_h, u_h, b_h, dtype=np.float64
+) -> dict[str, np.ndarray]:
+    """Pack per-gate GRU kernels into three fused, contiguous matrices.
+
+    The update and reset gates share one input matmul and one recurrent
+    matmul (``[W_z | W_r]``, ``[U_z | U_r]``); the candidate keeps its own
+    recurrent kernel because of the reset-gate Hadamard. Per timestep this
+    is 3 matmuls instead of 6 — the dominant cost at batch size 1.
+    """
+    return {
+        "w": np.ascontiguousarray(np.hstack([w_z, w_r, w_h]), dtype=dtype),
+        "u_zr": np.ascontiguousarray(np.hstack([u_z, u_r]), dtype=dtype),
+        "u_h": np.ascontiguousarray(u_h, dtype=dtype),
+        "b_zr": np.ascontiguousarray(np.concatenate([b_z, b_r]), dtype=dtype),
+        "b_h": np.ascontiguousarray(b_h, dtype=dtype),
+        "hidden": u_h.shape[0],
+    }
+
+
+def gru_sequence(
+    sequence: np.ndarray, fused: dict[str, np.ndarray], act: str, return_sequences: bool = False
+) -> np.ndarray:
+    """Run a fused GRU over ``(batch, timesteps, input)`` without a tape."""
+    batch, timesteps, _ = sequence.shape
+    hidden = fused["hidden"]
+    u_zr, u_h, b_zr, b_h = fused["u_zr"], fused["u_h"], fused["b_zr"], fused["b_h"]
+    xw_all = sequence.reshape(batch * timesteps, -1) @ fused["w"]
+    xw_all = xw_all.reshape(batch, timesteps, 3 * hidden)
+    states = np.empty((batch, timesteps, hidden), dtype=xw_all.dtype) if return_sequences else None
+    h = None  # zero initial state: both recurrent matmuls vanish at t=0
+    for t in range(timesteps):
+        xw = xw_all[:, t, :]
+        if h is None:
+            zr = _sigmoid(xw[:, : 2 * hidden] + b_zr)
+            cand = activation(act, xw[:, 2 * hidden :] + b_h)
+            h = (1.0 - zr[:, :hidden]) * cand
+        else:
+            zr = _sigmoid(xw[:, : 2 * hidden] + h @ u_zr + b_zr)
+            z = zr[:, :hidden]
+            cand = activation(act, xw[:, 2 * hidden :] + zr[:, hidden:] * (h @ u_h) + b_h)
+            h = (1.0 - z) * cand + z * h
+        if return_sequences:
+            states[:, t, :] = h
+    return states if return_sequences else h
+
+
+def fuse_lstm_weights(
+    w_i, u_i, b_i, w_f, u_f, b_f, w_o, u_o, b_o, w_g, u_g, b_g, dtype=np.float64
+) -> dict[str, np.ndarray]:
+    """Pack per-gate LSTM kernels into one input and one recurrent matrix."""
+    return {
+        "w": np.ascontiguousarray(np.hstack([w_i, w_f, w_o, w_g]), dtype=dtype),
+        "u": np.ascontiguousarray(np.hstack([u_i, u_f, u_o, u_g]), dtype=dtype),
+        "b": np.ascontiguousarray(np.concatenate([b_i, b_f, b_o, b_g]), dtype=dtype),
+        "hidden": u_i.shape[0],
+    }
+
+
+def lstm_sequence(
+    sequence: np.ndarray, fused: dict[str, np.ndarray], return_sequences: bool = False
+) -> np.ndarray:
+    """Run a fused LSTM over ``(batch, timesteps, input)`` without a tape."""
+    batch, timesteps, _ = sequence.shape
+    hidden = fused["hidden"]
+    u, b = fused["u"], fused["b"]
+    xw_all = sequence.reshape(batch * timesteps, -1) @ fused["w"]
+    xw_all = xw_all.reshape(batch, timesteps, 4 * hidden)
+    states = np.empty((batch, timesteps, hidden), dtype=xw_all.dtype) if return_sequences else None
+    h = c = None  # zero initial state: recurrent matmul and f*c vanish at t=0
+    for t in range(timesteps):
+        gates = xw_all[:, t, :] + b if h is None else xw_all[:, t, :] + h @ u + b
+        ifo = _sigmoid(gates[:, : 3 * hidden])
+        g = np.tanh(gates[:, 3 * hidden :])
+        i = ifo[:, :hidden]
+        o = ifo[:, 2 * hidden : 3 * hidden]
+        c = i * g if c is None else ifo[:, hidden : 2 * hidden] * c + i * g
+        h = o * np.tanh(c)
+        if return_sequences:
+            states[:, t, :] = h
+    return states if return_sequences else h

@@ -19,32 +19,45 @@ All gradients are validated against central finite differences in
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+import threading
+from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "apply_op"]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread graph-recording switch.
+
+    Inference servers run predictions from worker threads; a module-level
+    boolean would let one thread's ``no_grad`` block silently disable
+    gradient recording in a concurrently training thread. Each thread
+    starts with recording enabled (the class attribute default) and only
+    ever mutates its own view.
+    """
+
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 class no_grad:
     """Context manager that disables graph recording (inference mode)."""
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_MODE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    return _GRAD_MODE.enabled
 
 
 def _as_array(value) -> np.ndarray:
@@ -87,7 +100,7 @@ class Tensor:
 
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_MODE.enabled
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -132,7 +145,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Build a result tensor wired into the tape if grad is enabled."""
-        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data)
         if needs:
             out.requires_grad = True
@@ -443,7 +456,7 @@ class Tensor:
 
     def dropout(self, rate: float, rng: np.random.Generator) -> "Tensor":
         """Inverted dropout: active only while grad recording is enabled."""
-        if rate <= 0.0 or not _GRAD_ENABLED:
+        if rate <= 0.0 or not _GRAD_MODE.enabled:
             return self
         if rate >= 1.0:
             raise ValueError("dropout rate must be < 1")
@@ -471,3 +484,27 @@ def _send(tensor: Tensor, grad: np.ndarray) -> None:
         grads[key] = grads[key] + grad
     else:
         grads[key] = grad
+
+
+def apply_op(
+    parents: Sequence[Tensor],
+    data: np.ndarray,
+    backward_fn: Callable[[np.ndarray], Sequence[np.ndarray | None]],
+) -> Tensor:
+    """Wire a fused numpy kernel into the tape as a single graph node.
+
+    ``backward_fn`` receives the output gradient and must return one
+    gradient per parent, aligned with ``parents`` (``None`` to skip a
+    parent). This is how the :mod:`repro.nn.ops` kernels attach autograd:
+    the layer runs the pure-numpy forward once, keeps the kernel's cache in
+    the closure, and the whole layer becomes one tape node instead of a
+    chain of elementary operations.
+    """
+    parents = tuple(p if isinstance(p, Tensor) else Tensor(p) for p in parents)
+
+    def backward(grad: np.ndarray) -> None:
+        for parent, parent_grad in zip(parents, backward_fn(grad)):
+            if parent_grad is not None:
+                _send(parent, parent_grad)
+
+    return Tensor._make(data, parents, backward)

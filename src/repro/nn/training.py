@@ -13,6 +13,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from .inference import UnsupportedModuleError, compile_module
 from .layers import Module
 from .losses import get_loss
 from .optim import Adam, Optimizer
@@ -118,6 +119,15 @@ class Trainer:
     maps input names to numpy arrays sliced along axis 0. This keeps the
     trainer agnostic to the Env2Vec model's three heterogeneous inputs
     (contextual features, RU history window, environment id columns).
+
+    ``evaluate`` and ``predict`` route through the tape-free inference
+    engine (:mod:`repro.nn.inference`) whenever the model's type has a
+    registered compile rule, falling back to the autograd forward under
+    ``no_grad`` otherwise.
+
+    Shuffling uses ``rng`` when given, else a generator seeded with
+    ``seed`` — pass either to make two identical ``fit`` calls produce
+    identical histories.
     """
 
     def __init__(
@@ -132,6 +142,7 @@ class Trainer:
         lr_scheduler: "ReduceLROnPlateau | None" = None,
         shuffle: bool = True,
         rng: np.random.Generator | None = None,
+        seed: int | None = None,
         verbose: bool = False,
     ):
         if batch_size < 1:
@@ -146,7 +157,7 @@ class Trainer:
         self.early_stopping = early_stopping
         self.lr_scheduler = lr_scheduler
         self.shuffle = shuffle
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.verbose = verbose
 
     def fit(
@@ -196,17 +207,25 @@ class Trainer:
             self.early_stopping.finalize(self.model)
         return history
 
+    def _compile(self):
+        """Snapshot the current weights into a tape-free engine, if possible."""
+        try:
+            return compile_module(self.model)
+        except UnsupportedModuleError:
+            return None
+
     def evaluate(self, inputs: Batch, targets: np.ndarray) -> float:
         """Average loss over the given data, in eval mode, without autograd."""
         n = _check_sizes(inputs, targets)
         targets = np.asarray(targets, dtype=np.float64)
         self.model.eval()
+        engine = self._compile()
         total = 0.0
         with no_grad():
             for start in range(0, n, self.batch_size):
                 batch = {key: value[start : start + self.batch_size] for key, value in inputs.items()}
                 batch_targets = targets[start : start + self.batch_size]
-                predicted = self.model(**batch)
+                predicted = Tensor(engine(**batch)) if engine is not None else self.model(**batch)
                 loss = self.loss_fn(predicted, Tensor(batch_targets))
                 total += loss.item() * len(batch_targets)
         return total / n
@@ -215,6 +234,9 @@ class Trainer:
         """Model predictions as a numpy array, in eval mode."""
         n = _check_sizes(inputs, None)
         self.model.eval()
+        engine = self._compile()
+        if engine is not None:
+            return engine.predict(inputs, batch_size=self.batch_size)
         outputs: list[np.ndarray] = []
         with no_grad():
             for start in range(0, n, self.batch_size):

@@ -165,6 +165,9 @@ class TestingCampaign:
 
         result = self._pipeline.train(self._pool, masked_environments=self._masked)
         self._model = result.model
+        # Compile once per retrain: tomorrow's monitoring (many predict
+        # calls across chains) runs on the tape-free engine.
+        self._model.compile()
         return DayReport(
             day=day,
             executions_run=len(executions),

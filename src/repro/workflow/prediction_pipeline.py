@@ -72,10 +72,23 @@ class PredictionPipeline:
         self.alarms = alarms
         self.detector = ContextualAnomalyDetector(gamma=gamma, abs_threshold=abs_threshold)
         self.termination_threshold = termination_threshold
+        self._model_cache: tuple[int, Env2VecRegressor] | None = None
 
     def _fetch_model(self) -> tuple[Env2VecRegressor, int]:
+        """Latest model, deserialized and compiled once per published version.
+
+        ``calibrate``/``run``/``report`` each fetch the model; without the
+        version-keyed cache every call re-parsed the npz blob and rebuilt the
+        network. The cached regressor carries its compiled inference engine,
+        so repeated monitoring calls skip both deserialization and compile.
+        """
+        if self._model_cache is not None and self._model_cache[0] == self.store.latest_version:
+            return self._model_cache[1], self._model_cache[0]
         blob, version = self.store.fetch_latest()
-        return Env2VecRegressor.from_bytes(blob), version.version
+        model = Env2VecRegressor.from_bytes(blob)
+        model.compile()
+        self._model_cache = (version.version, model)
+        return model, version.version
 
     def calibrate(self, chain: BuildChain) -> GaussianErrorModel:
         """Fit the normal-error Gaussian over a chain's historical builds."""

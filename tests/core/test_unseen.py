@@ -1,6 +1,5 @@
 """Unseen-environment protocol tests (§4.3)."""
 
-import numpy as np
 import pytest
 
 from repro.core import EnvironmentVocabulary, blind_chains, composable, field_coverage

@@ -1,0 +1,242 @@
+"""Tape-free inference engine: compile rules, parity, and the row cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GRU,
+    LSTM,
+    Dense,
+    Dropout,
+    EmbeddingRowCache,
+    Sequential,
+    Tensor,
+    Trainer,
+    UnsupportedModuleError,
+    compile_module,
+    is_grad_enabled,
+    no_grad,
+)
+from repro.nn.inference import compile_attention, compile_recurrent
+from repro.nn.attention import AdditiveAttention
+
+RNG = np.random.default_rng(7)
+
+
+class TestCompileDense:
+    def test_parity(self):
+        layer = Dense(6, 4, activation="sigmoid", rng=RNG)
+        engine = compile_module(layer)
+        x = RNG.standard_normal((9, 6))
+        assert engine.assert_close({"x": x}, atol=1e-10) <= 1e-10
+
+    def test_weights_are_snapshots(self):
+        layer = Dense(3, 2, rng=RNG)
+        engine = compile_module(layer)
+        before = engine(x=np.ones((1, 3)))
+        layer.weight.data += 100.0  # simulate an optimizer step
+        after = engine(x=np.ones((1, 3)))
+        np.testing.assert_allclose(before, after)
+
+    def test_float32_option(self):
+        layer = Dense(6, 4, activation="tanh", rng=RNG)
+        engine = compile_module(layer, dtype=np.float32)
+        out = engine(x=RNG.standard_normal((5, 6)))
+        assert out.dtype == np.float32
+        engine.assert_close({"x": RNG.standard_normal((5, 6))}, atol=1e-5)
+
+    def test_float32_fails_strict_tolerance(self):
+        layer = Dense(16, 8, rng=RNG)
+        engine = compile_module(layer, dtype=np.float32)
+        with pytest.raises(AssertionError, match="diverges"):
+            engine.assert_close({"x": RNG.standard_normal((30, 16)) * 100}, atol=1e-10)
+
+
+class TestCompileSequential:
+    def test_dropout_elided(self):
+        model = Sequential(
+            Dense(5, 8, activation="relu", rng=RNG), Dropout(0.5, rng=RNG), Dense(8, 2, rng=RNG)
+        )
+        model.eval()
+        engine = compile_module(model)
+        assert engine.assert_close({"x": RNG.standard_normal((11, 5))}, atol=1e-10) <= 1e-10
+
+    def test_unknown_layer_refused(self):
+        model = Sequential(Dense(4, 4, rng=RNG), GRU(4, 4, rng=RNG))
+        with pytest.raises(UnsupportedModuleError):
+            compile_module(model)
+
+    def test_subclass_not_matched_through_mro(self):
+        class Doubler(Dense):
+            def forward(self, x):
+                return super().forward(x) * 2.0
+
+        with pytest.raises(UnsupportedModuleError):
+            compile_module(Doubler(3, 3, rng=RNG))
+
+
+class TestCompiledRecurrent:
+    @pytest.mark.parametrize("return_sequences", [False, True])
+    def test_gru_parity(self, return_sequences):
+        layer = GRU(2, 5, activation="relu", return_sequences=return_sequences, rng=RNG)
+        run = compile_recurrent(layer, np.dtype(np.float64))
+        x = RNG.standard_normal((4, 6, 2))
+        with no_grad():
+            reference = layer(Tensor(x)).numpy()
+        np.testing.assert_allclose(run(x), reference, atol=1e-12)
+
+    @pytest.mark.parametrize("return_sequences", [False, True])
+    def test_lstm_parity(self, return_sequences):
+        layer = LSTM(3, 4, return_sequences=return_sequences, rng=RNG)
+        run = compile_recurrent(layer, np.dtype(np.float64))
+        x = RNG.standard_normal((5, 7, 3))
+        with no_grad():
+            reference = layer(Tensor(x)).numpy()
+        np.testing.assert_allclose(run(x), reference, atol=1e-12)
+
+    def test_attention_parity(self):
+        layer = AdditiveAttention(6, rng=RNG)
+        run = compile_attention(layer, np.dtype(np.float64))
+        x = RNG.standard_normal((3, 5, 6))
+        with no_grad():
+            reference = layer(Tensor(x)).numpy()
+        np.testing.assert_allclose(run(x), reference, atol=1e-12)
+
+
+class TestEmbeddingRowCache:
+    def _tables(self):
+        return [RNG.standard_normal((4, 3)), RNG.standard_normal((5, 2))]
+
+    def test_rows_concatenate_in_order(self):
+        tables = self._tables()
+        cache = EmbeddingRowCache(tables, np.dtype(np.float64))
+        ids = np.array([[1, 2], [3, 0]])
+        expected = np.stack(
+            [np.concatenate([tables[0][1], tables[1][2]]), np.concatenate([tables[0][3], tables[1][0]])]
+        )
+        np.testing.assert_allclose(cache.rows(ids), expected)
+        assert cache.dim == 5
+
+    def test_hit_and_miss_accounting(self):
+        cache = EmbeddingRowCache(self._tables(), np.dtype(np.float64))
+        cache.rows(np.array([[0, 0]]))
+        cache.rows(np.array([[0, 0]]))
+        cache.rows(np.array([[1, 1]]))
+        assert cache.misses == 2
+        assert cache.hits == 1
+
+    def test_batched_path_counts_unique_tuples_once(self):
+        cache = EmbeddingRowCache(self._tables(), np.dtype(np.float64))
+        ids = np.array([[0, 0], [1, 1], [0, 0], [0, 0]])
+        cache.rows(ids)
+        assert cache.misses == 2  # two unique tuples, batched through np.unique
+
+    def test_lru_eviction(self):
+        cache = EmbeddingRowCache(self._tables(), np.dtype(np.float64), maxsize=2)
+        cache.rows(np.array([[0, 0]]))
+        cache.rows(np.array([[1, 1]]))
+        cache.rows(np.array([[0, 0]]))  # refresh (0,0): now (1,1) is LRU
+        cache.rows(np.array([[2, 2]]))  # evicts (1,1)
+        assert len(cache) == 2
+        misses = cache.misses
+        cache.rows(np.array([[1, 1]]))  # was evicted -> miss again
+        assert cache.misses == misses + 1
+        assert len(cache) == 2
+
+    def test_shape_validation(self):
+        cache = EmbeddingRowCache(self._tables(), np.dtype(np.float64))
+        with pytest.raises(ValueError, match="shape"):
+            cache.rows(np.array([[0, 0, 0]]))
+
+    def test_rejects_zero_maxsize(self):
+        with pytest.raises(ValueError):
+            EmbeddingRowCache(self._tables(), np.dtype(np.float64), maxsize=0)
+
+
+class TestEnginePredict:
+    def test_chunked_predict_matches_single_shot(self):
+        layer = Dense(4, 2, rng=RNG)
+        engine = compile_module(layer)
+        x = RNG.standard_normal((23, 4))
+        np.testing.assert_allclose(
+            engine.predict({"x": x}, batch_size=5), engine.predict({"x": x})
+        )
+
+    def test_unregistered_module_raises(self):
+        class Custom(Dense):
+            pass
+
+        with pytest.raises(UnsupportedModuleError, match="Custom"):
+            compile_module(Custom(2, 2, rng=RNG))
+
+
+class TestTrainerEngineRouting:
+    def test_predict_matches_autograd_forward(self):
+        model = Dense(3, 1, rng=RNG)
+        trainer = Trainer(model, batch_size=8)
+        x = RNG.standard_normal((20, 3))
+        with no_grad():
+            reference = model(Tensor(x)).numpy()
+        np.testing.assert_allclose(trainer.predict({"x": x}), reference, atol=1e-12)
+
+    def test_uncompilable_model_falls_back(self):
+        class Odd(Dense):
+            def forward(self, x):
+                return super().forward(x) + 1.0
+
+        model = Odd(3, 1, rng=RNG)
+        trainer = Trainer(model, batch_size=8)
+        x = RNG.standard_normal((10, 3))
+        with no_grad():
+            reference = model(Tensor(x)).numpy()
+        np.testing.assert_allclose(trainer.predict({"x": x}), reference, atol=1e-12)
+
+    def test_seeded_trainers_reproduce_histories(self):
+        x = RNG.standard_normal((40, 3))
+        y = x @ np.array([1.0, -2.0, 0.5])
+        histories = []
+        for _ in range(2):
+            trainer = Trainer(
+                _FlatDense(np.random.default_rng(11)), max_epochs=3, batch_size=8, seed=99
+            )
+            histories.append(trainer.fit({"x": x}, y).train_loss)
+        assert histories[0] == histories[1]
+
+
+class _FlatDense(Dense):
+    """Dense that squeezes its output so MSE targets can be 1-d."""
+
+    def __init__(self, rng):
+        super().__init__(3, 1, rng=rng)
+
+    def forward(self, x):
+        return super().forward(Tensor(x)).reshape(-1)
+
+
+class TestThreadLocalGradMode:
+    def test_no_grad_does_not_leak_across_threads(self):
+        inside = threading.Event()
+        release = threading.Event()
+        seen_in_other_thread = []
+
+        def worker():
+            inside.wait(timeout=5)
+            seen_in_other_thread.append(is_grad_enabled())
+            release.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        with no_grad():
+            inside.set()
+            assert release.wait(timeout=5)
+            assert not is_grad_enabled()
+        thread.join(timeout=5)
+        assert seen_in_other_thread == [True]
+
+    def test_grad_mode_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()

@@ -1,7 +1,6 @@
 """Property-based round-trip tests for model serialization."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

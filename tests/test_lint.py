@@ -1,0 +1,96 @@
+"""Lint gate wired into the test session.
+
+Runs ``ruff check`` with the repo's ``[tool.ruff]`` config when the binary
+is available. In environments without ruff (such as the offline test
+container) a stdlib fallback still enforces the highest-signal subset:
+every source file must parse, and no module may carry unused imports.
+"""
+
+from __future__ import annotations
+
+import ast
+import shutil
+import subprocess
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE_ROOTS = ("src", "tests", "benchmarks")
+
+
+def _python_files() -> list[Path]:
+    files: list[Path] = []
+    for root in SOURCE_ROOTS:
+        files.extend(sorted((REPO / root).rglob("*.py")))
+    assert files, "lint found no Python files — check SOURCE_ROOTS"
+    return files
+
+
+def _ruff_available() -> bool:
+    return shutil.which("ruff") is not None
+
+
+class _ImportUsage(ast.NodeVisitor):
+    """Collect imported names and every identifier the module mentions."""
+
+    def __init__(self) -> None:
+        self.imported: dict[str, int] = {}
+        self.used: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".")[0]
+            self.imported[name] = node.lineno
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "__future__":  # compiler directive, not a binding
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.imported[alias.asname or alias.name] = node.lineno
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        # __all__ entries and doctest-ish strings count as usage so that
+        # re-export modules don't need per-name pragmas in the fallback.
+        if isinstance(node.value, str) and node.value.isidentifier():
+            self.used.add(node.value)
+
+
+def _unused_imports(path: Path, tree: ast.Module) -> list[str]:
+    visitor = _ImportUsage()
+    visitor.visit(tree)
+    return [
+        f"{path.relative_to(REPO)}:{lineno}: unused import {name!r}"
+        for name, lineno in visitor.imported.items()
+        if name not in visitor.used
+    ]
+
+
+def test_lint():
+    if _ruff_available():
+        result = subprocess.run(
+            ["ruff", "check", *SOURCE_ROOTS],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, f"ruff check failed:\n{result.stdout}{result.stderr}"
+        return
+
+    problems: list[str] = []
+    for path in _python_files():
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as error:  # pragma: no cover - tree should always parse
+            problems.append(f"{path.relative_to(REPO)}: syntax error: {error}")
+            continue
+        if path.name != "__init__.py":  # __init__ re-exports are intentional
+            problems.extend(_unused_imports(path, tree))
+    assert not problems, "lint fallback found issues:\n" + "\n".join(problems)

@@ -4,11 +4,8 @@ import numpy as np
 import pytest
 
 from repro.data import (
-    Environment,
     FEATURE_NAMES,
-    InjectedFault,
     TelecomConfig,
-    apply_fault,
     generate_telecom,
 )
 from repro.workflow import (

@@ -1,6 +1,5 @@
 """Alarm store and model store tests."""
 
-import numpy as np
 import pytest
 
 from repro.data import Environment
