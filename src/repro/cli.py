@@ -163,7 +163,7 @@ def _run_holdout(args) -> str:
 
 
 def _run_campaign(args) -> str:
-    from .workflow import TestingCampaign
+    from .workflow import TestingCampaign, observability_summary
 
     dataset, _, _ = _telecom_context(args)
     campaign = TestingCampaign(model_params={"max_epochs": 15, "batch_size": 256})
@@ -176,6 +176,8 @@ def _run_campaign(args) -> str:
             f"flagged, model v{report.model_version}"
         )
     lines.append(f"  masked environments at end: {len(campaign.masked_environments)}")
+    lines.append("")
+    lines.append(observability_summary(campaign))
     return "\n".join(lines)
 
 

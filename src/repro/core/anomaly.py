@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import get_observability
+
 __all__ = [
     "GaussianErrorModel",
     "Alarm",
@@ -35,6 +37,22 @@ __all__ = [
 
 #: §4.2.2 — alarms additionally require an absolute CPU deviation above 5%.
 DEFAULT_ABS_THRESHOLD = 5.0
+
+_OBS = get_observability()
+_M_DETECTIONS = _OBS.counter(
+    "repro_detector_detections_total", "Executions scored by the anomaly detector."
+)
+_M_DET_ALARMS = _OBS.counter(
+    "repro_detector_alarms_total", "Alarms produced by the anomaly detector."
+)
+_M_FLAGS = _OBS.counter(
+    "repro_detector_flagged_timesteps_total",
+    "Timesteps flagged anomalous (after the absolute filter).",
+)
+_M_FILTERED = _OBS.counter(
+    "repro_detector_filtered_timesteps_total",
+    "Timesteps over the gamma*sigma rule but suppressed by the 5% absolute filter.",
+)
 
 
 @dataclass
@@ -155,11 +173,17 @@ class ContextualAnomalyDetector:
             raise ValueError("predicted and observed must align")
         errors = predicted - observed
         flags = error_model.is_anomalous(errors, self.gamma)
+        over_sigma = int(flags.sum())
         if self.abs_threshold > 0:
             flags &= np.abs(errors) > self.abs_threshold
+        alarms = merge_flags_into_alarms(flags, errors)
+        _M_DETECTIONS.inc()
+        _M_DET_ALARMS.inc(len(alarms))
+        _M_FLAGS.inc(int(flags.sum()))
+        _M_FILTERED.inc(over_sigma - int(flags.sum()))
         return AnomalyReport(
             flags=flags,
-            alarms=merge_flags_into_alarms(flags, errors),
+            alarms=alarms,
             errors=errors,
             gamma=self.gamma,
         )

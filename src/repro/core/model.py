@@ -24,10 +24,13 @@ prediction.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..data.environment import EM_FIELDS, Environment
 from ..ml.preprocessing import StandardScaler
+from ..obs import get_observability
 from ..nn import init as initializers
 from ..nn import ops
 from ..nn.attention import AdditiveAttention
@@ -51,6 +54,15 @@ from .embeddings import EnvironmentEmbeddings, EnvironmentVocabulary
 __all__ = ["Env2VecModel", "Env2VecRegressor", "PREDICTION_HEADS"]
 
 PREDICTION_HEADS = ("hadamard", "bilinear", "mlp")
+
+_OBS = get_observability()
+_H_COMPILE = _OBS.histogram(
+    "repro_model_compile_seconds",
+    "Time for Env2VecRegressor.compile (snapshot + plan build).",
+)
+_M_PREDICTIONS = _OBS.counter(
+    "repro_predictions_total", "Individual RU predictions served by Env2VecRegressor."
+)
 
 
 class Env2VecModel(Module):
@@ -319,8 +331,10 @@ class Env2VecRegressor:
         """
         if self.model is None:
             raise RuntimeError("model is not fitted; call fit() first")
+        start = time.perf_counter()
         self.model.eval()
         self._engine = compile_module(self.model, dtype=dtype)
+        _H_COMPILE.observe(time.perf_counter() - start)
         return self._engine
 
     def _ensure_engine(self) -> InferenceModel:
@@ -352,6 +366,7 @@ class Env2VecRegressor:
                     chunk = {k: v[start : start + self.batch_size] for k, v in batch.items()}
                     outputs.append(self.model(**chunk).numpy())
             scaled = np.concatenate(outputs, axis=0)
+        _M_PREDICTIONS.inc(len(scaled))
         return scaled * self._y_std + self._y_mean
 
     def embed_environments(self, environments: list[Environment]) -> np.ndarray:

@@ -64,16 +64,25 @@ class Estimator:
             setattr(self, key, value)
         return self
 
-    def fit(self, X, y) -> "Estimator":  # pragma: no cover - abstract
+    def clone(self) -> "Estimator":
+        """A fresh, unfitted copy with identical constructor parameters."""
+        return type(self)(**copy.deepcopy(self.get_params()))
+
+    def fit(self, X, y, **fit_params) -> "Estimator":  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def predict(self, X) -> np.ndarray:  # pragma: no cover - abstract
+    def predict(self, X, **predict_params) -> np.ndarray:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def score(self, X, y) -> float:
-        """Negative mean squared error (higher is better)."""
+    def score(self, X, y, **predict_params) -> float:
+        """Negative mean squared error (higher is better).
+
+        Extra keyword arguments are forwarded to ``predict`` so estimators
+        with side inputs (e.g. ``RidgeTS(history=...)``) score through the
+        same code path as plain ones.
+        """
         y = np.asarray(y, dtype=np.float64)
-        predicted = self.predict(X)
+        predicted = self.predict(X, **predict_params)
         return -float(np.mean((predicted - y) ** 2))
 
     def _require_fitted(self) -> None:
@@ -83,4 +92,4 @@ class Estimator:
 
 def clone(estimator: Estimator) -> Estimator:
     """A fresh, unfitted copy with identical constructor parameters."""
-    return type(estimator)(**copy.deepcopy(estimator.get_params()))
+    return estimator.clone()

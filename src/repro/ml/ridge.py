@@ -94,11 +94,6 @@ class RidgeTS(Estimator):
         self._require_fitted()
         return self._ridge.predict(self._design(X, history))
 
-    def score(self, X, y, history: np.ndarray | None = None) -> float:
-        y = np.asarray(y, dtype=np.float64)
-        predicted = self.predict(X, history)
-        return -float(np.mean((predicted - y) ** 2))
-
     @property
     def coef_(self) -> np.ndarray:
         self._require_fitted()

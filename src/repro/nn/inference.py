@@ -27,17 +27,42 @@ refuses rather than silently using the parent's plan.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Callable, Mapping
 
 import numpy as np
 
 from . import ops
+from ..obs import LATENCY_BUCKETS, get_observability
 from .attention import AdditiveAttention
 from .gru import GRU
 from .layers import Dense, Dropout, Sequential
 from .lstm import LSTM
 from .tensor import no_grad
+
+_OBS = get_observability()
+_REGISTRY = _OBS.registry
+# One slot read per forward instead of a property call — this is the most
+# frequently executed enabled check in the repo (once per predict batch).
+_ENABLED = _REGISTRY.enabled_cell
+_clock = time.perf_counter
+_H_COMPILE = _OBS.histogram(
+    "repro_nn_compile_seconds",
+    "Time to compile a fitted module into a tape-free inference plan.",
+    buckets=LATENCY_BUCKETS,
+)
+_H_PREDICT = _OBS.histogram(
+    "repro_nn_predict_batch_seconds",
+    "Per-batch forward latency of compiled inference models.",
+    buckets=LATENCY_BUCKETS,
+)
+_M_CACHE_HITS = _OBS.counter(
+    "repro_env_cache_hits_total", "Env-embedding LRU row-cache hits."
+)
+_M_CACHE_MISSES = _OBS.counter(
+    "repro_env_cache_misses_total", "Env-embedding LRU row-cache misses."
+)
 
 __all__ = [
     "UnsupportedModuleError",
@@ -215,17 +240,39 @@ class InferenceModel:
         self.dtype = dtype
         #: the Env2Vec engine's embedding-row cache, if the plan has one
         self.env_cache: EmbeddingRowCache | None = getattr(forward_fn, "env_cache", None)
+        # The row cache counts its own hits/misses as plain ints (the per-
+        # lookup path stays untouched); the engine publishes the deltas to
+        # the global counters after each instrumented forward.
+        self._cache_hits_seen = 0
+        self._cache_misses_seen = 0
 
     def __call__(self, **inputs) -> np.ndarray:
-        return self._forward(**inputs)
+        if not _ENABLED.on:
+            return self._forward(**inputs)
+        start = _clock()
+        out = self._forward(**inputs)
+        _H_PREDICT.observe(_clock() - start)
+        cache = self.env_cache
+        if cache is not None:
+            # Sync only non-zero deltas: a warm streaming loop advances just
+            # the hit count, so this is usually one inc, not two.
+            hits = cache.hits
+            if hits != self._cache_hits_seen:
+                _M_CACHE_HITS.inc(hits - self._cache_hits_seen)
+                self._cache_hits_seen = hits
+            misses = cache.misses
+            if misses != self._cache_misses_seen:
+                _M_CACHE_MISSES.inc(misses - self._cache_misses_seen)
+                self._cache_misses_seen = misses
+        return out
 
     def predict(self, inputs: Mapping[str, np.ndarray], batch_size: int | None = None) -> np.ndarray:
         """Vectorized prediction, optionally chunked to bound peak memory."""
         if batch_size is None:
-            return self._forward(**inputs)
+            return self(**inputs)
         n = len(next(iter(inputs.values())))
         outputs = [
-            self._forward(**{key: value[start : start + batch_size] for key, value in inputs.items()})
+            self(**{key: value[start : start + batch_size] for key, value in inputs.items()})
             for start in range(0, n, batch_size)
         ]
         return np.concatenate(outputs, axis=0)
@@ -269,7 +316,10 @@ def compile_module(module, dtype=np.float64) -> InferenceModel:
         raise UnsupportedModuleError(
             f"no inference compiler registered for {type(module).__name__}"
         )
-    return InferenceModel(compiler(module, dtype), module, dtype)
+    start = time.perf_counter()
+    engine = InferenceModel(compiler(module, dtype), module, dtype)
+    _H_COMPILE.observe(time.perf_counter() - start)
+    return engine
 
 
 @register_compiler(Dense)

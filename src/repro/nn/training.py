@@ -13,6 +13,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from ..obs import get_observability
 from .inference import UnsupportedModuleError, compile_module
 from .layers import Module
 from .losses import get_loss
@@ -22,6 +23,14 @@ from .tensor import Tensor, no_grad
 __all__ = ["EarlyStopping", "ReduceLROnPlateau", "TrainingHistory", "Trainer"]
 
 Batch = Mapping[str, np.ndarray]
+
+_OBS = get_observability()
+_M_EPOCHS = _OBS.counter(
+    "repro_nn_epochs_total", "Optimization epochs completed by Trainer.fit."
+)
+_M_BATCHES = _OBS.counter(
+    "repro_nn_batches_total", "Mini-batch gradient steps taken by Trainer.fit."
+)
 
 
 @dataclass
@@ -191,7 +200,9 @@ class Trainer:
                 loss.backward()
                 self.optimizer.step()
                 epoch_loss += loss.item() * len(idx)
+                _M_BATCHES.inc()
             history.train_loss.append(epoch_loss / n)
+            _M_EPOCHS.inc()
 
             if has_val:
                 val_loss = self.evaluate(val_inputs, val_targets)

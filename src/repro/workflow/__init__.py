@@ -23,16 +23,24 @@ from .drift import DriftDecision, DriftMonitor, PageHinkley
 from .discovery import EMRegistry, ServiceDiscovery
 from .model_store import ModelStore, ModelVersion
 from .orchestrator import DayReport, TestingCampaign
-from .reporting import campaign_summary, execution_report, sparkline
-from .promql import InstantSample, PromQLError, parse as parse_promql, query as promql_query
+from .reporting import campaign_summary, execution_report, observability_summary, sparkline
+from .promql import (
+    HistogramQuantile,
+    InstantSample,
+    PromQLError,
+    parse as parse_promql,
+    query as promql_query,
+)
 from .prediction_pipeline import PipelineRun, PredictionPipeline, build_prediction_frame
 from .training_pipeline import TrainingPipeline, TrainingResult
-from .tsdb import Sample, Series, TimeSeriesDB
+from .tsdb import AmbiguousSeries, Sample, Series, SeriesNotFound, TimeSeriesDB
 
 __all__ = [
     "TimeSeriesDB",
     "Series",
     "Sample",
+    "SeriesNotFound",
+    "AmbiguousSeries",
     "ServiceDiscovery",
     "EMRegistry",
     "MetricCollector",
@@ -48,8 +56,10 @@ __all__ = [
     "parse_promql",
     "PromQLError",
     "InstantSample",
+    "HistogramQuantile",
     "execution_report",
     "campaign_summary",
+    "observability_summary",
     "sparkline",
     "DriftMonitor",
     "PageHinkley",

@@ -12,16 +12,31 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.chains import TestExecution
+from ..obs import get_observability
 from .discovery import EMRegistry, ServiceDiscovery
 from .tsdb import TimeSeriesDB
 
-__all__ = ["MetricCollector", "SAMPLE_INTERVAL_SECONDS"]
+__all__ = ["MetricCollector", "RU_METRIC", "SAMPLE_INTERVAL_SECONDS"]
 
 #: §4.2.1 — the telecom corpus is "measured at 15 minute intervals".
 SAMPLE_INTERVAL_SECONDS = 15 * 60
 
 #: Metric name under which resource utilization (the target) is stored.
 RU_METRIC = "cpu_usage"
+
+_OBS = get_observability()
+_M_SAMPLES = _OBS.counter(
+    "repro_samples_ingested_total",
+    "Samples written into the workload TSDB by the metric collector.",
+)
+_M_SERIES = _OBS.counter(
+    "repro_series_ingested_total",
+    "Series written per collected execution (features + RU).",
+)
+_M_EXECUTIONS = _OBS.counter(
+    "repro_executions_collected_total",
+    "Test executions replayed into the TSDB.",
+)
 
 
 class MetricCollector:
@@ -52,24 +67,28 @@ class MetricCollector:
         discovery snippet, and registers a collector endpoint when a
         discovery config is attached.
         """
-        record_id = self.registry.register(execution.environment)
-        if self.discovery is not None:
-            endpoint = f"10.0.0.{self._next_port % 250 + 1}:{self._next_port}"
-            self._next_port += 1
-            self.discovery.add_target(endpoint, record_id)
-        labels = {"env": record_id}
-        n = execution.n_timesteps
-        timestamps = start_time + self.interval * np.arange(n)
-        names = self.feature_names or [
-            f"feature_{i:02d}" for i in range(execution.features.shape[1])
-        ]
-        if len(names) != execution.features.shape[1]:
-            raise ValueError(
-                f"{len(names)} feature names for {execution.features.shape[1]} feature columns"
-            )
-        for column, name in enumerate(names):
-            self.tsdb.write_array(name, labels, timestamps, execution.features[:, column])
-        self.tsdb.write_array(RU_METRIC, labels, timestamps, execution.cpu)
+        with _OBS.span("collector.collect"):
+            record_id = self.registry.register(execution.environment)
+            if self.discovery is not None:
+                endpoint = f"10.0.0.{self._next_port % 250 + 1}:{self._next_port}"
+                self._next_port += 1
+                self.discovery.add_target(endpoint, record_id)
+            labels = {"env": record_id}
+            n = execution.n_timesteps
+            timestamps = start_time + self.interval * np.arange(n)
+            names = self.feature_names or [
+                f"feature_{i:02d}" for i in range(execution.features.shape[1])
+            ]
+            if len(names) != execution.features.shape[1]:
+                raise ValueError(
+                    f"{len(names)} feature names for {execution.features.shape[1]} feature columns"
+                )
+            for column, name in enumerate(names):
+                self.tsdb.write_array(name, labels, timestamps, execution.features[:, column])
+            self.tsdb.write_array(RU_METRIC, labels, timestamps, execution.cpu)
+            _M_EXECUTIONS.inc()
+            _M_SERIES.inc(len(names) + 1)
+            _M_SAMPLES.inc(n * (len(names) + 1))
         return record_id
 
     def read_back(self, record_id: str) -> tuple[np.ndarray, np.ndarray]:

@@ -28,12 +28,36 @@ from ..data.chains import TestExecution
 from ..data.environment import Environment
 from ..data.telecom import TelecomDataset
 from ..data.windows import build_windows
+from ..obs import TSDBExporter, get_observability
 from .alarms import AlarmStore
 from .drift import DriftMonitor
 from .model_store import ModelStore
 from .training_pipeline import TrainingPipeline
+from .tsdb import TimeSeriesDB
 
 __all__ = ["DayReport", "TestingCampaign"]
+
+#: Simulated seconds per campaign day — the observability scrape cadence.
+DAY_SECONDS = 86400.0
+
+_OBS = get_observability()
+_M_DAYS = _OBS.counter("repro_campaign_days_total", "Campaign days orchestrated.")
+_M_EXECUTIONS = _OBS.counter(
+    "repro_campaign_executions_total", "Test executions monitored by campaigns."
+)
+_M_ALARMS = _OBS.counter(
+    "repro_campaign_alarms_total", "Alarms raised during campaign monitoring."
+)
+_M_CONFIRMED = _OBS.counter(
+    "repro_campaign_alarms_confirmed_total",
+    "Alarmed executions confirmed as true positives (and masked).",
+)
+_M_DRIFT = _OBS.counter(
+    "repro_campaign_drift_days_total", "Campaign days on which drift was detected."
+)
+_G_MASKED = _OBS.gauge(
+    "repro_campaign_masked_executions", "Executions currently masked out of training."
+)
 
 
 @dataclass
@@ -70,11 +94,22 @@ class TestingCampaign:
     # Page-Hinkley alarm marks a day where retraining was *needed*, not
     # merely scheduled.
     drift_monitor: DriftMonitor = field(default_factory=DriftMonitor)
+    # Dogfood loop: after each day, scrape the global metric registry into
+    # a campaign-owned TSDB (one scrape per simulated day) so the
+    # campaign's own health is queryable through repro.workflow.promql.
+    self_monitor: bool = True
 
     def __post_init__(self) -> None:
         self._pool: list[tuple[Environment, np.ndarray, np.ndarray]] = []
         self._ingested: dict[tuple, list[TestExecution]] = {}
         self._masked: set[Environment] = set()
+        self._exporter: TSDBExporter | None = None
+        if self.self_monitor:
+            self._exporter = TSDBExporter(
+                _OBS.registry,
+                tsdb=TimeSeriesDB(name="campaign-observability"),
+                interval=DAY_SECONDS,
+            )
         self._pipeline = TrainingPipeline(
             self.model_store,
             n_lags=self.n_lags,
@@ -138,36 +173,51 @@ class TestingCampaign:
         flagged: list[Environment] = []
         total_alarms = 0
         drift_detected = False
-        if self._model is not None:
+        with _OBS.span("campaign.day"):
+            if self._model is not None:
+                for execution in executions:
+                    with _OBS.span("campaign.monitor"):
+                        n_alarms = self._monitor(execution)
+                    total_alarms += n_alarms
+                    if not execution.has_performance_problem and execution.n_timesteps > self.n_lags + 1:
+                        predictions, observed = self._predict(execution)
+                        decision = self.drift_monitor.observe(
+                            float(np.abs(predictions - observed).mean())
+                        )
+                        drift_detected = drift_detected or decision.drifted
+                    if n_alarms and execution.has_performance_problem:
+                        # Engineers confirm the alarms: a true positive — the
+                        # execution is masked out of future training (step 2).
+                        self._masked.add(execution.environment)
+                        flagged.append(execution.environment)
+                        _M_CONFIRMED.inc()
+                    elif execution.has_performance_problem:
+                        # A missed problem discovered independently (the paper's
+                        # "false negative problems discovered independently by
+                        # the testing engineers") is masked as well.
+                        self._masked.add(execution.environment)
+
             for execution in executions:
-                n_alarms = self._monitor(execution)
-                total_alarms += n_alarms
-                if not execution.has_performance_problem and execution.n_timesteps > self.n_lags + 1:
-                    predictions, observed = self._predict(execution)
-                    decision = self.drift_monitor.observe(
-                        float(np.abs(predictions - observed).mean())
-                    )
-                    drift_detected = drift_detected or decision.drifted
-                if n_alarms and execution.has_performance_problem:
-                    # Engineers confirm the alarms: a true positive — the
-                    # execution is masked out of future training (step 2).
-                    self._masked.add(execution.environment)
-                    flagged.append(execution.environment)
-                elif execution.has_performance_problem:
-                    # A missed problem discovered independently (the paper's
-                    # "false negative problems discovered independently by
-                    # the testing engineers") is masked as well.
-                    self._masked.add(execution.environment)
+                self._ingested.setdefault(execution.environment.chain_key, []).append(execution)
+                self._pool.append((execution.environment, execution.features, execution.cpu))
 
-        for execution in executions:
-            self._ingested.setdefault(execution.environment.chain_key, []).append(execution)
-            self._pool.append((execution.environment, execution.features, execution.cpu))
+            with _OBS.span("campaign.retrain"):
+                result = self._pipeline.train(self._pool, masked_environments=self._masked)
+                self._model = result.model
+                # Compile once per retrain: tomorrow's monitoring (many predict
+                # calls across chains) runs on the tape-free engine.
+                self._model.compile()
 
-        result = self._pipeline.train(self._pool, masked_environments=self._masked)
-        self._model = result.model
-        # Compile once per retrain: tomorrow's monitoring (many predict
-        # calls across chains) runs on the tape-free engine.
-        self._model.compile()
+        _M_DAYS.inc()
+        _M_EXECUTIONS.inc(len(executions))
+        _M_ALARMS.inc(total_alarms)
+        if drift_detected:
+            _M_DRIFT.inc()
+        _G_MASKED.set(len(self._masked))
+        if self._exporter is not None:
+            # One scrape per simulated day: self-metrics become series the
+            # PromQL engine can rate() and quantile over.
+            self._exporter.tick()
         return DayReport(
             day=day,
             executions_run=len(executions),
@@ -198,3 +248,22 @@ class TestingCampaign:
         if self._model is None:
             raise RuntimeError("no model trained yet; run at least one day")
         return self._model
+
+    @property
+    def observability_tsdb(self) -> TimeSeriesDB:
+        """The campaign's self-metrics TSDB (one scrape per day).
+
+        Query it with :mod:`repro.workflow.promql` at
+        ``at=self.observability_now`` — e.g.
+        ``rate(repro_campaign_alarms_total[2d])``.
+        """
+        if self._exporter is None:
+            raise RuntimeError("self-monitoring is disabled (self_monitor=False)")
+        return self._exporter.tsdb
+
+    @property
+    def observability_now(self) -> float:
+        """The simulated timestamp of the most recent self-metrics scrape."""
+        if self._exporter is None or self._exporter.last_scrape is None:
+            raise RuntimeError("no self-metrics scraped yet; run at least one day")
+        return self._exporter.last_scrape

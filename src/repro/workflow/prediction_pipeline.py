@@ -10,6 +10,7 @@ push alarms — testbed, interval, peak deviation — into the alarm store.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,10 +20,36 @@ from ..core.model import Env2VecRegressor
 from ..data.chains import BuildChain, TestExecution
 from ..data.frame import Frame
 from ..data.windows import build_windows
+from ..obs import get_observability
 from .alarms import AlarmStore
 from .model_store import ModelStore
 
 __all__ = ["PredictionPipeline", "PipelineRun", "build_prediction_frame"]
+
+_OBS = get_observability()
+_H_RUN = _OBS.histogram(
+    "repro_prediction_run_seconds",
+    "End-to-end latency of one prediction-pipeline run (windowing, "
+    "inference, detection, alarm pushes).",
+)
+_M_RUNS = _OBS.counter(
+    "repro_prediction_runs_total", "Prediction-pipeline runs executed."
+)
+_M_WINDOWS = _OBS.counter(
+    "repro_prediction_windows_total",
+    "History windows (timesteps) scored by the prediction pipeline.",
+)
+_M_ALARMS = _OBS.counter(
+    "repro_alarms_raised_total", "Alarms pushed to the alarm store by pipeline runs."
+)
+_M_CACHE_HITS = _OBS.counter(
+    "repro_model_cache_hits_total",
+    "Model fetches answered by the version-keyed cache.",
+)
+_M_CACHE_MISSES = _OBS.counter(
+    "repro_model_cache_misses_total",
+    "Model fetches that deserialized and compiled a published blob.",
+)
 
 
 def build_prediction_frame(
@@ -83,7 +110,9 @@ class PredictionPipeline:
         so repeated monitoring calls skip both deserialization and compile.
         """
         if self._model_cache is not None and self._model_cache[0] == self.store.latest_version:
+            _M_CACHE_HITS.inc()
             return self._model_cache[1], self._model_cache[0]
+        _M_CACHE_MISSES.inc()
         blob, version = self.store.fetch_latest()
         model = Env2VecRegressor.from_bytes(blob)
         model.compile()
@@ -111,31 +140,39 @@ class PredictionPipeline:
         With ``error_model=None`` the §4.3 self-calibrated mode is used
         (for unseen environments without history).
         """
-        model, version = self._fetch_model()
-        predicted, observed = self._predict_execution(model, execution)
-        if error_model is None:
-            report = self.detector.detect_self_calibrated(predicted, observed)
-        else:
-            report = self.detector.detect(predicted, observed, error_model)
+        run_start = time.perf_counter()
+        with _OBS.span("predict.run"):
+            model, version = self._fetch_model()
+            with _OBS.span("predict.forward"):
+                predicted, observed = self._predict_execution(model, execution)
+            with _OBS.span("predict.detect"):
+                if error_model is None:
+                    report = self.detector.detect_self_calibrated(predicted, observed)
+                else:
+                    report = self.detector.detect(predicted, observed, error_model)
 
-        alarm_ids = []
-        offset = model.n_lags  # report indices are relative to windowed rows
-        for alarm in report.alarms:
-            alarm_ids.append(
-                self.alarms.push(
-                    environment=execution.environment,
-                    start_step=alarm.start + offset,
-                    end_step=alarm.end + offset,
-                    peak_deviation=alarm.peak_deviation,
-                    gamma=report.gamma,
+            alarm_ids = []
+            offset = model.n_lags  # report indices are relative to windowed rows
+            for alarm in report.alarms:
+                alarm_ids.append(
+                    self.alarms.push(
+                        environment=execution.environment,
+                        start_step=alarm.start + offset,
+                        end_step=alarm.end + offset,
+                        peak_deviation=alarm.peak_deviation,
+                        gamma=report.gamma,
+                    )
+                )
+            terminated = (
+                self.termination_threshold is not None
+                and self.alarms.should_terminate(
+                    execution.environment, threshold=self.termination_threshold
                 )
             )
-        terminated = (
-            self.termination_threshold is not None
-            and self.alarms.should_terminate(
-                execution.environment, threshold=self.termination_threshold
-            )
-        )
+        _M_RUNS.inc()
+        _M_WINDOWS.inc(len(observed))
+        _M_ALARMS.inc(len(alarm_ids))
+        _H_RUN.observe(time.perf_counter() - run_start)
         return PipelineRun(
             report=report,
             predictions=predicted,

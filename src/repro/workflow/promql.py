@@ -9,9 +9,13 @@ as it would be against real Prometheus:
     cpu_usage{env="em-000001"}[30m]               # range vector
     avg_over_time(cpu_usage{env="em-000001"}[1h]) # aggregation over range
     rate(net_tx{env="em-000001"}[15m])            # per-second increase
+    histogram_quantile(0.9, repro_prediction_run_seconds_bucket)
 
 Supported functions: ``avg_over_time``, ``max_over_time``,
-``min_over_time``, ``sum_over_time``, ``count_over_time``, ``rate``.
+``min_over_time``, ``sum_over_time``, ``count_over_time``, ``rate`` —
+plus ``histogram_quantile(q, <bucket vector>)`` over cumulative
+``*_bucket`` series (as written by the observability exporter), accepting
+either an instant bucket selector or ``rate(..._bucket[5m])``.
 Durations accept ``s``/``m``/``h``/``d`` suffixes. Matchers support exact
 equality (``=``) and inequality (``!=``).
 
@@ -35,6 +39,7 @@ __all__ = [
     "Selector",
     "RangeQuery",
     "FunctionCall",
+    "HistogramQuantile",
     "InstantSample",
     "parse",
     "evaluate",
@@ -94,6 +99,14 @@ class FunctionCall:
 
     function: str
     argument: RangeQuery
+
+
+@dataclass(frozen=True)
+class HistogramQuantile:
+    """``histogram_quantile(q, <instant vector of _bucket series>)``."""
+
+    quantile: float
+    argument: "Selector | FunctionCall"
 
 
 @dataclass(frozen=True)
@@ -171,7 +184,7 @@ class _Parser:
             )
         return token
 
-    def parse(self) -> Selector | RangeQuery | FunctionCall:
+    def parse(self) -> Selector | RangeQuery | FunctionCall | HistogramQuantile:
         expression = self._expression()
         leftover = self._peek()
         if leftover is not None:
@@ -180,7 +193,7 @@ class _Parser:
             )
         return expression
 
-    def _expression(self) -> Selector | RangeQuery | FunctionCall:
+    def _expression(self) -> Selector | RangeQuery | FunctionCall | HistogramQuantile:
         token = self._advance()
         if token.kind != "ident":
             raise PromQLError(f"expected a metric or function at position {token.position}")
@@ -191,6 +204,25 @@ class _Parser:
                 raise PromQLError(f"{token.text} requires a range vector, e.g. metric[5m]")
             self._expect(")")
             return FunctionCall(function=token.text, argument=argument)
+        if token.text == "histogram_quantile" and self._peek() and self._peek().text == "(":
+            self._expect("(")
+            quantile_token = self._advance()
+            if quantile_token.kind != "number":
+                raise PromQLError(
+                    f"histogram_quantile needs a numeric quantile at position "
+                    f"{quantile_token.position}"
+                )
+            quantile = float(quantile_token.text)
+            if not 0.0 <= quantile <= 1.0:
+                raise PromQLError(f"quantile must be in [0, 1]; got {quantile}")
+            self._expect(",")
+            argument = self._expression()
+            if not isinstance(argument, (Selector, FunctionCall)):
+                raise PromQLError(
+                    "histogram_quantile requires an instant vector of _bucket series"
+                )
+            self._expect(")")
+            return HistogramQuantile(quantile=quantile, argument=argument)
         return self._selector_maybe_range(metric_token=token)
 
     def _selector_maybe_range(self, metric_token: _Token | None = None):
@@ -247,7 +279,7 @@ class _Parser:
         return selector
 
 
-def parse(text: str) -> Selector | RangeQuery | FunctionCall:
+def parse(text: str) -> Selector | RangeQuery | FunctionCall | HistogramQuantile:
     """Parse a query string into its AST."""
     if not text or not text.strip():
         raise PromQLError("empty query")
@@ -285,9 +317,70 @@ def _apply_function(function: str, window: Series, window_seconds: float) -> flo
     raise PromQLError(f"unknown function {function!r}")  # pragma: no cover
 
 
+def _bucket_quantile(quantile: float, bounds: np.ndarray, counts: np.ndarray) -> float | None:
+    """Prometheus-style linear interpolation inside cumulative buckets.
+
+    ``bounds`` are the finite ``le`` upper bounds plus ``inf`` last;
+    ``counts`` are the matching cumulative counts (or cumulative rates —
+    the algorithm only needs monotone-in-le mass).
+    """
+    # Guard against scrape skew: cumulative counts must not decrease in le.
+    counts = np.maximum.accumulate(counts)
+    total = counts[-1]
+    if total <= 0:
+        return None
+    target = quantile * total
+    index = int(np.searchsorted(counts, target, side="left"))
+    if index >= len(bounds) - 1:
+        # Mass beyond the largest finite bound: report that bound (there
+        # is no upper edge to interpolate toward in the +Inf bucket).
+        return float(bounds[-2]) if len(bounds) >= 2 else None
+    upper = float(bounds[index])
+    lower = float(bounds[index - 1]) if index > 0 else min(0.0, upper)
+    count_upper = float(counts[index])
+    count_lower = float(counts[index - 1]) if index > 0 else 0.0
+    if count_upper == count_lower:
+        return upper
+    return lower + (upper - lower) * (target - count_lower) / (count_upper - count_lower)
+
+
+def _evaluate_histogram_quantile(
+    db: TimeSeriesDB, expression: HistogramQuantile, at: float
+) -> list[InstantSample]:
+    inner = evaluate(db, expression.argument, at)
+    groups: dict[tuple, tuple[str, dict[str, str], list[tuple[float, float]]]] = {}
+    for sample in inner:
+        if "le" not in sample.labels:
+            raise PromQLError(
+                f"histogram_quantile needs _bucket series with an 'le' label; "
+                f"{sample.metric} has labels {sorted(sample.labels)}"
+            )
+        labels = {k: v for k, v in sample.labels.items() if k != "le"}
+        le = float("inf") if sample.labels["le"] == "+Inf" else float(sample.labels["le"])
+        key = (sample.metric, tuple(sorted(labels.items())))
+        if key not in groups:
+            metric = sample.metric
+            if metric.endswith("_bucket"):
+                metric = metric[: -len("_bucket")]
+            groups[key] = (metric, labels, [])
+        groups[key][2].append((le, sample.value))
+    out = []
+    for metric, labels, buckets in groups.values():
+        buckets.sort()
+        bounds = np.asarray([b for b, _ in buckets], dtype=np.float64)
+        counts = np.asarray([c for _, c in buckets], dtype=np.float64)
+        if bounds[-1] != float("inf"):
+            continue  # incomplete histogram: no +Inf bucket at this instant
+        value = _bucket_quantile(expression.quantile, bounds, counts)
+        if value is None:
+            continue
+        out.append(InstantSample(metric=metric, labels=labels, value=value, timestamp=at))
+    return out
+
+
 def evaluate(
     db: TimeSeriesDB,
-    expression: Selector | RangeQuery | FunctionCall,
+    expression: Selector | RangeQuery | FunctionCall | HistogramQuantile,
     at: float,
 ) -> list[InstantSample] | list[Series]:
     """Evaluate an AST against the TSDB at time ``at``.
@@ -296,7 +389,9 @@ def evaluate(
       ``at`` for every matching series;
     - ``RangeQuery`` -> range vector: matching series restricted to
       ``(at - window, at]``;
-    - ``FunctionCall`` -> instant vector of aggregated values.
+    - ``FunctionCall`` -> instant vector of aggregated values;
+    - ``HistogramQuantile`` -> instant vector of interpolated quantiles,
+      one per bucket group (grouped by labels minus ``le``).
     """
     if isinstance(expression, Selector):
         samples = []
@@ -342,6 +437,8 @@ def evaluate(
                 )
             )
         return samples
+    if isinstance(expression, HistogramQuantile):
+        return _evaluate_histogram_quantile(db, expression, at)
     raise PromQLError(f"cannot evaluate {type(expression).__name__}")
 
 

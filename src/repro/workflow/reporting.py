@@ -10,13 +10,20 @@ campaign-level summary across chains.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..core.anomaly import AnomalyReport
 from ..data.chains import TestExecution
+from ..obs import get_observability
 from .alarms import AlarmRecord, AlarmStore
+from .promql import PromQLError, query as promql_query
 
-__all__ = ["sparkline", "execution_report", "campaign_summary"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from .orchestrator import TestingCampaign
+
+__all__ = ["sparkline", "execution_report", "campaign_summary", "observability_summary"]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -106,4 +113,48 @@ def campaign_summary(store: AlarmStore, width: int = 72) -> str:
     unacknowledged = len(store.fetch(unacknowledged_only=True))
     lines.append("")
     lines.append(f"{unacknowledged} alarm(s) awaiting engineer triage.")
+    return "\n".join(lines)
+
+
+#: Example self-metrics queries shown in the observability summary — one
+#: rate() and one histogram_quantile(), both answered by the in-repo
+#: PromQL engine over the campaign's own scrape TSDB.
+_EXAMPLE_QUERIES = (
+    "rate(repro_campaign_executions_total[2d])",
+    "histogram_quantile(0.9, repro_nn_predict_batch_seconds_bucket)",
+)
+
+
+def observability_summary(campaign: "TestingCampaign") -> str:
+    """The campaign's self-metrics, dogfooded through the PromQL engine.
+
+    Reports how many ``repro_*`` series the daily scrapes produced, answers
+    the example queries in :data:`_EXAMPLE_QUERIES` against the campaign's
+    observability TSDB, and renders the most recent root span tree.
+    """
+    tsdb = campaign.observability_tsdb
+    now = campaign.observability_now
+    names = tsdb.metrics()
+    lines = [
+        "SELF-METRICS — scraped once per simulated day into "
+        f"'{tsdb.name}' ({len(names)} metrics, {tsdb.n_samples()} samples)",
+        "",
+    ]
+    for expr in _EXAMPLE_QUERIES:
+        try:
+            samples = promql_query(tsdb, expr, at=now)
+        except PromQLError as error:
+            lines.append(f"  {expr}\n    error: {error}")
+            continue
+        lines.append(f"  {expr}")
+        if not samples:
+            lines.append("    (no data)")
+        for sample in samples[:3]:
+            lines.append(f"    = {sample.value:.6g}")
+    spans = get_observability().recent_spans
+    if spans:
+        lines.append("")
+        lines.append("most recent span tree (wall-clock ms):")
+        for line in spans[-1].render(unit="ms").splitlines():
+            lines.append("  " + line)
     return "\n".join(lines)

@@ -14,6 +14,7 @@ artifact to a :class:`~repro.workflow.model_store.ModelStore`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,9 +22,28 @@ import numpy as np
 from ..core.model import Env2VecRegressor
 from ..data.environment import Environment
 from ..data.windows import build_windows_multi
+from ..obs import get_observability
 from .model_store import ModelStore, ModelVersion
 
 __all__ = ["TrainingPipeline", "TrainingResult"]
+
+_OBS = get_observability()
+_H_RUN = _OBS.histogram(
+    "repro_training_run_seconds",
+    "Wall-clock latency of one daily training run (window build, fit, publish).",
+    buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0),
+)
+_M_RUNS = _OBS.counter("repro_training_runs_total", "Training-pipeline runs executed.")
+_M_EPOCHS = _OBS.counter(
+    "repro_training_epochs_total", "Training epochs run across all training runs."
+)
+_M_WINDOWS = _OBS.counter(
+    "repro_training_windows_total", "History windows built for training (pre-split)."
+)
+_G_MASKED = _OBS.gauge(
+    "repro_training_masked_executions",
+    "Executions masked out of the most recent training pool.",
+)
 
 TrainingRecord = tuple[Environment, np.ndarray, np.ndarray]
 
@@ -67,15 +87,18 @@ class TrainingPipeline:
         ``masked_environments`` are the executions with true-positive
         alarms (and engineer-reported problems) excluded per step 2.
         """
+        run_start = time.perf_counter()
         masked = masked_environments or set()
         usable = [record for record in records if record[0] not in masked]
         if not usable:
             raise ValueError("no training data left after masking")
         n_masked = len(records) - len(usable)
 
-        series = [(features, cpu) for _, features, cpu in usable]
-        X, history, y, series_ids = build_windows_multi(series, self.n_lags)
-        environments = [usable[i][0] for i in series_ids]
+        with _OBS.span("train.build_windows"):
+            series = [(features, cpu) for _, features, cpu in usable]
+            X, history, y, series_ids = build_windows_multi(series, self.n_lags)
+            environments = [usable[i][0] for i in series_ids]
+        n_windows = len(y)
 
         model = Env2VecRegressor(n_lags=self.n_lags, seed=self.seed, **self.model_params)
         val = None
@@ -93,16 +116,23 @@ class TrainingPipeline:
             environments = [environments[i] for i in train_idx]
             X, history, y = X[train_idx], history[train_idx], y[train_idx]
 
-        model.fit(environments, X, history, y, val=val)
-        blob = model.to_bytes()
-        version = self.store.publish(
-            blob,
-            metadata={
-                "n_examples": int(len(y)),
-                "n_lags": self.n_lags,
-                "masked_executions": n_masked,
-            },
-        )
+        with _OBS.span("train.fit"):
+            model.fit(environments, X, history, y, val=val)
+        with _OBS.span("train.publish"):
+            blob = model.to_bytes()
+            version = self.store.publish(
+                blob,
+                metadata={
+                    "n_examples": int(len(y)),
+                    "n_lags": self.n_lags,
+                    "masked_executions": n_masked,
+                },
+            )
+        _M_RUNS.inc()
+        _M_EPOCHS.inc(model.history_.epochs_run)
+        _M_WINDOWS.inc(n_windows)
+        _G_MASKED.set(n_masked)
+        _H_RUN.observe(time.perf_counter() - run_start)
         return TrainingResult(
             model=model,
             version=version,

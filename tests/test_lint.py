@@ -73,6 +73,15 @@ def _unused_imports(path: Path, tree: ast.Module) -> list[str]:
     ]
 
 
+def test_lint_scope_includes_obs():
+    """The observability package (and its tests) must be inside the gate."""
+    files = {path.relative_to(REPO).as_posix() for path in _python_files()}
+    assert "src/repro/obs/metrics.py" in files
+    assert "src/repro/obs/spans.py" in files
+    assert any(name.startswith("tests/obs/") for name in files)
+    assert "benchmarks/bench_observability.py" in files
+
+
 def test_lint():
     if _ruff_available():
         result = subprocess.run(

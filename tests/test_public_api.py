@@ -1,0 +1,81 @@
+"""Locks the curated public import surface of the workflow and obs packages.
+
+``__all__`` is the contract: every listed name must resolve, and the set
+itself must not drift silently — adding or removing a public name should
+require touching this test, which is the point.
+"""
+
+import repro.obs
+import repro.workflow
+
+WORKFLOW_API = {
+    # TSDB
+    "TimeSeriesDB", "Series", "Sample", "SeriesNotFound", "AmbiguousSeries",
+    # discovery + collection
+    "ServiceDiscovery", "EMRegistry", "MetricCollector", "RU_METRIC",
+    "SAMPLE_INTERVAL_SECONDS",
+    # stores
+    "AlarmStore", "AlarmRecord", "ModelStore", "ModelVersion",
+    # orchestration
+    "TestingCampaign", "DayReport",
+    # promql
+    "promql_query", "parse_promql", "PromQLError", "InstantSample",
+    "HistogramQuantile",
+    # reporting
+    "execution_report", "campaign_summary", "observability_summary", "sparkline",
+    # drift
+    "DriftMonitor", "PageHinkley", "DriftDecision",
+    # pipelines
+    "TrainingPipeline", "TrainingResult", "PredictionPipeline", "PipelineRun",
+    "build_prediction_frame",
+}
+
+OBS_API = {
+    "Observability", "get_observability", "OBS",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "MetricSample",
+    "DEFAULT_BUCKETS", "LATENCY_BUCKETS",
+    "Span", "SpanTracker", "span",
+    "render_prometheus", "TSDBExporter",
+}
+
+
+def _check_surface(module, expected):
+    declared = set(module.__all__)
+    assert declared == expected, (
+        f"{module.__name__}.__all__ drifted: "
+        f"missing {sorted(expected - declared)}, extra {sorted(declared - expected)}"
+    )
+    for name in sorted(declared):
+        assert getattr(module, name, None) is not None, (
+            f"{module.__name__}.__all__ lists {name!r} but it does not resolve"
+        )
+    assert len(module.__all__) == len(declared), "duplicate names in __all__"
+
+
+def test_workflow_public_api():
+    _check_surface(repro.workflow, WORKFLOW_API)
+
+
+def test_obs_public_api():
+    _check_surface(repro.obs, OBS_API)
+
+
+def test_obs_does_not_import_workflow_at_module_level():
+    """The obs package must stay importable before/without the workflow.
+
+    tsdb imports obs for self-instrumentation; the reverse edge is only
+    allowed lazily (inside TSDBExporter.__init__), otherwise the import
+    cycle would be load-order dependent.
+    """
+    import subprocess
+    import sys
+
+    probe = (
+        "import sys; import repro.obs; "
+        "bad = [m for m in sys.modules if m.startswith('repro.workflow')]; "
+        "assert not bad, f'repro.obs eagerly imported {bad}'"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", probe], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr

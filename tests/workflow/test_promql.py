@@ -167,3 +167,83 @@ class TestWorkflowIntegration:
             at=horizon,
         )
         assert sample.value == pytest.approx(execution.cpu.mean())
+
+
+class TestHistogramQuantile:
+    @staticmethod
+    def _write_buckets(db, at, counts, metric="lat_seconds_bucket", labels=None):
+        """Write one cumulative-bucket snapshot: {le: count}."""
+        for le, count in counts.items():
+            db.write(metric, {**(labels or {}), "le": le}, at, count)
+
+    def test_parse(self):
+        from repro.workflow.promql import HistogramQuantile
+
+        ast = parse("histogram_quantile(0.9, lat_seconds_bucket)")
+        assert isinstance(ast, HistogramQuantile)
+        assert ast.quantile == 0.9
+        assert ast.argument == Selector(metric="lat_seconds_bucket")
+
+    def test_parse_rejects_out_of_range_quantile(self):
+        with pytest.raises(PromQLError, match=r"\[0, 1\]"):
+            parse("histogram_quantile(1.5, lat_seconds_bucket)")
+
+    def test_parse_rejects_missing_quantile(self):
+        with pytest.raises(PromQLError, match="numeric quantile"):
+            parse("histogram_quantile(lat_seconds_bucket)")
+
+    def test_median_interpolates_within_bucket(self):
+        db = TimeSeriesDB()
+        # 10 observations uniformly below 1.0: 5 in (0, 0.5], 5 in (0.5, 1].
+        self._write_buckets(db, 10.0, {"0.5": 5.0, "1": 10.0, "+Inf": 10.0})
+        (sample,) = query(db, "histogram_quantile(0.5, lat_seconds_bucket)", at=10.0)
+        assert sample.metric == "lat_seconds"
+        assert sample.value == pytest.approx(0.5)
+        (q75,) = query(db, "histogram_quantile(0.75, lat_seconds_bucket)", at=10.0)
+        assert q75.value == pytest.approx(0.75)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        db = TimeSeriesDB()
+        self._write_buckets(db, 10.0, {"2": 4.0, "+Inf": 4.0})
+        (sample,) = query(db, "histogram_quantile(0.5, lat_seconds_bucket)", at=10.0)
+        assert sample.value == pytest.approx(1.0)
+
+    def test_mass_beyond_last_finite_bound_reports_that_bound(self):
+        db = TimeSeriesDB()
+        self._write_buckets(db, 10.0, {"1": 0.0, "2": 0.0, "+Inf": 10.0})
+        (sample,) = query(db, "histogram_quantile(0.9, lat_seconds_bucket)", at=10.0)
+        assert sample.value == pytest.approx(2.0)
+
+    def test_groups_by_labels_minus_le(self):
+        db = TimeSeriesDB()
+        self._write_buckets(db, 10.0, {"1": 10.0, "+Inf": 10.0}, labels={"stage": "fit"})
+        self._write_buckets(
+            db, 10.0, {"1": 0.0, "2": 10.0, "+Inf": 10.0}, labels={"stage": "predict"}
+        )
+        samples = query(db, "histogram_quantile(0.5, lat_seconds_bucket)", at=10.0)
+        by_stage = {s.labels["stage"]: s.value for s in samples}
+        assert by_stage["fit"] == pytest.approx(0.5)
+        assert by_stage["predict"] == pytest.approx(1.5)
+        assert all("le" not in s.labels for s in samples)
+
+    def test_empty_histogram_yields_no_sample(self):
+        db = TimeSeriesDB()
+        self._write_buckets(db, 10.0, {"1": 0.0, "+Inf": 0.0})
+        assert query(db, "histogram_quantile(0.9, lat_seconds_bucket)", at=10.0) == []
+
+    def test_missing_le_label_raises(self):
+        db = TimeSeriesDB()
+        db.write("lat_seconds_bucket", {"stage": "fit"}, 10.0, 5.0)
+        with pytest.raises(PromQLError, match="'le' label"):
+            query(db, "histogram_quantile(0.9, lat_seconds_bucket)", at=10.0)
+
+    def test_quantile_over_rate_of_buckets(self):
+        db = TimeSeriesDB()
+        # Two scrapes 60s apart; only the (0.5, 1] bucket grows.
+        self._write_buckets(db, 0.0, {"0.5": 5.0, "1": 5.0, "+Inf": 5.0})
+        self._write_buckets(db, 60.0, {"0.5": 5.0, "1": 11.0, "+Inf": 11.0})
+        (sample,) = query(
+            db, "histogram_quantile(0.5, rate(lat_seconds_bucket[2m]))", at=60.0
+        )
+        # All new mass landed in (0.5, 1] -> the median of the rate is inside it.
+        assert 0.5 < sample.value <= 1.0

@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.data import Environment
-from repro.workflow import EMRegistry, ServiceDiscovery, TimeSeriesDB
+from repro.workflow import (
+    AmbiguousSeries,
+    EMRegistry,
+    SeriesNotFound,
+    ServiceDiscovery,
+    TimeSeriesDB,
+)
 
 
 def _env(testbed="Testbed_01"):
@@ -39,6 +45,18 @@ class TestTimeSeriesDB:
         with pytest.raises(LookupError):
             db.query_one("cpu", {"env": "em-3"})
 
+    def test_query_one_error_types_distinguish_failures(self):
+        db = TimeSeriesDB()
+        db.write("cpu", {"env": "em-1"}, 0.0, 1.0)
+        db.write("cpu", {"env": "em-2"}, 0.0, 1.0)
+        with pytest.raises(SeriesNotFound, match="no series matches"):
+            db.query_one("cpu", {"env": "em-3"})
+        with pytest.raises(AmbiguousSeries, match="add labels to disambiguate"):
+            db.query_one("cpu")
+        # Both stay LookupError subclasses for existing handlers.
+        assert issubclass(SeriesNotFound, LookupError)
+        assert issubclass(AmbiguousSeries, LookupError)
+
     def test_timestamps_strictly_increasing(self):
         db = TimeSeriesDB()
         db.write("cpu", {}, 10.0, 1.0)
@@ -53,6 +71,21 @@ class TestTimeSeriesDB:
         assert len(db.query_one("mem", {"env": "a"})) == 5
         with pytest.raises(ValueError):
             db.write_array("mem", {"env": "b"}, np.arange(5.0), np.arange(4.0))
+
+    def test_write_array_names_the_offending_timestamp(self):
+        db = TimeSeriesDB()
+        with pytest.raises(ValueError, match=r"timestamps\[2\] = 1\.0 does not advance"):
+            db.write_array("mem", {}, np.array([0.0, 2.0, 1.0]), np.zeros(3))
+        # A rejected batch writes nothing.
+        assert db.n_samples() == 0
+
+    def test_write_array_must_advance_past_existing_series(self):
+        db = TimeSeriesDB()
+        db.write("mem", {}, 10.0, 1.0)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            db.write_array("mem", {}, np.array([10.0, 11.0]), np.zeros(2))
+        db.write_array("mem", {}, np.array([11.0, 12.0]), np.zeros(2))
+        assert db.n_samples() == 3
 
     def test_query_range(self):
         db = TimeSeriesDB()
