@@ -228,6 +228,21 @@ class AlarmScore:
         """A_F = 1 − A_T (defined as 0 when no alarms were raised)."""
         return 1.0 - self.true_alarm_rate if self.n_alarms else 0.0
 
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of alarm precision (A_T) and problem recall.
+
+        Precision is the true-alarm rate; recall is the fraction of
+        ground-truth problems hit by at least one alarm. Used to compare
+        detection quality between clean and degraded (chaos) campaigns
+        with a single number. 0 when either side has no support.
+        """
+        precision = self.true_alarm_rate
+        recall = self.problems_detected / self.total_problems if self.total_problems else 0.0
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
     def __add__(self, other: "AlarmScore") -> "AlarmScore":
         return AlarmScore(
             n_alarms=self.n_alarms + other.n_alarms,

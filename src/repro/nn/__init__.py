@@ -30,7 +30,7 @@ from .lstm import LSTM, LSTMCell
 from .optim import SGD, Adam, Optimizer, clip_gradients
 from .serialize import load_model_bytes, load_state, save_model_bytes, save_state
 from .tensor import Tensor, apply_op, is_grad_enabled, no_grad
-from .training import EarlyStopping, ReduceLROnPlateau, Trainer, TrainingHistory
+from .training import EarlyStopping, ReduceLROnPlateau, Trainer, TrainingDiverged, TrainingHistory
 
 __all__ = [
     "Tensor",
@@ -65,6 +65,7 @@ __all__ = [
     "LSTM",
     "LSTMCell",
     "Trainer",
+    "TrainingDiverged",
     "TrainingHistory",
     "EarlyStopping",
     "ReduceLROnPlateau",

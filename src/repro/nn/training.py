@@ -20,7 +20,7 @@ from .losses import get_loss
 from .optim import Adam, Optimizer
 from .tensor import Tensor, no_grad
 
-__all__ = ["EarlyStopping", "ReduceLROnPlateau", "TrainingHistory", "Trainer"]
+__all__ = ["EarlyStopping", "ReduceLROnPlateau", "TrainingDiverged", "TrainingHistory", "Trainer"]
 
 Batch = Mapping[str, np.ndarray]
 
@@ -31,6 +31,21 @@ _M_EPOCHS = _OBS.counter(
 _M_BATCHES = _OBS.counter(
     "repro_nn_batches_total", "Mini-batch gradient steps taken by Trainer.fit."
 )
+
+
+class TrainingDiverged(RuntimeError):
+    """Training produced a non-finite loss; the fit was aborted.
+
+    Raised by :meth:`Trainer.fit` the moment an epoch's training or
+    validation loss goes NaN/Inf — continuing would Adam-step poisoned
+    gradients into every weight. The model is left as-is at the failing
+    epoch and callers (the training pipeline) are expected to discard it
+    and keep the previous published model serving.
+    """
+
+    def __init__(self, message: str, epoch: int):
+        super().__init__(message)
+        self.epoch = epoch
 
 
 @dataclass
@@ -201,11 +216,22 @@ class Trainer:
                 self.optimizer.step()
                 epoch_loss += loss.item() * len(idx)
                 _M_BATCHES.inc()
-            history.train_loss.append(epoch_loss / n)
+            train_loss = epoch_loss / n
+            if not np.isfinite(train_loss):
+                raise TrainingDiverged(
+                    f"training loss went non-finite ({train_loss}) at epoch {epoch}",
+                    epoch=epoch,
+                )
+            history.train_loss.append(train_loss)
             _M_EPOCHS.inc()
 
             if has_val:
                 val_loss = self.evaluate(val_inputs, val_targets)
+                if not np.isfinite(val_loss):
+                    raise TrainingDiverged(
+                        f"validation loss went non-finite ({val_loss}) at epoch {epoch}",
+                        epoch=epoch,
+                    )
                 history.val_loss.append(val_loss)
                 if self.verbose:  # pragma: no cover - logging only
                     print(f"epoch {epoch}: train={history.train_loss[-1]:.5f} val={val_loss:.5f}")

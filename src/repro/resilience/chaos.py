@@ -1,0 +1,185 @@
+"""Seeded infrastructure-fault injection for lossy-testbed simulation.
+
+:mod:`repro.data.faults` injects *performance* faults — the anomalies the
+detector is supposed to find. This module injects *infrastructure* faults:
+the telemetry path itself misbehaving the way live testbeds do. A
+:class:`ChaosProfile` describes the failure climate as independent rates:
+
+- ``drop_rate`` / ``duplicate_rate`` / ``reorder_rate`` — scrape samples
+  lost, delivered twice, or delivered out of order;
+- ``nan_rate`` — a scrape row arrives with a NaN-poisoned value;
+- ``tsdb_failure_rate`` — a TSDB write fails transiently
+  (:class:`TransientTSDBError`, retryable);
+- ``outage_rate`` — an entire execution's scrape window is lost
+  (collector outage → dead-letter);
+- ``training_divergence_rate`` — a day's training run receives poisoned
+  targets and diverges.
+
+Every decision is drawn from an RNG derived via SHA-256 from
+``(profile.seed, *key)``, so a given (profile, record/day) pair always
+fails the same way — chaos runs are exactly reproducible and independent
+of iteration order. Injections are counted in
+``repro_chaos_injected_total{kind=...}``; since campaigns self-scrape the
+registry, every injected fault is visible in the observability TSDB.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from ..obs import get_observability
+from .errors import TransientTSDBError
+
+__all__ = ["ChaosProfile", "FlakyTSDB"]
+
+_OBS = get_observability()
+_M_INJECTED = _OBS.counter(
+    "repro_chaos_injected_total",
+    "Infrastructure faults injected by chaos profiles, by kind.",
+    labels=("kind",),
+)
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """An immutable, seeded description of infrastructure-failure rates."""
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    nan_rate: float = 0.0
+    tsdb_failure_rate: float = 0.0
+    outage_rate: float = 0.0
+    training_divergence_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            if spec.name == "seed":
+                continue
+            rate = getattr(self, spec.name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{spec.name} must be in [0, 1]; got {rate}")
+
+    def rng(self, *key: object) -> np.random.Generator:
+        """A generator derived deterministically from (seed, \\*key).
+
+        Independent keys give independent streams, so injecting one fault
+        kind never shifts the draws of another — rates can be tuned in
+        isolation without reshuffling the whole run.
+        """
+        material = ":".join(str(part) for part in (self.seed, *key)).encode()
+        digest = hashlib.sha256(material).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+    # -- scrape-path faults ------------------------------------------------
+    def corrupt_scrape(
+        self, key: str, timestamps: np.ndarray, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Corrupt one execution's scrape stream as the network would.
+
+        ``rows`` is the (timesteps, series) value matrix scraped for one
+        execution; a whole row (all series at one timestep) is the unit of
+        delivery, mirroring one scrape of one target. Returns the
+        *delivered* (timestamps, rows): some rows dropped, some duplicated,
+        adjacent rows swapped, and individual values NaN-poisoned. The
+        caller is expected to sanitize (sort, dedupe, gap-mark) — that
+        repair work is the point.
+        """
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or len(rows) != len(timestamps):
+            raise ValueError("rows must be (timesteps, series) aligned with timestamps")
+        gen = self.rng("scrape", key)
+        order: list[int] = []
+        dropped = duplicated = 0
+        for i in range(len(timestamps)):
+            if self.drop_rate and gen.random() < self.drop_rate:
+                dropped += 1
+                continue
+            order.append(i)
+            if self.duplicate_rate and gen.random() < self.duplicate_rate:
+                order.append(i)
+                duplicated += 1
+        swapped = 0
+        for j in range(len(order) - 1):
+            if self.reorder_rate and gen.random() < self.reorder_rate:
+                order[j], order[j + 1] = order[j + 1], order[j]
+                swapped += 1
+        delivered_t = timestamps[order]
+        delivered = rows[order].copy()
+        poisoned = 0
+        if self.nan_rate:
+            for j in range(len(order)):
+                if gen.random() < self.nan_rate:
+                    delivered[j, int(gen.integers(delivered.shape[1]))] = np.nan
+                    poisoned += 1
+        if dropped:
+            _M_INJECTED.labels(kind="drop").inc(dropped)
+        if duplicated:
+            _M_INJECTED.labels(kind="duplicate").inc(duplicated)
+        if swapped:
+            _M_INJECTED.labels(kind="reorder").inc(swapped)
+        if poisoned:
+            _M_INJECTED.labels(kind="nan").inc(poisoned)
+        return delivered_t, delivered
+
+    # -- whole-component faults -------------------------------------------
+    def outage(self, key: str) -> bool:
+        """Did the collector lose this execution's entire scrape window?"""
+        hit = bool(self.outage_rate and self.rng("outage", key).random() < self.outage_rate)
+        if hit:
+            _M_INJECTED.labels(kind="outage").inc()
+        return hit
+
+    def training_diverges(self, day: int) -> bool:
+        """Should this day's training run receive poisoned targets?"""
+        hit = bool(
+            self.training_divergence_rate
+            and self.rng("diverge", day).random() < self.training_divergence_rate
+        )
+        if hit:
+            _M_INJECTED.labels(kind="training_divergence").inc()
+        return hit
+
+    def flaky(self, tsdb):
+        """Wrap a TSDB so writes fail transiently at ``tsdb_failure_rate``."""
+        if not self.tsdb_failure_rate:
+            return tsdb
+        return FlakyTSDB(tsdb, self)
+
+
+class FlakyTSDB:
+    """Duck-typed TSDB proxy whose writes fail transiently.
+
+    Failures happen *before* the delegate sees the write, so a retried
+    attempt never double-writes. Reads and everything else pass through
+    untouched. Deliberately not a TimeSeriesDB subclass: the resilience
+    package must not import :mod:`repro.workflow` (which imports it).
+    """
+
+    def __init__(self, tsdb, profile: ChaosProfile):
+        self._tsdb = tsdb
+        self._rate = profile.tsdb_failure_rate
+        self._rng = profile.rng("tsdb", getattr(tsdb, "name", "tsdb"))
+        self.failures_injected = 0
+
+    def _maybe_fail(self, what: str) -> None:
+        if self._rng.random() < self._rate:
+            self.failures_injected += 1
+            _M_INJECTED.labels(kind="tsdb_failure").inc()
+            raise TransientTSDBError(f"simulated transient TSDB failure during {what}")
+
+    def write(self, *args, **kwargs):
+        self._maybe_fail("write")
+        return self._tsdb.write(*args, **kwargs)
+
+    def write_array(self, *args, **kwargs):
+        self._maybe_fail("write_array")
+        return self._tsdb.write_array(*args, **kwargs)
+
+    def __getattr__(self, name: str):
+        return getattr(self._tsdb, name)

@@ -18,10 +18,11 @@ Workflow steps (§3) and their modules:
 """
 
 from .alarms import AlarmRecord, AlarmStore
+from .checkpoint import CampaignState, checkpoint_days, load_latest_checkpoint, save_checkpoint
 from .collector import MetricCollector, RU_METRIC, SAMPLE_INTERVAL_SECONDS
 from .drift import DriftDecision, DriftMonitor, PageHinkley
 from .discovery import EMRegistry, ServiceDiscovery
-from .model_store import ModelStore, ModelVersion
+from .model_store import CorruptModelError, ModelStore, ModelVersion
 from .orchestrator import DayReport, TestingCampaign
 from .reporting import campaign_summary, execution_report, observability_summary, sparkline
 from .promql import (
@@ -31,7 +32,12 @@ from .promql import (
     parse as parse_promql,
     query as promql_query,
 )
-from .prediction_pipeline import PipelineRun, PredictionPipeline, build_prediction_frame
+from .prediction_pipeline import (
+    PipelineRun,
+    PredictionPipeline,
+    SkippedExecution,
+    build_prediction_frame,
+)
 from .training_pipeline import TrainingPipeline, TrainingResult
 from .tsdb import AmbiguousSeries, Sample, Series, SeriesNotFound, TimeSeriesDB
 
@@ -50,8 +56,13 @@ __all__ = [
     "AlarmRecord",
     "ModelStore",
     "ModelVersion",
+    "CorruptModelError",
     "TestingCampaign",
     "DayReport",
+    "CampaignState",
+    "save_checkpoint",
+    "load_latest_checkpoint",
+    "checkpoint_days",
     "promql_query",
     "parse_promql",
     "PromQLError",
@@ -68,5 +79,6 @@ __all__ = [
     "TrainingResult",
     "PredictionPipeline",
     "PipelineRun",
+    "SkippedExecution",
     "build_prediction_frame",
 ]

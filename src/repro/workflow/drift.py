@@ -60,6 +60,21 @@ class PageHinkley:
             return False
         return self.statistic > self.threshold
 
+    def state_dict(self) -> dict:
+        """The detector's mutable state, for campaign checkpoints."""
+        return {
+            "count": self._count,
+            "mean": self._mean,
+            "cumulative": self._cumulative,
+            "minimum": self._minimum,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._count = int(state["count"])
+        self._mean = float(state["mean"])
+        self._cumulative = float(state["cumulative"])
+        self._minimum = float(state["minimum"])
+
 
 @dataclass
 class DriftDecision:
@@ -106,3 +121,16 @@ class DriftMonitor:
         return DriftDecision(
             drifted=drifted, statistic=statistic, observations=self._observations
         )
+
+    def state_dict(self) -> dict:
+        """Everything needed to resume drift tracking after a restart."""
+        return {
+            "detector": self.detector.state_dict(),
+            "retrain_recommendations": self.retrain_recommendations,
+            "observations": self._observations,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.detector.load_state(state["detector"])
+        self.retrain_recommendations = int(state["retrain_recommendations"])
+        self._observations = int(state["observations"])

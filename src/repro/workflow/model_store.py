@@ -10,12 +10,24 @@ pipeline always fetches the latest published version.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["ModelVersion", "ModelStore"]
+__all__ = ["CorruptModelError", "ModelVersion", "ModelStore"]
+
+
+class CorruptModelError(RuntimeError):
+    """A fetched model blob is truncated or fails its integrity checks.
+
+    Serving a half-written blob is worse than serving no model at all —
+    deserialization may *succeed* on a truncated npz and yield garbage
+    weights. Every blob is checksummed (SHA-256) at publish time and
+    verified on fetch; callers with a cached model are expected to keep
+    serving it (the prediction pipeline's last-good fallback).
+    """
 
 
 @dataclass(frozen=True)
@@ -24,6 +36,7 @@ class ModelVersion:
     size_bytes: int
     published_at: float
     metadata: dict
+    checksum: str = ""
 
 
 class ModelStore:
@@ -50,6 +63,9 @@ class ModelStore:
                 size_bytes=len(blob),
                 published_at=meta.get("published_at", blob_file.stat().st_mtime),
                 metadata=meta.get("metadata", {}),
+                # Blobs published before checksums existed verify by
+                # structure alone; new publishes always record a digest.
+                checksum=meta.get("checksum", ""),
             )
             self._latest = max(self._latest, version)
 
@@ -63,6 +79,7 @@ class ModelStore:
             size_bytes=len(blob),
             published_at=time.time(),
             metadata=dict(metadata or {}),
+            checksum=hashlib.sha256(blob).hexdigest(),
         )
         self._blobs[version] = blob
         self._versions[version] = record
@@ -70,20 +87,49 @@ class ModelStore:
         if self.path is not None:
             (self.path / f"model-{version:06d}.npz").write_bytes(blob)
             (self.path / f"model-{version:06d}.json").write_text(
-                json.dumps({"published_at": record.published_at, "metadata": record.metadata})
+                json.dumps(
+                    {
+                        "published_at": record.published_at,
+                        "metadata": record.metadata,
+                        "checksum": record.checksum,
+                    }
+                )
             )
         return record
 
+    def _verify(self, blob: bytes, record: ModelVersion) -> None:
+        """Reject truncated or bit-rotted blobs before they deserialize.
+
+        The stored bytes must match what was published — length for fast
+        truncation detection, SHA-256 for everything subtler. Content is
+        deliberately not sniffed: the store versions opaque blobs.
+        """
+        if len(blob) != record.size_bytes:
+            raise CorruptModelError(
+                f"model version {record.version} is {len(blob)} bytes; "
+                f"expected {record.size_bytes} (truncated blob?)"
+            )
+        if record.checksum and hashlib.sha256(blob).hexdigest() != record.checksum:
+            raise CorruptModelError(
+                f"model version {record.version} fails its SHA-256 integrity check"
+            )
+
     def fetch_latest(self) -> tuple[bytes, ModelVersion]:
-        """Step 5: the prediction pipeline fetches the newest model."""
+        """Step 5: the prediction pipeline fetches the newest model.
+
+        Raises :class:`CorruptModelError` when the stored blob fails its
+        integrity checks (truncation, bad magic, checksum mismatch).
+        """
         if not self._latest:
             raise LookupError("no model has been published yet")
-        return self._blobs[self._latest], self._versions[self._latest]
+        return self.fetch(self._latest)
 
     def fetch(self, version: int) -> tuple[bytes, ModelVersion]:
         if version not in self._blobs:
             raise LookupError(f"no model version {version}")
-        return self._blobs[version], self._versions[version]
+        blob, record = self._blobs[version], self._versions[version]
+        self._verify(blob, record)
+        return blob, record
 
     def versions(self) -> list[ModelVersion]:
         return [self._versions[v] for v in sorted(self._versions)]

@@ -14,11 +14,30 @@ Ties the whole Figure 2 loop together over simulated days:
 
 This is the integration surface a team adopting Env2Vec would run; the
 example scripts and integration tests drive it end to end.
+
+The campaign degrades gracefully instead of assuming a clean replay:
+
+- with ``use_collector=True`` (forced on by ``chaos``), executions are
+  routed through the :class:`~repro.workflow.collector.MetricCollector`
+  — scraped into a workload TSDB, sanitized, gap-imputed on read-back —
+  so the campaign monitors and trains on what the telemetry path actually
+  delivered, not on the pristine in-memory arrays;
+- executions whose telemetry is beyond repair (collector outage, gaps too
+  long, TSDB down past the retry budget) are quarantined to the
+  :class:`~repro.resilience.DeadLetterStore` and excluded from monitoring
+  *and* training — never crashing the day;
+- a divergent training run (:class:`~repro.nn.TrainingDiverged`) aborts
+  cleanly: the previous model keeps serving, the day is reported as
+  ``training_diverged``;
+- with ``checkpoint_dir`` set, the full mutable state is snapshotted
+  after every day and :meth:`TestingCampaign.run` resumes idempotently
+  from the latest snapshot.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -28,12 +47,24 @@ from ..data.chains import TestExecution
 from ..data.environment import Environment
 from ..data.telecom import TelecomDataset
 from ..data.windows import build_windows
+from ..nn.training import TrainingDiverged
 from ..obs import TSDBExporter, get_observability
+from ..resilience import (
+    ChaosProfile,
+    DeadLetterRecord,
+    DeadLetterStore,
+    ExecutionQuarantined,
+    RetryExhausted,
+    TransientTSDBError,
+)
 from .alarms import AlarmStore
+from .checkpoint import CampaignState, load_latest_checkpoint, save_checkpoint
+from .collector import MetricCollector
+from .discovery import EMRegistry
 from .drift import DriftMonitor
 from .model_store import ModelStore
 from .training_pipeline import TrainingPipeline
-from .tsdb import TimeSeriesDB
+from .tsdb import AmbiguousSeries, SeriesNotFound, TimeSeriesDB
 
 __all__ = ["DayReport", "TestingCampaign"]
 
@@ -58,6 +89,14 @@ _M_DRIFT = _OBS.counter(
 _G_MASKED = _OBS.gauge(
     "repro_campaign_masked_executions", "Executions currently masked out of training."
 )
+_M_QUARANTINED = _OBS.counter(
+    "repro_resilience_quarantined_executions_total",
+    "Executions dead-lettered by campaigns instead of processed.",
+)
+_M_RESUMES = _OBS.counter(
+    "repro_resilience_campaign_resumes_total",
+    "Campaign runs that restored state from a checkpoint.",
+)
 
 
 @dataclass
@@ -71,10 +110,48 @@ class DayReport:
     masked_environments: list[Environment]
     model_version: int
     drift_detected: bool = False
+    training_diverged: bool = False
+    quarantined_environments: list[Environment] = field(default_factory=list)
 
     @property
     def any_flagged(self) -> bool:
         return bool(self.flagged_environments)
+
+
+def _report_to_dict(report: DayReport) -> dict:
+    return {
+        "day": report.day,
+        "executions_run": report.executions_run,
+        "alarms_raised": report.alarms_raised,
+        "flagged_environments": [env.as_dict() for env in report.flagged_environments],
+        "masked_environments": [env.as_dict() for env in report.masked_environments],
+        "model_version": report.model_version,
+        "drift_detected": report.drift_detected,
+        "training_diverged": report.training_diverged,
+        "quarantined_environments": [
+            env.as_dict() for env in report.quarantined_environments
+        ],
+    }
+
+
+def _report_from_dict(data: dict) -> DayReport:
+    return DayReport(
+        day=int(data["day"]),
+        executions_run=int(data["executions_run"]),
+        alarms_raised=int(data["alarms_raised"]),
+        flagged_environments=[Environment(**env) for env in data["flagged_environments"]],
+        masked_environments=[Environment(**env) for env in data["masked_environments"]],
+        model_version=int(data["model_version"]),
+        drift_detected=bool(data["drift_detected"]),
+        training_diverged=bool(data["training_diverged"]),
+        quarantined_environments=[
+            Environment(**env) for env in data["quarantined_environments"]
+        ],
+    )
+
+
+def _env_key(environment: Environment) -> str:
+    return "/".join(environment.as_tuple())
 
 
 @dataclass
@@ -98,17 +175,41 @@ class TestingCampaign:
     # a campaign-owned TSDB (one scrape per simulated day) so the
     # campaign's own health is queryable through repro.workflow.promql.
     self_monitor: bool = True
+    # Infrastructure-fault simulation; setting a profile forces executions
+    # through the collector path so the faults have somewhere to land.
+    chaos: ChaosProfile | None = None
+    # Route executions through collector → TSDB → read-back even without
+    # chaos (the production-shaped path; ~the policies-enabled clean path).
+    use_collector: bool = False
+    # Where un-processable executions are accounted for.
+    dead_letters: DeadLetterStore = field(default_factory=DeadLetterStore)
+    # Longest gap (in samples) the collector may impute before quarantine.
+    max_gap: int = 5
+    # When set, every completed day is snapshotted here and run() resumes
+    # from the latest snapshot.
+    checkpoint_dir: str | Path | None = None
 
     def __post_init__(self) -> None:
         self._pool: list[tuple[Environment, np.ndarray, np.ndarray]] = []
         self._ingested: dict[tuple, list[TestExecution]] = {}
         self._masked: set[Environment] = set()
+        self._report_dicts: list[dict] = []
         self._exporter: TSDBExporter | None = None
         if self.self_monitor:
             self._exporter = TSDBExporter(
                 _OBS.registry,
                 tsdb=TimeSeriesDB(name="campaign-observability"),
                 interval=DAY_SECONDS,
+            )
+        if self.chaos is not None:
+            self.use_collector = True
+        self._collector: MetricCollector | None = None
+        if self.use_collector:
+            self._collector = MetricCollector(
+                TimeSeriesDB(name="campaign-workload"),
+                EMRegistry(),
+                chaos=self.chaos,
+                max_gap=self.max_gap,
             )
         self._pipeline = TrainingPipeline(
             self.model_store,
@@ -165,15 +266,99 @@ class TestingCampaign:
             )
         return report.n_alarms
 
+    def _collect_day(
+        self, day: int, executions: list[TestExecution]
+    ) -> tuple[list[TestExecution], list[Environment]]:
+        """Route the day's executions through the lossy telemetry path.
+
+        Each execution is scraped into the workload TSDB (under chaos
+        corruption, behind the retry policy) and read back gap-imputed.
+        Executions the path cannot deliver are dead-lettered; the day
+        continues with whatever survived.
+        """
+        delivered: list[TestExecution] = []
+        quarantined: list[Environment] = []
+
+        def quarantine(execution: TestExecution, reason: str, detail: str) -> None:
+            self.dead_letters.add(
+                _env_key(execution.environment), reason, detail=detail, day=day
+            )
+            quarantined.append(execution.environment)
+            _M_QUARANTINED.inc()
+
+        for execution in executions:
+            key = _env_key(execution.environment)
+            if self.chaos is not None and self.chaos.outage(key):
+                quarantine(execution, "collector_outage", "scrape window lost")
+                continue
+            try:
+                record_id = self._collector.collect(execution)
+                features, cpu = self._collector.read_back(record_id)
+            except (RetryExhausted, TransientTSDBError) as exc:
+                quarantine(execution, "tsdb_unavailable", str(exc))
+                continue
+            except ExecutionQuarantined as exc:
+                quarantine(execution, exc.reason, exc.detail)
+                continue
+            except (SeriesNotFound, AmbiguousSeries) as exc:
+                quarantine(execution, "series_missing", str(exc))
+                continue
+            # The campaign works with what the telemetry path delivered;
+            # ground-truth fault labels ride along for mask decisions.
+            delivered.append(
+                TestExecution(
+                    environment=execution.environment,
+                    features=features,
+                    cpu=cpu,
+                    faults=list(execution.faults),
+                )
+            )
+        return delivered, quarantined
+
+    def _retrain(self, day: int) -> tuple[int, bool]:
+        """Daily retrain; returns (serving model version, diverged?)."""
+        records = self._pool
+        if self.chaos is not None and records and self.chaos.training_diverges(day):
+            # Poison one execution's targets: the divergence guard must
+            # abort the fit and the previous model must keep serving. The
+            # victim must survive masking or the poison never reaches fit.
+            victim = next(
+                (
+                    i
+                    for i in range(len(records) - 1, -1, -1)
+                    if records[i][0] not in self._masked
+                ),
+                None,
+            )
+            if victim is not None:
+                poisoned = list(records)
+                environment, features, cpu = poisoned[victim]
+                poisoned[victim] = (environment, features, np.full_like(cpu, np.nan))
+                records = poisoned
+        try:
+            result = self._pipeline.train(records, masked_environments=self._masked)
+        except TrainingDiverged:
+            return self.model_store.latest_version, True
+        self._model = result.model
+        # Compile once per retrain: tomorrow's monitoring (many predict
+        # calls across chains) runs on the tape-free engine.
+        self._model.compile()
+        return result.version.version, False
+
     # -- campaign API ---------------------------------------------------
     def run_day(self, day: int, executions: list[TestExecution]) -> DayReport:
         """Monitor the day's executions, update masks, retrain, publish."""
         if not executions:
             raise ValueError("a campaign day needs at least one execution")
         flagged: list[Environment] = []
+        quarantined: list[Environment] = []
         total_alarms = 0
         drift_detected = False
+        training_diverged = False
         with _OBS.span("campaign.day"):
+            if self._collector is not None:
+                with _OBS.span("campaign.collect"):
+                    executions, quarantined = self._collect_day(day, executions)
             if self._model is not None:
                 for execution in executions:
                     with _OBS.span("campaign.monitor"):
@@ -201,12 +386,13 @@ class TestingCampaign:
                 self._ingested.setdefault(execution.environment.chain_key, []).append(execution)
                 self._pool.append((execution.environment, execution.features, execution.cpu))
 
-            with _OBS.span("campaign.retrain"):
-                result = self._pipeline.train(self._pool, masked_environments=self._masked)
-                self._model = result.model
-                # Compile once per retrain: tomorrow's monitoring (many predict
-                # calls across chains) runs on the tape-free engine.
-                self._model.compile()
+            if self._pool:
+                with _OBS.span("campaign.retrain"):
+                    model_version, training_diverged = self._retrain(day)
+            else:
+                # Every execution so far was quarantined; nothing to train
+                # on yet. The campaign stays up and tries again tomorrow.
+                model_version = self.model_store.latest_version
 
         _M_DAYS.inc()
         _M_EXECUTIONS.inc(len(executions))
@@ -218,26 +404,93 @@ class TestingCampaign:
             # One scrape per simulated day: self-metrics become series the
             # PromQL engine can rate() and quantile over.
             self._exporter.tick()
-        return DayReport(
+        report = DayReport(
             day=day,
             executions_run=len(executions),
             alarms_raised=total_alarms,
             flagged_environments=flagged,
             masked_environments=sorted(self._masked, key=lambda e: e.as_tuple()),
-            model_version=result.version.version,
+            model_version=model_version,
             drift_detected=drift_detected,
+            training_diverged=training_diverged,
+            quarantined_environments=quarantined,
         )
+        self._report_dicts.append(_report_to_dict(report))
+        if self.checkpoint_dir is not None:
+            self._save_checkpoint(day)
+        return report
 
     def run(self, dataset: TelecomDataset) -> list[DayReport]:
-        """Replay a whole corpus: day d runs every chain's build #d."""
+        """Replay a whole corpus: day d runs every chain's build #d.
+
+        With ``checkpoint_dir`` set, a previous run's snapshots are
+        restored first and only the remaining days execute — re-running a
+        killed campaign is idempotent and converges on the same reports
+        and final model as an uninterrupted run.
+        """
+        reports: list[DayReport] = []
+        start_day = 0
+        if self.checkpoint_dir is not None:
+            state = load_latest_checkpoint(self.checkpoint_dir)
+            if state is not None:
+                reports = self._restore(state)
+                start_day = state.day + 1
         max_builds = max(len(chain) for chain in dataset.chains)
-        reports = []
-        for day in range(max_builds):
+        for day in range(start_day, max_builds):
             executions = [
                 chain.executions[day] for chain in dataset.chains if day < len(chain)
             ]
             reports.append(self.run_day(day, executions))
         return reports
+
+    # -- checkpointing -----------------------------------------------------
+    def _save_checkpoint(self, day: int) -> Path:
+        state = CampaignState(
+            day=day,
+            pool=self._pool,
+            masked=sorted(self._masked, key=lambda e: e.as_tuple()),
+            model_blob=self._model.to_bytes() if self._model is not None else None,
+            drift_state=self.drift_monitor.state_dict(),
+            exporter_now=self._exporter.last_scrape if self._exporter is not None else None,
+            reports=list(self._report_dicts),
+            dead_letters=[
+                {"key": r.key, "reason": r.reason, "detail": r.detail, "day": r.day}
+                for r in self.dead_letters.records()
+            ],
+        )
+        return save_checkpoint(self.checkpoint_dir, state)
+
+    def _restore(self, state: CampaignState) -> list[DayReport]:
+        """Load a snapshot into this campaign; returns the restored reports."""
+        self._pool = list(state.pool)
+        self._masked = set(state.masked)
+        self._ingested = {}
+        for environment, features, cpu in self._pool:
+            # Fault labels are not checkpointed; restored executions only
+            # feed error-model calibration, which never reads them.
+            self._ingested.setdefault(environment.chain_key, []).append(
+                TestExecution(environment=environment, features=features, cpu=cpu)
+            )
+        if state.model_blob is not None:
+            self._model = Env2VecRegressor.from_bytes(state.model_blob)
+            self._model.compile()
+        self.drift_monitor.load_state(state.drift_state)
+        if self._exporter is not None and state.exporter_now is not None:
+            # Continue the simulated scrape clock; the restored exporter
+            # writes into a fresh TSDB, so monotonicity is preserved.
+            self._exporter._now = state.exporter_now
+            self._exporter.last_scrape = state.exporter_now
+        self.dead_letters.restore(
+            [
+                DeadLetterRecord(
+                    key=r["key"], reason=r["reason"], detail=r["detail"], day=r["day"]
+                )
+                for r in state.dead_letters
+            ]
+        )
+        self._report_dicts = list(state.reports)
+        _M_RESUMES.inc()
+        return [_report_from_dict(data) for data in state.reports]
 
     @property
     def masked_environments(self) -> set[Environment]:
@@ -248,6 +501,15 @@ class TestingCampaign:
         if self._model is None:
             raise RuntimeError("no model trained yet; run at least one day")
         return self._model
+
+    @property
+    def workload_tsdb(self) -> TimeSeriesDB:
+        """The collector-path TSDB (only with ``use_collector``/chaos)."""
+        if self._collector is None:
+            raise RuntimeError("collector path is disabled (use_collector=False)")
+        tsdb = self._collector.tsdb
+        # Unwrap the chaos proxy so callers query the real store.
+        return getattr(tsdb, "_tsdb", tsdb)
 
     @property
     def observability_tsdb(self) -> TimeSeriesDB:

@@ -18,13 +18,16 @@ import numpy as np
 from ..core.anomaly import AnomalyReport, ContextualAnomalyDetector, GaussianErrorModel
 from ..core.model import Env2VecRegressor
 from ..data.chains import BuildChain, TestExecution
+from ..data.environment import Environment
 from ..data.frame import Frame
 from ..data.windows import build_windows
 from ..obs import get_observability
+from ..resilience import ExecutionQuarantined
 from .alarms import AlarmStore
-from .model_store import ModelStore
+from .model_store import CorruptModelError, ModelStore
+from .tsdb import AmbiguousSeries, SeriesNotFound
 
-__all__ = ["PredictionPipeline", "PipelineRun", "build_prediction_frame"]
+__all__ = ["PredictionPipeline", "PipelineRun", "SkippedExecution", "build_prediction_frame"]
 
 _OBS = get_observability()
 _H_RUN = _OBS.histogram(
@@ -49,6 +52,15 @@ _M_CACHE_HITS = _OBS.counter(
 _M_CACHE_MISSES = _OBS.counter(
     "repro_model_cache_misses_total",
     "Model fetches that deserialized and compiled a published blob.",
+)
+_M_SKIPS = _OBS.counter(
+    "repro_resilience_executions_skipped_total",
+    "Executions the prediction pipeline skipped instead of crashing on.",
+    labels=("reason",),
+)
+_M_FALLBACKS = _OBS.counter(
+    "repro_resilience_model_fallbacks_total",
+    "Fetches served by the cached last-good model after a corrupt blob.",
 )
 
 
@@ -86,6 +98,23 @@ class PipelineRun:
     terminated_early: bool
 
 
+@dataclass(frozen=True)
+class SkippedExecution:
+    """A typed skip-with-reason: the pipeline could not monitor this one.
+
+    Returned (never raised) by :meth:`PredictionPipeline.run_from_tsdb`
+    when the telemetry behind an execution is missing, ambiguous, or
+    quarantined — monitoring one execution must not crash the day.
+    """
+
+    reason: str
+    detail: str = ""
+
+    @property
+    def skipped(self) -> bool:
+        return True
+
+
 class PredictionPipeline:
     def __init__(
         self,
@@ -108,13 +137,24 @@ class PredictionPipeline:
         version-keyed cache every call re-parsed the npz blob and rebuilt the
         network. The cached regressor carries its compiled inference engine,
         so repeated monitoring calls skip both deserialization and compile.
+
+        The cache doubles as the *last-good* model: when the newest
+        published blob is corrupt (:class:`CorruptModelError`), monitoring
+        keeps serving the cached version instead of going dark. Only a
+        corrupt blob with no prior good model propagates the error.
         """
         if self._model_cache is not None and self._model_cache[0] == self.store.latest_version:
             _M_CACHE_HITS.inc()
             return self._model_cache[1], self._model_cache[0]
+        try:
+            blob, version = self.store.fetch_latest()
+            model = Env2VecRegressor.from_bytes(blob)
+        except CorruptModelError:
+            if self._model_cache is None:
+                raise
+            _M_FALLBACKS.inc()
+            return self._model_cache[1], self._model_cache[0]
         _M_CACHE_MISSES.inc()
-        blob, version = self.store.fetch_latest()
-        model = Env2VecRegressor.from_bytes(blob)
         model.compile()
         self._model_cache = (version.version, model)
         return model, version.version
@@ -181,6 +221,35 @@ class PredictionPipeline:
             alarm_ids=alarm_ids,
             terminated_early=terminated,
         )
+
+    def run_from_tsdb(
+        self,
+        collector,
+        record_id: str,
+        environment: Environment,
+        error_model: GaussianErrorModel | None = None,
+    ) -> PipelineRun | SkippedExecution:
+        """Monitor an execution straight from the TSDB (step 3 for real).
+
+        Reads the series back through ``collector.read_back`` and runs the
+        normal pipeline on the reconstruction. Degraded telemetry —
+        missing series, ambiguous selectors, quarantined executions —
+        yields a :class:`SkippedExecution` naming the reason instead of
+        propagating a crash into the caller's day loop.
+        """
+        try:
+            features, cpu = collector.read_back(record_id)
+        except SeriesNotFound as exc:
+            _M_SKIPS.labels(reason="series_missing").inc()
+            return SkippedExecution(reason="series_missing", detail=str(exc))
+        except AmbiguousSeries as exc:
+            _M_SKIPS.labels(reason="ambiguous_series").inc()
+            return SkippedExecution(reason="ambiguous_series", detail=str(exc))
+        except ExecutionQuarantined as exc:
+            _M_SKIPS.labels(reason=exc.reason).inc()
+            return SkippedExecution(reason=exc.reason, detail=exc.detail)
+        execution = TestExecution(environment=environment, features=features, cpu=cpu)
+        return self.run(execution, error_model=error_model)
 
     def report(self, execution: TestExecution, run: PipelineRun, width: int = 72) -> str:
         """Render the engineer-facing report for a completed run (step 4)."""

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.model import Env2VecRegressor
 from ..data.environment import Environment
 from ..data.windows import build_windows_multi
+from ..nn.training import TrainingDiverged
 from ..obs import get_observability
 from .model_store import ModelStore, ModelVersion
 
@@ -43,6 +44,10 @@ _M_WINDOWS = _OBS.counter(
 _G_MASKED = _OBS.gauge(
     "repro_training_masked_executions",
     "Executions masked out of the most recent training pool.",
+)
+_M_DIVERGED = _OBS.counter(
+    "repro_resilience_training_diverged_total",
+    "Training runs aborted on a non-finite loss (no model published).",
 )
 
 TrainingRecord = tuple[Environment, np.ndarray, np.ndarray]
@@ -117,7 +122,14 @@ class TrainingPipeline:
             X, history, y = X[train_idx], history[train_idx], y[train_idx]
 
         with _OBS.span("train.fit"):
-            model.fit(environments, X, history, y, val=val)
+            try:
+                model.fit(environments, X, history, y, val=val)
+            except TrainingDiverged:
+                # The aborted model is never published; the store keeps
+                # serving the previous version. Count it and let the
+                # orchestrator decide how the day degrades.
+                _M_DIVERGED.inc()
+                raise
         with _OBS.span("train.publish"):
             blob = model.to_bytes()
             version = self.store.publish(

@@ -170,3 +170,62 @@ class TestBuildChain:
         series = chain.history_series()
         assert len(series) == 1
         assert series[0][1].shape == (30,)
+
+
+class TestFaultEdgeCases:
+    """Boundary and composition cases mirroring the paper's overlapping
+    test scenarios ("often overlapping in time")."""
+
+    def test_overlapping_impactful_faults_compose_additively(self):
+        cpu = np.full(40, 30.0)
+        first = InjectedFault("level_shift", 5, 20, 10.0)
+        second = InjectedFault("level_shift", 15, 20, 5.0)
+        out = apply_fault(apply_fault(cpu, first, RNG), second, RNG)
+        np.testing.assert_allclose(out[5:15], 40.0)   # first only
+        np.testing.assert_allclose(out[15:25], 45.0)  # overlap: both shifts
+        np.testing.assert_allclose(out[25:35], 35.0)  # second only
+        np.testing.assert_allclose(out[35:], 30.0)
+
+    def test_overlapping_faults_union_in_anomaly_mask(self):
+        execution = _execution(
+            n=40,
+            faults=[
+                InjectedFault("level_shift", 5, 10, 10.0),
+                InjectedFault("spike", 12, 10, 10.0),
+            ],
+        )
+        mask = execution.anomaly_mask()
+        assert mask[5:22].all()  # contiguous union of [5,15) and [12,22)
+        assert not mask[:5].any() and not mask[22:].any()
+
+    def test_fault_ending_exactly_at_series_boundary_is_valid(self):
+        cpu = np.full(30, 40.0)
+        out = apply_fault(cpu, InjectedFault("level_shift", 25, 5, 10.0), RNG)
+        np.testing.assert_allclose(out[25:], 50.0)
+
+    def test_fault_past_the_boundary_rejected_but_mask_clips(self):
+        # apply_fault refuses to write outside the series...
+        with pytest.raises(ValueError, match="exceeds series length"):
+            apply_fault(np.zeros(30), InjectedFault("drift", 25, 10, 5.0), RNG)
+        # ...while ground-truth labelling clips an over-long record instead
+        # of crashing (executions can be truncated after fault injection).
+        execution = _execution(n=30, faults=[InjectedFault("drift", 25, 10, 5.0)])
+        mask = execution.anomaly_mask()
+        assert len(mask) == 30
+        assert mask[25:].all() and not mask[:25].any()
+
+    def test_non_impactful_faults_never_perturb_any_kind(self):
+        cpu = np.linspace(10.0, 90.0, 50)
+        for kind in ("level_shift", "spike", "drift", "noise_burst"):
+            fault = InjectedFault(kind, 10, 20, 25.0, impactful=False)
+            np.testing.assert_array_equal(
+                apply_fault(cpu, fault, np.random.default_rng(1)), cpu
+            )
+
+    def test_non_impactful_faults_are_not_ground_truth(self):
+        execution = _execution(
+            n=50, faults=[InjectedFault("spike", 5, 10, 20.0, impactful=False)]
+        )
+        assert not execution.has_performance_problem
+        assert not execution.anomaly_mask().any()
+        assert execution.impactful_faults == []

@@ -1,0 +1,304 @@
+"""Unit tests for the resilience policy toolkit (retry/deadline/breaker)."""
+
+import pytest
+
+from repro.obs import OBS
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    Retry,
+    RetryExhausted,
+    SimulatedClock,
+    TransientError,
+    TransientTSDBError,
+)
+
+
+class Flaky:
+    """Callable failing ``n_failures`` times before succeeding."""
+
+    def __init__(self, n_failures: int, error: type[BaseException] = TransientError):
+        self.n_failures = n_failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise self.error(f"failure #{self.calls}")
+        return "ok"
+
+
+class TestSimulatedClock:
+    def test_sleep_advances_time_instantly(self):
+        clock = SimulatedClock(start=100.0)
+        clock.sleep(2.5)
+        assert clock.now() == 102.5
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().sleep(-1.0)
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        fn = Flaky(2)
+        retry = Retry(max_attempts=4, name="t-succeed")
+        assert retry.call(fn) == "ok"
+        assert fn.calls == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        fn = Flaky(5, error=KeyError)
+        retry = Retry(max_attempts=4, name="t-nonretry")
+        with pytest.raises(KeyError):
+            retry.call(fn)
+        assert fn.calls == 1
+
+    def test_exhaustion_raises_retry_exhausted_with_cause(self):
+        fn = Flaky(10, error=TransientTSDBError)
+        retry = Retry(max_attempts=3, name="t-exhaust")
+        with pytest.raises(RetryExhausted) as excinfo:
+            retry.call(fn)
+        assert fn.calls == 3
+        assert isinstance(excinfo.value.__cause__, TransientTSDBError)
+        assert "failure #3" in str(excinfo.value.__cause__)
+
+    def test_decorator_form(self):
+        fn = Flaky(1)
+
+        @Retry(max_attempts=2, name="t-deco")
+        def guarded():
+            return fn()
+
+        assert guarded() == "ok"
+        assert guarded.__wrapped__ is not None
+
+    def test_attempts_iterator_form(self):
+        fn = Flaky(2)
+        retry = Retry(max_attempts=4, name="t-iter")
+        result = None
+        for attempt in retry.attempts():
+            with attempt:
+                result = fn()
+        assert result == "ok"
+        assert fn.calls == 3
+
+    def test_attempts_iterator_propagates_final_failure(self):
+        fn = Flaky(99)
+        retry = Retry(max_attempts=2, name="t-iter-fail")
+        with pytest.raises(TransientError, match="failure #2"):
+            for attempt in retry.attempts():
+                with attempt:
+                    fn()
+        assert fn.calls == 2
+
+    def test_backoff_consumes_simulated_time_only(self):
+        clock = SimulatedClock()
+        retry = Retry(
+            max_attempts=4, base_delay=1.0, multiplier=2.0, jitter=0.0,
+            clock=clock, name="t-backoff",
+        )
+        with pytest.raises(RetryExhausted):
+            retry.call(Flaky(99))
+        # 3 backoffs: 1 + 2 + 4 simulated seconds, zero wall-clock.
+        assert clock.now() == pytest.approx(7.0)
+
+    def test_backoff_bounded_by_max_delay(self):
+        retry = Retry(
+            max_attempts=10, base_delay=1.0, max_delay=5.0, multiplier=3.0,
+            jitter=0.0, name="t-cap",
+        )
+        assert retry.delay_for(1) == 1.0
+        assert retry.delay_for(2) == 3.0
+        assert retry.delay_for(3) == 5.0  # capped: 9 -> max_delay
+        assert retry.delay_for(9) == 5.0
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        a = Retry(base_delay=10.0, jitter=0.5, seed=7, name="t-jit-a")
+        b = Retry(base_delay=10.0, jitter=0.5, seed=7, name="t-jit-b")
+        delays_a = [a.delay_for(1) for _ in range(5)]
+        delays_b = [b.delay_for(1) for _ in range(5)]
+        assert delays_a == delays_b
+        assert all(5.0 <= d <= 10.0 for d in delays_a)
+
+    def test_retry_metrics_emitted(self):
+        OBS.reset()
+        retry = Retry(max_attempts=3, base_delay=1.0, jitter=0.0, name="t-metrics")
+        with pytest.raises(RetryExhausted):
+            retry.call(Flaky(99))
+        retries = OBS.counter("repro_resilience_retries_total", labels=("policy",))
+        giveups = OBS.counter("repro_resilience_giveups_total", labels=("policy",))
+        backoff = OBS.counter("repro_resilience_backoff_seconds_total", labels=("policy",))
+        assert retries.labels(policy="t-metrics").value == 2
+        assert giveups.labels(policy="t-metrics").value == 1
+        assert backoff.labels(policy="t-metrics").value == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Retry(max_attempts=0)
+        with pytest.raises(ValueError):
+            Retry(base_delay=5.0, max_delay=1.0)
+        with pytest.raises(ValueError):
+            Retry(multiplier=0.5)
+        with pytest.raises(ValueError):
+            Retry(jitter=1.5)
+
+
+class TestDeadline:
+    def test_within_budget_passes(self):
+        clock = SimulatedClock()
+        with Deadline(10.0, clock=clock, name="d-ok"):
+            clock.advance(5.0)
+
+    def test_over_budget_raises_on_exit(self):
+        clock = SimulatedClock()
+        with pytest.raises(DeadlineExceeded):
+            with Deadline(10.0, clock=clock, name="d-over"):
+                clock.advance(11.0)
+
+    def test_inflight_exception_takes_precedence(self):
+        clock = SimulatedClock()
+        with pytest.raises(KeyError):
+            with Deadline(10.0, clock=clock, name="d-exc"):
+                clock.advance(99.0)
+                raise KeyError("boom")
+
+    def test_cooperative_check_aborts_long_loops(self):
+        clock = SimulatedClock()
+        iterations = 0
+        with pytest.raises(DeadlineExceeded):
+            with Deadline(3.0, clock=clock, name="d-check") as deadline:
+                for _ in range(100):
+                    clock.advance(1.0)
+                    deadline.check()
+                    iterations += 1
+        assert iterations == 3
+
+    def test_remaining(self):
+        clock = SimulatedClock()
+        deadline = Deadline(10.0, clock=clock, name="d-rem")
+        assert deadline.remaining() == 10.0
+        with pytest.raises(DeadlineExceeded):
+            with deadline:
+                clock.advance(4.0)
+                assert deadline.remaining() == pytest.approx(6.0)
+                clock.advance(100.0)
+                assert deadline.remaining() == 0.0
+
+    def test_decorator_gives_fresh_budget_per_call(self):
+        clock = SimulatedClock()
+
+        @Deadline(5.0, clock=clock, name="d-deco")
+        def work(seconds):
+            clock.advance(seconds)
+
+        work(4.0)
+        work(4.0)  # would exceed a shared budget; fresh one passes
+        with pytest.raises(DeadlineExceeded):
+            work(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+
+class TestCircuitBreaker:
+    @staticmethod
+    def _trip(breaker, n):
+        for _ in range(n):
+            with pytest.raises(RuntimeError, match="backend down"):
+                with breaker:
+                    raise RuntimeError("backend down")
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, name="b-open")
+        self._trip(breaker, 2)
+        assert breaker.state == BREAKER_CLOSED
+        self._trip(breaker, 1)
+        assert breaker.state == BREAKER_OPEN
+
+    def test_open_circuit_fails_fast(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=30.0, name="b-fast")
+        self._trip(breaker, 1)
+        calls = 0
+        with pytest.raises(CircuitOpen):
+            with breaker:
+                calls += 1
+        assert calls == 0  # the protected call never ran
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=3, name="b-reset")
+        self._trip(breaker, 2)
+        with breaker:
+            pass
+        self._trip(breaker, 2)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time=30.0, clock=clock, name="b-probe-ok"
+        )
+        self._trip(breaker, 1)
+        clock.advance(31.0)
+        with breaker:  # allow() promotes to half-open, success closes
+            assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_time=30.0, clock=clock, name="b-probe-bad"
+        )
+        self._trip(breaker, 2)
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(31.0)
+        self._trip(breaker, 1)  # the single half-open trial fails
+        assert breaker.state == BREAKER_OPEN
+        with pytest.raises(CircuitOpen):
+            breaker.allow()
+
+    def test_decorator_form(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(failure_threshold=2, recovery_time=10.0, clock=clock, name="b-deco")
+        fn = Flaky(2, error=TransientTSDBError)
+
+        @breaker
+        def guarded():
+            return fn()
+
+        for _ in range(2):
+            with pytest.raises(TransientTSDBError):
+                guarded()
+        with pytest.raises(CircuitOpen):
+            guarded()
+        assert fn.calls == 2
+        clock.advance(11.0)
+        assert guarded() == "ok"
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_breaker_metrics_emitted(self):
+        OBS.reset()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=30.0, name="b-metrics")
+        self._trip(breaker, 1)
+        with pytest.raises(CircuitOpen):
+            breaker.allow()
+        state = OBS.gauge("repro_resilience_breaker_state", labels=("breaker",))
+        rejected = OBS.counter("repro_resilience_breaker_rejected_total", labels=("breaker",))
+        transitions = OBS.counter(
+            "repro_resilience_breaker_transitions_total", labels=("breaker", "to")
+        )
+        assert state.labels(breaker="b-metrics").value == 2.0  # open
+        assert rejected.labels(breaker="b-metrics").value == 1
+        assert transitions.labels(breaker="b-metrics", to=BREAKER_OPEN).value == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_time=0.0)

@@ -182,3 +182,147 @@ class TestFaultedCorpusIsStillSane:
         detector = ContextualAnomalyDetector(gamma=2.0)
         report = detector.detect_self_calibrated(predicted, observed)
         assert np.isfinite(report.errors).all()
+
+
+class TestCorruptModelStoreBlobs:
+    """The store must refuse to serve tampered or truncated blobs."""
+
+    @staticmethod
+    def _published_store(path=None):
+        store = ModelStore(path=path)
+        version = store.publish(b"x" * 256, metadata={"kind": "good"})
+        return store, version
+
+    def test_bit_flip_detected(self):
+        from repro.workflow import CorruptModelError
+
+        store, version = self._published_store()
+        blob = bytearray(store._blobs[version.version])
+        blob[17] ^= 0xFF
+        store._blobs[version.version] = bytes(blob)
+        with pytest.raises(CorruptModelError, match="SHA-256"):
+            store.fetch_latest()
+
+    def test_truncation_detected(self):
+        from repro.workflow import CorruptModelError
+
+        store, version = self._published_store()
+        store._blobs[version.version] = store._blobs[version.version][:-32]
+        with pytest.raises(CorruptModelError, match="truncated"):
+            store.fetch(version.version)
+
+    def test_on_disk_corruption_detected_on_reload(self, tmp_path):
+        from repro.workflow import CorruptModelError
+
+        store, version = self._published_store(path=tmp_path)
+        blob_file = tmp_path / f"model-{version.version:06d}.npz"
+        raw = bytearray(blob_file.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        blob_file.write_bytes(bytes(raw))
+        reloaded = ModelStore(path=tmp_path)
+        with pytest.raises(CorruptModelError):
+            reloaded.fetch_latest()
+
+    def test_intact_versions_still_served(self):
+        from repro.workflow import CorruptModelError
+
+        store, v1 = self._published_store()
+        v2 = store.publish(b"y" * 128)
+        store._blobs[v2.version] = b"z" * 128  # corrupt only the latest
+        blob, record = store.fetch(v1.version)
+        assert blob == b"x" * 256 and record.version == v1.version
+        with pytest.raises(CorruptModelError):
+            store.fetch_latest()
+
+
+class TestLastGoodModelFallback:
+    """A corrupt publish must not take monitoring dark (satellite: the
+    prediction pipeline keeps serving its cached last-good model)."""
+
+    @staticmethod
+    def _fitted_blob(seed):
+        rng = np.random.default_rng(seed)
+        envs = [_env()] * 60
+        X = rng.standard_normal((60, 3))
+        history = rng.standard_normal((60, 2))
+        model = Env2VecRegressor(n_lags=2, max_epochs=2, seed=seed)
+        model.fit(envs, X, history, X[:, 0])
+        return model.to_bytes()
+
+    def test_cached_model_keeps_serving_after_corrupt_publish(self):
+        from repro.data import TestExecution
+        from repro.workflow import PredictionPipeline
+
+        store = ModelStore()
+        v1 = store.publish(self._fitted_blob(0))
+        with AlarmStore() as alarms:
+            pipeline = PredictionPipeline(store, alarms, gamma=3.0)
+            rng = np.random.default_rng(3)
+            execution = TestExecution(
+                environment=_env(),
+                features=rng.standard_normal((40, 3)),
+                cpu=50.0 + rng.standard_normal(40),
+            )
+            first = pipeline.run(execution)
+            assert first.model_version == v1.version
+
+            v2 = store.publish(self._fitted_blob(1))
+            store._blobs[v2.version] = store._blobs[v2.version][:-64]  # torn write
+            fallback = pipeline.run(execution)
+            assert fallback.model_version == v1.version  # last-good served
+
+    def test_corrupt_blob_with_no_cache_propagates(self):
+        from repro.data import TestExecution
+        from repro.workflow import CorruptModelError, PredictionPipeline
+
+        store = ModelStore()
+        version = store.publish(self._fitted_blob(0))
+        store._blobs[version.version] = store._blobs[version.version][:-64]
+        with AlarmStore() as alarms:
+            pipeline = PredictionPipeline(store, alarms)
+            rng = np.random.default_rng(3)
+            execution = TestExecution(
+                environment=_env(),
+                features=rng.standard_normal((40, 3)),
+                cpu=np.full(40, 50.0),
+            )
+            with pytest.raises(CorruptModelError):
+                pipeline.run(execution)
+
+
+class TestTrainingDivergence:
+    """The Trainer's NaN/Inf loss guard (satellite: TrainingDiverged)."""
+
+    @staticmethod
+    def _model():
+        class Wrap(Dense):
+            def forward(self, x):
+                return super().forward(Tensor(x)).reshape(-1)
+
+        return Wrap(2, 1, rng=np.random.default_rng(0))
+
+    def test_nan_targets_raise_training_diverged_naming_epoch(self):
+        from repro.nn import TrainingDiverged
+
+        trainer = Trainer(self._model(), max_epochs=5)
+        x = np.random.default_rng(0).standard_normal((32, 2))
+        with pytest.raises(TrainingDiverged, match="epoch 0") as excinfo:
+            trainer.fit({"x": x}, np.full(32, np.nan))
+        assert excinfo.value.epoch == 0
+
+    def test_nan_validation_loss_raises_training_diverged(self):
+        from repro.nn import TrainingDiverged
+
+        trainer = Trainer(self._model(), max_epochs=5)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((32, 2))
+        y = x[:, 0]
+        with pytest.raises(TrainingDiverged) as excinfo:
+            trainer.fit({"x": x}, y, {"x": x}, np.full(32, np.inf))
+        assert excinfo.value.epoch >= 0
+        assert "validation loss" in str(excinfo.value)
+
+    def test_training_diverged_is_a_runtime_error(self):
+        from repro.nn import TrainingDiverged
+
+        assert issubclass(TrainingDiverged, RuntimeError)

@@ -6,6 +6,7 @@ require touching this test, which is the point.
 """
 
 import repro.obs
+import repro.resilience
 import repro.workflow
 
 WORKFLOW_API = {
@@ -16,8 +17,12 @@ WORKFLOW_API = {
     "SAMPLE_INTERVAL_SECONDS",
     # stores
     "AlarmStore", "AlarmRecord", "ModelStore", "ModelVersion",
+    "CorruptModelError",
     # orchestration
     "TestingCampaign", "DayReport",
+    # checkpointing
+    "CampaignState", "save_checkpoint", "load_latest_checkpoint",
+    "checkpoint_days",
     # promql
     "promql_query", "parse_promql", "PromQLError", "InstantSample",
     "HistogramQuantile",
@@ -27,7 +32,21 @@ WORKFLOW_API = {
     "DriftMonitor", "PageHinkley", "DriftDecision",
     # pipelines
     "TrainingPipeline", "TrainingResult", "PredictionPipeline", "PipelineRun",
-    "build_prediction_frame",
+    "SkippedExecution", "build_prediction_frame",
+}
+
+RESILIENCE_API = {
+    # failure taxonomy
+    "ResilienceError", "TransientError", "TransientTSDBError",
+    "CollectorOutage", "ExecutionQuarantined", "CircuitOpen",
+    "DeadlineExceeded", "RetryExhausted",
+    # policies
+    "Clock", "MonotonicClock", "SimulatedClock", "Retry", "Deadline",
+    "CircuitBreaker", "BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN",
+    # chaos
+    "ChaosProfile", "FlakyTSDB",
+    # quarantine
+    "DeadLetterRecord", "DeadLetterStore",
 }
 
 OBS_API = {
@@ -58,6 +77,26 @@ def test_workflow_public_api():
 
 def test_obs_public_api():
     _check_surface(repro.obs, OBS_API)
+
+
+def test_resilience_public_api():
+    _check_surface(repro.resilience, RESILIENCE_API)
+
+
+def test_resilience_does_not_import_workflow_at_module_level():
+    """The workflow imports resilience; the reverse edge would be a cycle."""
+    import subprocess
+    import sys
+
+    probe = (
+        "import sys; import repro.resilience; "
+        "bad = [m for m in sys.modules if m.startswith('repro.workflow')]; "
+        "assert not bad, f'repro.resilience eagerly imported {bad}'"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", probe], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
 
 
 def test_obs_does_not_import_workflow_at_module_level():
