@@ -1,0 +1,226 @@
+"""Benchmark — parallel sharded campaign scoring vs the serial loop.
+
+A campaign day scores a fleet of pending executions that all share one
+published model version. The serial orchestrator pays three redundant
+costs per execution: it recalibrates the chain's error model (re-predicting
+every prior build), rebuilds identical windows, and issues one small
+forward per execution. :class:`~repro.parallel.CampaignScorer` computes
+each chain's calibration once, memoizes windows, coalesces forwards, and
+fans the chains out over a worker pool.
+
+Contenders, per round over the same fleet:
+
+- **serial**: the orchestrator's per-execution monitor loop, transcribed
+  verbatim — calibrate, predict, detect for every pending execution;
+- **scorer(n)**: a fresh ``CampaignScorer`` with an ``n``-worker thread
+  pool (fresh per round, so cache warmup is on the clock).
+
+Acceptance: scorer(4) reaches ≥2x the serial throughput *and* its
+reports are byte-identical to the serial loop's. On a single-core
+container the speedup is algorithmic (work eliminated, not merely
+overlapped); with real cores the pool adds wall-clock overlap on top.
+Results go to ``benchmarks/results/BENCH_parallel.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import emit
+from repro.core.anomaly import ContextualAnomalyDetector, GaussianErrorModel
+from repro.data import TelecomConfig, generate_telecom
+from repro.data.windows import build_windows
+from repro.parallel import CampaignScorer, WorkerPool
+from repro.workflow import ModelStore, TrainingPipeline
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Acceptance floor: scorer(4) throughput over the serial monitor loop.
+MIN_SPEEDUP = 2.0
+
+N_LAGS = 3
+#: Pending (to-score) executions per chain — the tail of each chain.
+K_PENDING = 3
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _fleet():
+    """(model, executions, history) — one campaign day at fleet scale."""
+    dataset = generate_telecom(
+        TelecomConfig(
+            n_chains=16,
+            n_focus=4,
+            builds_per_chain=(7, 9),
+            timesteps_per_build=(40, 60),
+            include_rare_testbed=False,
+            seed=3,
+        )
+    )
+    pipeline = TrainingPipeline(
+        ModelStore(),
+        n_lags=N_LAGS,
+        model_params={"max_epochs": 3, "batch_size": 256, "dropout": 0.0},
+        seed=0,
+    )
+    model = pipeline.train(dataset.history_training_series()).model
+    model.compile()
+    executions, history = [], {}
+    for chain in dataset.chains:
+        history[chain.executions[0].environment.chain_key] = list(
+            chain.executions[:-K_PENDING]
+        )
+        executions.extend(chain.executions[-K_PENDING:])
+    return model, executions, history
+
+
+def _serial_round(model, detector, executions, history):
+    """The serial orchestrator's monitor loop: recalibrate per execution."""
+
+    def predict(execution):
+        X, h, y = build_windows(execution.features, execution.cpu, N_LAGS)
+        return model.predict([execution.environment] * len(y), X, h), y
+
+    def error_model(chain_key):
+        errors = []
+        for execution in history.get(chain_key, []):
+            if execution.n_timesteps <= N_LAGS + 1:
+                continue
+            predictions, observed = predict(execution)
+            errors.append(predictions - observed)
+        if not errors:
+            return None
+        return GaussianErrorModel.fit(np.concatenate(errors))
+
+    reports = []
+    for execution in executions:
+        if execution.n_timesteps <= N_LAGS + 1:
+            reports.append(None)
+            continue
+        predictions, observed = predict(execution)
+        em = error_model(execution.environment.chain_key)
+        if em is None:
+            reports.append(detector.detect_self_calibrated(predictions, observed))
+        else:
+            reports.append(detector.detect(predictions, observed, em))
+    return reports
+
+
+def _scorer_round(model, detector, executions, history, n_workers):
+    scorer = CampaignScorer(
+        detector, N_LAGS, pool=WorkerPool(n_workers, kind="threads")
+    )
+    try:
+        return scorer.score(model, executions, history, masked=set())
+    finally:
+        scorer.pool.close()
+
+
+def _best_of(rounds, *contenders):
+    best = [np.inf] * len(contenders)
+    for _ in range(rounds):
+        for slot, contender in enumerate(contenders):
+            start = time.perf_counter()
+            contender()
+            best[slot] = min(best[slot], time.perf_counter() - start)
+    return best
+
+
+def _assert_byte_identical(serial_reports, scores):
+    assert len(serial_reports) == len(scores)
+    for serial, score in zip(serial_reports, scores):
+        assert (serial is None) == (score.report is None)
+        if serial is None:
+            continue
+        assert score.report.flags.tobytes() == serial.flags.tobytes()
+        assert score.report.errors.tobytes() == serial.errors.tobytes()
+        assert score.report.alarms == serial.alarms
+
+
+def run_parallel_bench(rounds: int = 7) -> dict:
+    model, executions, history = _fleet()
+    detector = ContextualAnomalyDetector(gamma=2.5, abs_threshold=5.0)
+
+    # Correctness gate first: the merge contract, bitwise.
+    serial_reports = _serial_round(model, detector, executions, history)
+    scores = _scorer_round(model, detector, executions, history, n_workers=4)
+    _assert_byte_identical(serial_reports, scores)
+
+    # Warm numpy dispatch and the compiled engine off the clock.
+    _serial_round(model, detector, executions, history)
+
+    (serial_s,) = _best_of(
+        rounds, lambda: _serial_round(model, detector, executions, history)
+    )
+    scaling = {}
+    for n_workers in WORKER_COUNTS:
+        (scorer_s,) = _best_of(
+            rounds,
+            lambda n=n_workers: _scorer_round(model, detector, executions, history, n),
+        )
+        scaling[n_workers] = {
+            "ms_per_round": 1e3 * scorer_s,
+            "speedup_vs_serial": serial_s / scorer_s,
+            "executions_per_second": len(executions) / scorer_s,
+        }
+    return {
+        "fleet": {
+            "executions": len(executions),
+            "chains": len(history),
+            "pending_per_chain": K_PENDING,
+            "rounds": rounds,
+        },
+        "serial": {
+            "ms_per_round": 1e3 * serial_s,
+            "executions_per_second": len(executions) / serial_s,
+        },
+        "scorer": {str(n): stats for n, stats in scaling.items()},
+        "byte_identical": True,
+        "acceptance": {"min_speedup_at_4_workers": MIN_SPEEDUP},
+    }
+
+
+def _render(results: dict) -> str:
+    fleet = results["fleet"]
+    lines = [
+        "Parallel campaign scoring — "
+        f"{fleet['executions']} executions over {fleet['chains']} chains "
+        f"({fleet['pending_per_chain']} pending each)",
+        f"  serial monitor loop   {results['serial']['ms_per_round']:8.1f} ms/round "
+        f"({results['serial']['executions_per_second']:7.1f} exec/s)",
+    ]
+    for n, stats in results["scorer"].items():
+        lines.append(
+            f"  CampaignScorer  n={n:<3} {stats['ms_per_round']:8.1f} ms/round "
+            f"({stats['executions_per_second']:7.1f} exec/s, "
+            f"{stats['speedup_vs_serial']:.2f}x)"
+        )
+    lines.append(
+        "  reports byte-identical to serial: "
+        f"{results['byte_identical']}"
+    )
+    return "\n".join(lines)
+
+
+def test_bench_parallel(benchmark):
+    results = benchmark.pedantic(run_parallel_bench, rounds=1, iterations=1)
+    emit("parallel", _render(results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel.json").write_text(json.dumps(results, indent=2) + "\n")
+
+    speedup = results["scorer"]["4"]["speedup_vs_serial"]
+    assert results["byte_identical"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"4-worker campaign scoring reached only {speedup:.2f}x over the "
+        f"serial loop; floor is {MIN_SPEEDUP:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    bench_results = run_parallel_bench()
+    print(_render(bench_results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel.json").write_text(
+        json.dumps(bench_results, indent=2) + "\n"
+    )

@@ -16,6 +16,8 @@ A full from-scratch reproduction of the paper's system:
 - :mod:`repro.workflow` — the Figure 2 testing workflow: TSDB, service
   discovery, collector, training/prediction pipelines, alarm and model
   stores.
+- :mod:`repro.parallel` — the sharded campaign executor: read-only TSDB
+  snapshot shards, worker pools, and the byte-identical parallel scorer.
 - :mod:`repro.eval` — metrics and per-table/figure experiment drivers.
 
 Quickstart::

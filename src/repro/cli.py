@@ -18,7 +18,8 @@ Usage::
 
 Options: ``--full`` uses the paper-scale training protocol (slower);
 ``--seed N`` reseeds the synthetic corpora; ``--chains N`` resizes the
-telecom corpus.
+telecom corpus; ``--workers N`` scores campaign executions through the
+parallel sharded executor (``repro.parallel``).
 """
 
 from __future__ import annotations
@@ -45,13 +46,33 @@ EXPERIMENTS = (
     "calibration",
 )
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "clear_caches"]
+
+# Explicit module-level caches, keyed by the corpus-defining CLI options.
+# These used to be mutable default arguments (``def _f(args, cache={})``),
+# which ruff B006 now forbids: a default-arg dict is invisible at the call
+# site, survives for the life of the process, and cannot be cleared without
+# reaching into ``__defaults__`` — stale entries leaked across programmatic
+# ``main()`` invocations in one process. (``functools.lru_cache`` does not
+# fit directly: an argparse ``Namespace`` is unhashable.)
+_CONTEXT_CACHE: dict[tuple, tuple] = {}
+_CHAIN_MAE_CACHE: dict[tuple, object] = {}
 
 
-def _telecom_context(args, cache={}):
+def _cache_key(args) -> tuple:
+    return (args.seed, args.chains, args.full)
+
+
+def clear_caches() -> None:
+    """Drop memoized datasets/models (for tests and long-lived processes)."""
+    _CONTEXT_CACHE.clear()
+    _CHAIN_MAE_CACHE.clear()
+
+
+def _telecom_context(args):
     """Dataset + trained pooled models, built once per process."""
-    key = (args.seed, args.chains, args.full)
-    if key not in cache:
+    key = _cache_key(args)
+    if key not in _CONTEXT_CACHE:
         from .eval import train_env2vec_telecom, train_rfnn_all_telecom
 
         n_focus = min(11, max(2, args.chains // 4))
@@ -60,8 +81,8 @@ def _telecom_context(args, cache={}):
         )
         env2vec = train_env2vec_telecom(dataset, fast=not args.full)
         rfnn_all = train_rfnn_all_telecom(dataset, fast=not args.full)
-        cache[key] = (dataset, env2vec, rfnn_all)
-    return cache[key]
+        _CONTEXT_CACHE[key] = (dataset, env2vec, rfnn_all)
+    return _CONTEXT_CACHE[key]
 
 
 def _run_table4(args) -> str:
@@ -84,14 +105,14 @@ def _run_figure1(args) -> str:
     return "\n".join([result.summary(), "", ascii_heatmap(result.weights)])
 
 
-def _chain_mae(args, cache={}):
-    key = (args.seed, args.chains, args.full)
-    if key not in cache:
+def _chain_mae(args):
+    key = _cache_key(args)
+    if key not in _CHAIN_MAE_CACHE:
         from .eval import run_chain_mae
 
         dataset, env2vec, rfnn_all = _telecom_context(args)
-        cache[key] = run_chain_mae(dataset, env2vec, rfnn_all)
-    return cache[key]
+        _CHAIN_MAE_CACHE[key] = run_chain_mae(dataset, env2vec, rfnn_all)
+    return _CHAIN_MAE_CACHE[key]
 
 
 def _run_figure3(args) -> str:
@@ -166,7 +187,10 @@ def _run_campaign(args) -> str:
     from .workflow import TestingCampaign, observability_summary
 
     dataset, _, _ = _telecom_context(args)
-    campaign = TestingCampaign(model_params={"max_epochs": 15, "batch_size": 256})
+    campaign = TestingCampaign(
+        model_params={"max_epochs": 15, "batch_size": 256},
+        n_workers=getattr(args, "workers", 1),
+    )
     reports = campaign.run(dataset)
     lines = ["Multi-day testing campaign (collect -> monitor -> mask -> retrain):"]
     for report in reports:
@@ -234,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=7, help="corpus seed (default 7)")
     parser.add_argument(
         "--chains", type=int, default=125, help="telecom corpus size (default 125)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="campaign scoring workers (default 1 = serial; >1 uses repro.parallel)",
     )
     return parser
 

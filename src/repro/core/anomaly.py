@@ -69,7 +69,10 @@ class GaussianErrorModel:
             raise ValueError("need at least 2 error samples to fit a Gaussian")
         if not np.isfinite(errors).all():
             raise ValueError("errors contain NaN or infinite values")
-        sigma = float(errors.std())
+        # Sample std (Bessel-corrected): build chains have few prior builds,
+        # and ddof=0 biases sigma low on small n, making the gamma*sigma
+        # rule over-alarm. n >= 2 is enforced above, so ddof=1 is defined.
+        sigma = float(errors.std(ddof=1))
         return cls(mu=float(errors.mean()), sigma=max(sigma, 1e-9))
 
     def zscore(self, errors: np.ndarray) -> np.ndarray:

@@ -342,6 +342,14 @@ class Env2VecRegressor:
             self.compile()
         return self._engine
 
+    def ensure_compiled(self) -> InferenceModel:
+        """Compile on first use, else return the cached engine.
+
+        The parallel campaign executor calls this once before fanning
+        out so worker threads never race the lazy first-predict compile.
+        """
+        return self._ensure_engine()
+
     def predict(
         self,
         environments: list[Environment],

@@ -27,6 +27,7 @@ refuses rather than silently using the parent's plan.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Callable, Mapping
@@ -162,6 +163,15 @@ class EmbeddingRowCache:
     env-id tuple turns the embedding branch of a streaming prediction into
     one dict hit; with the Hadamard head the whole environment side of
     eq. 2 then costs a single cached gather + dot per step.
+
+    Cached rows are handed out by reference, so they are marked
+    non-writeable before they enter the cache: a caller mutating a
+    returned row would otherwise silently corrupt every future prediction
+    for that environment. Mutation attempts raise ``ValueError`` instead.
+    The single-row fast path returns a read-only view; the multi-row path
+    fancy-indexes into a fresh (writable) batch. Lookups are guarded by a
+    per-cache lock so the parallel campaign executor's worker threads can
+    share one compiled engine.
     """
 
     def __init__(self, tables: list[np.ndarray], dtype: np.dtype, maxsize: int = 4096):
@@ -173,22 +183,26 @@ class EmbeddingRowCache:
         self.hits = 0
         self.misses = 0
         self._cache: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._cache)
 
     def _row(self, key: tuple[int, ...]) -> np.ndarray:
-        row = self._cache.get(key)
-        if row is not None:
-            self.hits += 1
-            self._cache.move_to_end(key)
+        """One read-only cached row; takes the cache lock per lookup."""
+        with self._lock:
+            row = self._cache.get(key)
+            if row is not None:
+                self.hits += 1
+                self._cache.move_to_end(key)
+                return row
+            self.misses += 1
+            row = np.concatenate([table[i] for table, i in zip(self.tables, key)])
+            row.setflags(write=False)
+            self._cache[key] = row
+            if len(self._cache) > self.maxsize:
+                self._cache.popitem(last=False)
             return row
-        self.misses += 1
-        row = np.concatenate([table[i] for table, i in zip(self.tables, key)])
-        self._cache[key] = row
-        if len(self._cache) > self.maxsize:
-            self._cache.popitem(last=False)
-        return row
 
     def rows(self, ids: np.ndarray) -> np.ndarray:
         """``(n, n_fields)`` id matrix -> ``(n, dim)`` concatenated rows."""
@@ -276,6 +290,44 @@ class InferenceModel:
             for start in range(0, n, batch_size)
         ]
         return np.concatenate(outputs, axis=0)
+
+    def predict_many(
+        self,
+        inputs_list: list[Mapping[str, np.ndarray]],
+        batch_size: int | None = None,
+    ) -> list[np.ndarray]:
+        """Coalesce several aligned input dicts into batched forwards.
+
+        The parallel campaign executor scores many executions that share
+        one model version; issuing one forward per execution wastes the
+        fixed per-call overhead (dispatch, instrumentation, small-matmul
+        setup). This concatenates the inputs row-wise, runs them through
+        :meth:`predict`, and splits the output back per execution. Every
+        kernel on the compiled path is row-wise, so the split results are
+        bitwise identical to per-execution ``predict`` calls — the
+        byte-identical merge contract of ``repro.parallel`` relies on it.
+        """
+        if not inputs_list:
+            return []
+        keys = tuple(inputs_list[0])
+        for inputs in inputs_list:
+            if tuple(inputs) != keys:
+                raise ValueError(
+                    f"cannot coalesce inputs with differing keys: {tuple(inputs)} vs {keys}"
+                )
+        if len(inputs_list) == 1:
+            return [self.predict(inputs_list[0], batch_size=batch_size)]
+        lengths = [len(next(iter(inputs.values()))) for inputs in inputs_list]
+        merged = {
+            key: np.concatenate([np.asarray(inputs[key]) for inputs in inputs_list], axis=0)
+            for key in keys
+        }
+        out = self.predict(merged, batch_size=batch_size)
+        pieces, start = [], 0
+        for n in lengths:
+            pieces.append(out[start : start + n])
+            start += n
+        return pieces
 
     def assert_close(self, inputs: Mapping[str, np.ndarray], atol: float = 1e-10) -> float:
         """Check parity against the source module's autograd forward.

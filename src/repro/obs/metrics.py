@@ -15,10 +15,12 @@ instrumentation is off — one attribute load and one branch, no allocation.
 Metric handles are meant to be resolved once (module/instance scope) and
 reused, not looked up per call.
 
-Counters and gauges are plain float cells; under CPython's GIL concurrent
-``+=`` may lose increments under true multithreading, which is acceptable
-for this single-process research system (the registry lock only guards
-family/child registration).
+Every hot-path mutation is atomic: each leaf (a label-less family, or one
+child of a labelled family) owns a lock taken around its value update, so
+concurrent ``inc``/``set``/``observe`` from the parallel campaign
+executor's worker threads never lose increments. The disabled path stays
+lock-free (the enabled check returns before the lock), and the registry
+lock still only guards family/child registration.
 """
 
 from __future__ import annotations
@@ -93,6 +95,9 @@ class _Metric:
         self._enabled = enabled if enabled is not None else _Enabled()
         self._children: dict[tuple[str, ...], "_Metric"] = {}
         self._lock = threading.Lock()
+        # Per-leaf lock guarding value updates; children get their own in
+        # _make_child so siblings never contend with each other.
+        self._value_lock = threading.Lock()
         if not self.label_names:
             # A label-less family is its own single child: inc()/set()/
             # observe() work directly on it.
@@ -122,6 +127,7 @@ class _Metric:
         child._enabled = self._enabled
         child._children = {(): child}
         child._lock = self._lock
+        child._value_lock = threading.Lock()
         child._init_value()
         return child
 
@@ -152,7 +158,8 @@ class _Metric:
     def reset(self) -> None:
         """Zero every child's value (registrations and children survive)."""
         for _, child in self._iter_children():
-            child._init_value()
+            with child._value_lock:
+                child._init_value()
 
 
 class Counter(_Metric):
@@ -176,7 +183,8 @@ class Counter(_Metric):
             self._require_leaf()
         if amount < 0:
             raise ValueError(f"counters only go up; got inc({amount})")
-        self._value += amount
+        with self._value_lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -206,14 +214,16 @@ class Gauge(_Metric):
             return
         if self.label_names:
             self._require_leaf()
-        self._value = float(value)
+        with self._value_lock:
+            self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         if not self._enabled.on:
             return
         if self.label_names:
             self._require_leaf()
-        self._value += amount
+        with self._value_lock:
+            self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         self.inc(-amount)
@@ -279,9 +289,11 @@ class Histogram(_Metric):
         if self.label_names:
             self._require_leaf()
         value = float(value)
-        self._counts[bisect_left(self.bounds, value)] += 1
-        self._sum += value
-        self._count += 1
+        bucket = bisect_left(self.bounds, value)
+        with self._value_lock:
+            self._counts[bucket] += 1
+            self._sum += value
+            self._count += 1
 
     @property
     def count(self) -> int:

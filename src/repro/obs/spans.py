@@ -12,6 +12,13 @@ the most recent trees; children are owned by their parents. When the
 owning registry is disabled, :meth:`SpanTracker.span` returns a shared
 no-op context manager — no Span object, no contextvar write, no clock
 read.
+
+Worker threads get *per-worker span roots* for free: a fresh thread sees
+the contextvar's ``None`` default, so the first span a
+:class:`~repro.parallel.WorkerPool` task opens has no parent and lands in
+``roots`` as its own tree (it does not nest under the spawning thread's
+open ``campaign.day`` span). The ``roots`` ring is a ``deque`` whose
+appends are atomic under CPython, so concurrent workers never corrupt it.
 """
 
 from __future__ import annotations

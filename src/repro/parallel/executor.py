@@ -1,0 +1,291 @@
+"""The parallel campaign scorer: calibrate once, coalesce, fan out.
+
+:class:`CampaignScorer` scores a batch of test executions that all share
+one published model version — exactly the shape of a campaign day's
+monitoring phase and of a fleet-wide scoring sweep. It removes the three
+sources of redundant work the serial path pays:
+
+1. **Per-chain calibration, once.** The serial orchestrator recomputes
+   the chain's :class:`~repro.core.anomaly.GaussianErrorModel` for every
+   pending execution, re-predicting every prior build each time. Under
+   one model version the error model is a pure function of the chain's
+   ingested history, so the scorer computes it once per (model version,
+   chain) and reuses it for every execution of that chain.
+2. **Window construction, cached.** ``build_windows`` over a prior build
+   is identical every time it is re-predicted; the :class:`WindowCache`
+   memoizes it keyed by execution identity.
+3. **Forwards, coalesced.** Predictions for all executions needing the
+   same model are concatenated into batched ``predict`` calls and split
+   back per execution. Every kernel on the compiled inference path is
+   row-wise, so the split results are *bitwise identical* to
+   per-execution calls — the foundation of the byte-identical merge.
+
+Chains are dealt round-robin onto the worker pool (chain affinity keeps
+one chain's calibration and scoring on one worker); results come back in
+input order. Workers compute pure :class:`ExecutionScore` values — no
+alarm pushes, masking, or drift updates happen here — so the caller can
+apply side effects serially in input order and match the serial run
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.anomaly import AnomalyReport, ContextualAnomalyDetector, GaussianErrorModel
+from ..core.model import Env2VecRegressor
+from ..data.chains import TestExecution
+from ..data.environment import Environment
+from ..data.windows import build_windows
+from ..obs import get_observability
+from .pool import WorkerPool, split_round_robin
+
+__all__ = ["CampaignScorer", "ExecutionScore", "WindowCache"]
+
+_OBS = get_observability()
+_M_SCORED = _OBS.counter(
+    "repro_parallel_executions_scored_total",
+    "Executions scored through the parallel campaign executor.",
+)
+_M_CALIBRATIONS = _OBS.counter(
+    "repro_parallel_chain_calibrations_total",
+    "Per-chain error-model calibrations computed by the executor.",
+)
+_M_CALIB_REUSED = _OBS.counter(
+    "repro_parallel_calibrations_reused_total",
+    "Executions served by an already-computed chain error model "
+    "(each of these was a full recalibration on the serial path).",
+)
+_M_COALESCED_BATCHES = _OBS.counter(
+    "repro_parallel_coalesced_batches_total",
+    "Batched predict calls that replaced several per-execution forwards.",
+)
+_M_COALESCED_ROWS = _OBS.counter(
+    "repro_parallel_coalesced_rows_total",
+    "Window rows scored through coalesced predict calls.",
+)
+_M_WINDOW_HITS = _OBS.counter(
+    "repro_parallel_window_cache_hits_total",
+    "build_windows calls answered by the window cache.",
+)
+
+
+class WindowCache:
+    """Memoizes ``build_windows`` keyed by execution identity.
+
+    Prior builds are re-windowed every time a chain recalibrates; their
+    arrays never change, so the `(X, history, y)` triple is cached per
+    :class:`TestExecution` *object*. Keys are ``id(execution)`` with the
+    execution pinned in the entry — the identity check on hit defeats
+    CPython id reuse after garbage collection. Cached arrays are frozen
+    (read-only) because they are shared across worker threads.
+    """
+
+    def __init__(self, n_lags: int, maxsize: int = 8192):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.n_lags = n_lags
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._cache: OrderedDict[int, tuple[TestExecution, tuple]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def windows(self, execution: TestExecution) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        key = id(execution)
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None and entry[0] is execution:
+                self.hits += 1
+                self._cache.move_to_end(key)
+                _M_WINDOW_HITS.inc()
+                return entry[1]
+        triple = build_windows(execution.features, execution.cpu, self.n_lags)
+        for array in triple:
+            array.setflags(write=False)
+        with self._lock:
+            self.misses += 1
+            self._cache[key] = (execution, triple)
+            if len(self._cache) > self.maxsize:
+                self._cache.popitem(last=False)
+        return triple
+
+
+@dataclass
+class ExecutionScore:
+    """Pure scoring result for one execution — no side effects applied."""
+
+    index: int
+    report: AnomalyReport | None  # None: too short to window (serial skips it)
+    mae: float | None  # mean |prediction - observation|, None when unscored
+    n_windows: int
+
+    @property
+    def n_alarms(self) -> int:
+        return 0 if self.report is None else self.report.n_alarms
+
+
+class CampaignScorer:
+    """Scores execution fleets sharing one model version, in parallel."""
+
+    def __init__(
+        self,
+        detector: ContextualAnomalyDetector,
+        n_lags: int,
+        pool: WorkerPool | None = None,
+        window_cache: WindowCache | None = None,
+    ):
+        self.detector = detector
+        self.n_lags = n_lags
+        self.pool = pool if pool is not None else WorkerPool(n_workers=1)
+        self.window_cache = window_cache if window_cache is not None else WindowCache(n_lags)
+
+    # -- coalesced prediction ---------------------------------------------
+    def _predict_coalesced(
+        self, model: Env2VecRegressor, parts: list[tuple[TestExecution, tuple]]
+    ) -> list[np.ndarray]:
+        """One batched predict over many executions, split back per part.
+
+        ``parts`` pairs each execution with its cached window triple.
+        Bitwise identical to per-execution ``model.predict`` calls: the
+        scaler, vocabulary encode, and every compiled kernel are
+        row-wise, and chunking at ``batch_size`` does not change any
+        row's arithmetic.
+        """
+        if not parts:
+            return []
+        environments: list[Environment] = []
+        lengths: list[int] = []
+        for execution, (X, _, y) in parts:
+            environments.extend([execution.environment] * len(y))
+            lengths.append(len(y))
+        X_all = np.concatenate([triple[0] for _, triple in parts], axis=0)
+        history_all = np.concatenate([triple[1] for _, triple in parts], axis=0)
+        predictions = model.predict(environments, X_all, history_all)
+        if len(parts) > 1:
+            _M_COALESCED_BATCHES.inc()
+            _M_COALESCED_ROWS.inc(len(predictions))
+        pieces, start = [], 0
+        for length in lengths:
+            pieces.append(predictions[start : start + length])
+            start += length
+        return pieces
+
+    def _chain_error_model(
+        self,
+        model: Env2VecRegressor,
+        history: Sequence[TestExecution],
+        masked: set[Environment],
+    ) -> GaussianErrorModel | None:
+        """The serial orchestrator's ``_error_model``, computed once.
+
+        Filter and skip semantics replicate the serial path exactly:
+        masked environments are excluded first; if nothing remains the
+        caller falls back to self-calibrated detection; executions too
+        short to window are skipped from the error pool; errors are
+        concatenated in ingestion order.
+        """
+        previous = [e for e in history if e.environment not in masked]
+        if not previous:
+            return None
+        eligible = [e for e in previous if e.n_timesteps > self.n_lags + 1]
+        if not eligible:
+            return None
+        parts = [(e, self.window_cache.windows(e)) for e in eligible]
+        predictions = self._predict_coalesced(model, parts)
+        errors = [
+            pred - triple[2] for pred, (_, triple) in zip(predictions, parts)
+        ]
+        _M_CALIBRATIONS.inc()
+        return GaussianErrorModel.fit(np.concatenate(errors))
+
+    # -- the scoring entry point -------------------------------------------
+    def score(
+        self,
+        model: Env2VecRegressor,
+        executions: Sequence[TestExecution],
+        history: Mapping[tuple, Sequence[TestExecution]],
+        masked: set[Environment],
+    ) -> list[ExecutionScore]:
+        """Score every execution; results ordered by input position.
+
+        ``history`` maps chain key -> previously ingested executions of
+        that chain (the orchestrator's ``_ingested``); ``masked`` is the
+        set of environments excluded from calibration. Workers perform
+        no side effects — alarms/masks/drift belong to the caller's
+        serial fan-in.
+        """
+        if not executions:
+            return []
+        model.ensure_compiled()  # workers must never race the lazy compile
+
+        # Chain-affinity sharding: group by chain (first-appearance order),
+        # deal chains round-robin so one chain's calibration + scoring
+        # stays on one worker and is computed exactly once.
+        by_chain: OrderedDict[tuple, list[tuple[int, TestExecution]]] = OrderedDict()
+        for index, execution in enumerate(executions):
+            by_chain.setdefault(execution.environment.chain_key, []).append((index, execution))
+        chunks = [
+            chunk
+            for chunk in split_round_robin(list(by_chain.items()), self.pool.n_workers)
+            if chunk
+        ]
+
+        def score_chunk(
+            chunk: list[tuple[tuple, list[tuple[int, TestExecution]]]],
+        ) -> list[ExecutionScore]:
+            with _OBS.span("parallel.worker"):
+                scores: list[ExecutionScore] = []
+                for chain_key, items in chunk:
+                    long_items = [
+                        (i, e) for i, e in items if e.n_timesteps > self.n_lags + 1
+                    ]
+                    # Calibrate only when something will be detected with it
+                    # (the serial path never calibrates for short executions).
+                    error_model = (
+                        self._chain_error_model(model, history.get(chain_key, ()), masked)
+                        if long_items
+                        else None
+                    )
+                    parts = [(e, self.window_cache.windows(e)) for _, e in long_items]
+                    predictions = self._predict_coalesced(model, parts)
+                    if len(long_items) > 1:
+                        _M_CALIB_REUSED.inc(len(long_items) - 1)
+                    scored: dict[int, ExecutionScore] = {}
+                    for (index, _), pred, (_, triple) in zip(long_items, predictions, parts):
+                        observed = triple[2]
+                        if error_model is None:
+                            report = self.detector.detect_self_calibrated(pred, observed)
+                        else:
+                            report = self.detector.detect(pred, observed, error_model)
+                        scored[index] = ExecutionScore(
+                            index=index,
+                            report=report,
+                            mae=float(np.abs(pred - observed).mean()),
+                            n_windows=len(observed),
+                        )
+                    for index, execution in items:
+                        score = scored.get(index)
+                        if score is None:  # too short: serial path skips it
+                            score = ExecutionScore(
+                                index=index, report=None, mae=None, n_windows=0
+                            )
+                        scores.append(score)
+                return scores
+
+        merged: list[ExecutionScore | None] = [None] * len(executions)
+        for chunk_scores in self.pool.map(score_chunk, chunks):
+            for score in chunk_scores:
+                merged[score.index] = score
+        if any(score is None for score in merged):  # pragma: no cover - invariant
+            raise RuntimeError("scorer fan-in lost an execution; sharding is broken")
+        _M_SCORED.inc(len(executions))
+        return merged

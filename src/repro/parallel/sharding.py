@@ -1,0 +1,240 @@
+"""TSDB shard map + read-only snapshot views.
+
+Parallel campaign read-backs must not contend on (or race with) the live
+:class:`~repro.workflow.tsdb.TimeSeriesDB`: its series dict mutates on
+every write, and its ``query`` is a linear scan over *every* stored
+series. This module takes a point-in-time snapshot of the store and
+deals the series into ``n`` read-only shards:
+
+- the shard map hashes the **label half** of the canonical series key
+  with crc32 (the builtin ``hash()`` is salted per process and therefore
+  useless for a stable shard map), so every series of one labelled
+  entity — all metrics of one execution's ``env=<record>`` — lands in
+  the *same* shard and a per-execution read-back touches exactly one
+  shard, never contending with other executions' reads;
+- each :class:`TSDBSnapshot` copies the sample data into frozen numpy
+  arrays (writes after the snapshot are invisible — snapshot isolation),
+  indexes series by exact key for O(1) lookups and by metric for scans
+  bounded to the shard instead of the whole store;
+- write attempts on a snapshot raise :class:`ReadOnlyTSDBError` so a
+  worker can never accidentally mutate what it was given to read.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_left
+
+import numpy as np
+
+from ..workflow.tsdb import AmbiguousSeries, SeriesNotFound, TimeSeriesDB
+
+__all__ = [
+    "ReadOnlyTSDBError",
+    "SnapshotSeries",
+    "TSDBShards",
+    "TSDBSnapshot",
+    "shard_index",
+    "snapshot_shards",
+]
+
+
+class ReadOnlyTSDBError(TypeError):
+    """A write was attempted on a read-only TSDB snapshot."""
+
+
+def _label_payload(label_items: tuple) -> bytes:
+    return repr(label_items).encode("utf-8")
+
+
+def shard_index(key: tuple, n_shards: int) -> int:
+    """Stable shard for a canonical series key ``(metric, label_items)``.
+
+    Hashes the sorted label tuple with crc32 so the assignment survives
+    process restarts and interpreter hash randomization. Label-less
+    series (e.g. self-metrics) fall back to hashing the metric name.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    metric, label_items = key
+    payload = _label_payload(label_items) if label_items else metric.encode("utf-8")
+    return zlib.crc32(payload) % n_shards
+
+
+class SnapshotSeries:
+    """A frozen series: duck-type compatible with the slice of
+    :class:`~repro.workflow.tsdb.Series` the read paths use."""
+
+    __slots__ = ("metric", "labels", "_timestamps", "_values")
+
+    def __init__(self, metric: str, labels: dict[str, str],
+                 timestamps: np.ndarray, values: np.ndarray):
+        self.metric = metric
+        self.labels = labels
+        self._timestamps = timestamps
+        self._values = values
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The frozen (timestamps, values) arrays — read-only views."""
+        return self._timestamps, self._values
+
+    def range(self, start: float, end: float) -> "SnapshotSeries":
+        """Samples with start <= timestamp < end (same contract as Series)."""
+        lo = bisect_left(self._timestamps, start)  # type: ignore[arg-type]
+        hi = bisect_left(self._timestamps, end)  # type: ignore[arg-type]
+        return SnapshotSeries(
+            self.metric, dict(self.labels), self._timestamps[lo:hi], self._values[lo:hi]
+        )
+
+
+class TSDBSnapshot:
+    """One read-only shard of a snapshotted TSDB."""
+
+    def __init__(self, name: str, items: list[tuple[tuple, SnapshotSeries]]):
+        self.name = name
+        self._by_key: dict[tuple, SnapshotSeries] = dict(items)
+        self._by_metric: dict[str, list[SnapshotSeries]] = {}
+        self._n_samples = 0
+        for _, series in items:
+            self._by_metric.setdefault(series.metric, []).append(series)
+            self._n_samples += len(series)
+
+    # -- reads -------------------------------------------------------------
+    def exact(self, metric: str, labels: dict[str, str]) -> SnapshotSeries:
+        """O(1) lookup by the *full* label set (the hot read-back path)."""
+        key = (metric, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+        series = self._by_key.get(key)
+        if series is None:
+            raise SeriesNotFound(f"no series {metric} {labels} in shard {self.name}")
+        return series
+
+    def query(self, metric: str, matchers: dict[str, str] | None = None) -> list[SnapshotSeries]:
+        """Series of ``metric`` whose labels include all ``matchers``.
+
+        The scan is bounded to this shard's series of that one metric —
+        1/n of the store instead of the live DB's every-series walk.
+        """
+        matchers = {str(k): str(v) for k, v in (matchers or {}).items()}
+        return [
+            series
+            for series in self._by_metric.get(metric, ())
+            if all(series.labels.get(k) == v for k, v in matchers.items())
+        ]
+
+    def query_one(self, metric: str, matchers: dict[str, str] | None = None) -> SnapshotSeries:
+        """Exactly-one semantics matching :meth:`TimeSeriesDB.query_one`."""
+        matches = self.query(metric, matchers)
+        if not matches:
+            raise SeriesNotFound(f"no series matches {metric} {matchers or {}}")
+        if len(matches) > 1:
+            raise AmbiguousSeries(
+                f"selector {metric} {matchers or {}} matches {len(matches)} series; "
+                f"add labels to disambiguate"
+            )
+        return matches[0]
+
+    def query_range(
+        self, metric: str, matchers: dict[str, str] | None, start: float, end: float
+    ) -> list[SnapshotSeries]:
+        if end <= start:
+            raise ValueError("need start < end")
+        return [series.range(start, end) for series in self.query(metric, matchers)]
+
+    # -- introspection -----------------------------------------------------
+    def metrics(self) -> list[str]:
+        return sorted(self._by_metric)
+
+    def label_values(self, label: str) -> list[str]:
+        return sorted(
+            {
+                series.labels[label]
+                for series in self._by_key.values()
+                if label in series.labels
+            }
+        )
+
+    def n_series(self) -> int:
+        return len(self._by_key)
+
+    def n_samples(self) -> int:
+        return self._n_samples
+
+    # -- writes: refused ---------------------------------------------------
+    def write(self, *args, **kwargs) -> None:
+        raise ReadOnlyTSDBError(f"snapshot shard {self.name!r} is read-only")
+
+    def write_array(self, *args, **kwargs) -> None:
+        raise ReadOnlyTSDBError(f"snapshot shard {self.name!r} is read-only")
+
+
+class TSDBShards:
+    """The full shard set of one snapshot, with routing helpers."""
+
+    def __init__(self, shards: list[TSDBSnapshot], source_name: str):
+        self.shards = shards
+        self.source_name = source_name
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, labels: dict[str, str]) -> TSDBSnapshot:
+        """The shard holding every series carrying exactly this label set.
+
+        Routing uses the same label-half hash as the shard map, so all
+        metrics of one labelled entity resolve to one shard. Only valid
+        for the *full* stored label set (subset matchers cannot be
+        routed — use :meth:`query_one` for those).
+        """
+        label_items = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        if not label_items:
+            raise ValueError("shard_for needs a non-empty label set")
+        return self.shards[zlib.crc32(_label_payload(label_items)) % len(self.shards)]
+
+    def query_one(self, metric: str, matchers: dict[str, str] | None = None) -> SnapshotSeries:
+        """Global exactly-one lookup across every shard (subset matchers ok)."""
+        matches: list[SnapshotSeries] = []
+        for shard in self.shards:
+            matches.extend(shard.query(metric, matchers))
+        if not matches:
+            raise SeriesNotFound(f"no series matches {metric} {matchers or {}}")
+        if len(matches) > 1:
+            raise AmbiguousSeries(
+                f"selector {metric} {matchers or {}} matches {len(matches)} series; "
+                f"add labels to disambiguate"
+            )
+        return matches[0]
+
+    def n_series(self) -> int:
+        return sum(shard.n_series() for shard in self.shards)
+
+    def n_samples(self) -> int:
+        return sum(shard.n_samples() for shard in self.shards)
+
+
+def snapshot_shards(tsdb: TimeSeriesDB, n_shards: int) -> TSDBShards:
+    """Snapshot a live TSDB into ``n_shards`` read-only shards.
+
+    Sample data is copied into frozen arrays at call time: writes to the
+    live store after this returns are invisible to the shards (snapshot
+    isolation), and no worker holding a shard can observe a half-applied
+    append.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    buckets: list[list[tuple[tuple, SnapshotSeries]]] = [[] for _ in range(n_shards)]
+    for key, series in tsdb.series_items():
+        timestamps = np.array(series.timestamps, dtype=np.float64)
+        values = np.array(series.values, dtype=np.float64)
+        timestamps.setflags(write=False)
+        values.setflags(write=False)
+        frozen = SnapshotSeries(series.metric, dict(series.labels), timestamps, values)
+        buckets[shard_index(key, n_shards)].append((key, frozen))
+    shards = [
+        TSDBSnapshot(f"{tsdb.name}/shard-{index}", bucket)
+        for index, bucket in enumerate(buckets)
+    ]
+    return TSDBShards(shards, source_name=tsdb.name)

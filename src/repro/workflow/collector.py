@@ -198,7 +198,7 @@ class MetricCollector:
             _M_SAMPLES.inc(len(timestamps) * (len(names) + 1))
         return record_id
 
-    def read_back(self, record_id: str) -> tuple[np.ndarray, np.ndarray]:
+    def read_back(self, record_id: str, source=None) -> tuple[np.ndarray, np.ndarray]:
         """Reconstruct (features, cpu) for an execution from the TSDB.
 
         This is what the prediction pipeline does in step 3: read the
@@ -208,18 +208,25 @@ class MetricCollector:
         linear interpolation, and executions whose gaps exceed ``max_gap``
         consecutive samples (or ``max_missing_fraction`` overall) raise
         :class:`~repro.resilience.ExecutionQuarantined`.
+
+        ``source`` overrides where the series are read from: any object
+        with ``query_one``/``metrics`` (e.g. a read-only
+        :class:`~repro.parallel.TSDBSnapshot` shard, so parallel
+        read-backs never touch the live store). Defaults to this
+        collector's own TSDB.
         """
+        tsdb = source if source is not None else self.tsdb
         labels = {"env": record_id}
         names = self.feature_names or sorted(
-            metric for metric in self.tsdb.metrics() if metric != RU_METRIC
+            metric for metric in tsdb.metrics() if metric != RU_METRIC
         )
         expected = self._expected.get(record_id)
         if expected is None:
             # Legacy exact path: series ingested by other means must align.
-            _, cpu = self.tsdb.query_one(RU_METRIC, labels).as_arrays()
+            _, cpu = tsdb.query_one(RU_METRIC, labels).as_arrays()
             columns = []
             for name in names:
-                _, values = self.tsdb.query_one(name, labels).as_arrays()
+                _, values = tsdb.query_one(name, labels).as_arrays()
                 if len(values) != len(cpu):
                     raise ValueError(
                         f"metric {name} has {len(values)} samples but RU has {len(cpu)}"
@@ -231,14 +238,14 @@ class MetricCollector:
         if complete:
             # Sanitization delivered every expected row, so the stored
             # series *is* the grid — reconstruct exactly, no alignment.
-            _, cpu = self.tsdb.query_one(RU_METRIC, labels).as_arrays()
+            _, cpu = tsdb.query_one(RU_METRIC, labels).as_arrays()
             columns = [
-                self.tsdb.query_one(name, labels).as_arrays()[1] for name in names
+                tsdb.query_one(name, labels).as_arrays()[1] for name in names
             ]
             return np.stack(columns, axis=1), cpu
 
         def aligned(metric: str) -> np.ndarray:
-            stamps, values = self.tsdb.query_one(metric, labels).as_arrays()
+            stamps, values = tsdb.query_one(metric, labels).as_arrays()
             vector = np.full(n, np.nan)
             if len(stamps):
                 idx = np.rint((stamps - start) / self.interval).astype(int)

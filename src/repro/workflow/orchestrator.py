@@ -188,6 +188,16 @@ class TestingCampaign:
     # When set, every completed day is snapshotted here and run() resumes
     # from the latest snapshot.
     checkpoint_dir: str | Path | None = None
+    # Monitoring-phase parallelism: 1 keeps the legacy serial loop; >1
+    # scores the day's executions through repro.parallel.CampaignScorer
+    # (per-chain calibration computed once, coalesced predicts, sharded
+    # TSDB read-backs) with results byte-identical to the serial run.
+    # Not part of the checkpoint state: a campaign checkpointed serially
+    # resumes correctly under any worker count and vice versa.
+    n_workers: int = 1
+    # "threads" (numpy releases the GIL on the inference path) or
+    # "processes" (for pure-Python-bound jobs; requires picklable work).
+    worker_kind: str = "threads"
 
     def __post_init__(self) -> None:
         self._pool: list[tuple[Environment, np.ndarray, np.ndarray]] = []
@@ -221,6 +231,20 @@ class TestingCampaign:
             gamma=self.gamma, abs_threshold=self.abs_threshold
         )
         self._model: Env2VecRegressor | None = None
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        # Imported lazily: repro.parallel.sharding imports this package's
+        # tsdb module, so a module-level import here would cycle.
+        self._scorer = None
+        if self.n_workers > 1:
+            from ..parallel import CampaignScorer, WindowCache, WorkerPool
+
+            self._scorer = CampaignScorer(
+                self._detector,
+                self.n_lags,
+                pool=WorkerPool(self.n_workers, kind=self.worker_kind),
+                window_cache=WindowCache(self.n_lags),
+            )
 
     # -- internals --------------------------------------------------------
     def _predict(self, execution: TestExecution) -> tuple[np.ndarray, np.ndarray]:
@@ -315,6 +339,76 @@ class TestingCampaign:
             )
         return delivered, quarantined
 
+    def _collect_day_parallel(
+        self, day: int, executions: list[TestExecution]
+    ) -> tuple[list[TestExecution], list[Environment]]:
+        """Collector path with sharded, contention-free parallel read-backs.
+
+        Writes stay serial (the live TSDB is not a concurrent structure);
+        the read-back — the query-heavy half — runs against read-only
+        snapshot shards, one shard per execution's label set, so worker
+        reads never touch the live store or each other's series. Only
+        taken without chaos: fault injection hooks the live read path,
+        and bypassing it through a snapshot would change which faults
+        land (the chaos campaign stays on the serial collector).
+        """
+        records: list[tuple[TestExecution, str]] = []
+        quarantined: list[Environment] = []
+        for execution in executions:
+            try:
+                record_id = self._collector.collect(execution)
+            except (RetryExhausted, TransientTSDBError) as exc:
+                self.dead_letters.add(
+                    _env_key(execution.environment),
+                    "tsdb_unavailable",
+                    detail=str(exc),
+                    day=day,
+                )
+                quarantined.append(execution.environment)
+                _M_QUARANTINED.inc()
+                continue
+            records.append((execution, record_id))
+
+        from ..parallel import snapshot_shards
+
+        shards = snapshot_shards(self.workload_tsdb, self._scorer.pool.n_workers)
+
+        def read_one(item: tuple[TestExecution, str]):
+            execution, record_id = item
+            shard = shards.shard_for({"env": record_id})
+            try:
+                features, cpu = self._collector.read_back(record_id, source=shard)
+            except ExecutionQuarantined as exc:
+                return ("quarantine", exc.reason, exc.detail)
+            except (SeriesNotFound, AmbiguousSeries) as exc:
+                return ("quarantine", "series_missing", str(exc))
+            return ("ok", features, cpu)
+
+        delivered: list[TestExecution] = []
+        # Fan-in in input order: quarantine records and the delivered list
+        # come out exactly as the serial collector would produce them.
+        for (execution, record_id), result in zip(
+            records, self._scorer.pool.map(read_one, records)
+        ):
+            if result[0] == "quarantine":
+                _, reason, detail = result
+                self.dead_letters.add(
+                    _env_key(execution.environment), reason, detail=detail, day=day
+                )
+                quarantined.append(execution.environment)
+                _M_QUARANTINED.inc()
+                continue
+            _, features, cpu = result
+            delivered.append(
+                TestExecution(
+                    environment=execution.environment,
+                    features=features,
+                    cpu=cpu,
+                    faults=list(execution.faults),
+                )
+            )
+        return delivered, quarantined
+
     def _retrain(self, day: int) -> tuple[int, bool]:
         """Daily retrain; returns (serving model version, diverged?)."""
         records = self._pool
@@ -358,17 +452,50 @@ class TestingCampaign:
         with _OBS.span("campaign.day"):
             if self._collector is not None:
                 with _OBS.span("campaign.collect"):
-                    executions, quarantined = self._collect_day(day, executions)
+                    if self._scorer is not None and self.chaos is None:
+                        executions, quarantined = self._collect_day_parallel(day, executions)
+                    else:
+                        executions, quarantined = self._collect_day(day, executions)
             if self._model is not None:
-                for execution in executions:
+                if self._scorer is not None:
+                    # Fan-out: workers compute pure scores (per-chain error
+                    # model calibrated once, predicts coalesced). Fan-in:
+                    # every side effect — alarm pushes, drift observations,
+                    # masking — applies serially in input order, so the
+                    # day's outcome is byte-identical to the serial loop.
                     with _OBS.span("campaign.monitor"):
-                        n_alarms = self._monitor(execution)
+                        scores = self._scorer.score(
+                            self._model, executions, self._ingested, self._masked
+                        )
+                else:
+                    scores = None
+                for position, execution in enumerate(executions):
+                    if scores is not None:
+                        score = scores[position]
+                        n_alarms = score.n_alarms
+                        if score.report is not None:
+                            for alarm in score.report.alarms:
+                                self.alarm_store.push(
+                                    environment=execution.environment,
+                                    start_step=alarm.start + self.n_lags,
+                                    end_step=alarm.end + self.n_lags,
+                                    peak_deviation=alarm.peak_deviation,
+                                    gamma=self.gamma,
+                                )
+                    else:
+                        with _OBS.span("campaign.monitor"):
+                            n_alarms = self._monitor(execution)
                     total_alarms += n_alarms
                     if not execution.has_performance_problem and execution.n_timesteps > self.n_lags + 1:
-                        predictions, observed = self._predict(execution)
-                        decision = self.drift_monitor.observe(
-                            float(np.abs(predictions - observed).mean())
-                        )
+                        if scores is not None:
+                            # The monitoring predictions are bitwise the
+                            # serial ones; reuse their MAE instead of
+                            # re-predicting the execution.
+                            mae = scores[position].mae
+                        else:
+                            predictions, observed = self._predict(execution)
+                            mae = float(np.abs(predictions - observed).mean())
+                        decision = self.drift_monitor.observe(mae)
                         drift_detected = drift_detected or decision.drifted
                     if n_alarms and execution.has_performance_problem:
                         # Engineers confirm the alarms: a true positive — the

@@ -20,7 +20,15 @@ class TestGaussianErrorModel:
         errors = np.array([1.0, 2.0, 3.0, 4.0])
         model = GaussianErrorModel.fit(errors)
         assert model.mu == pytest.approx(2.5)
-        assert model.sigma == pytest.approx(errors.std())
+        # Sample std: chains have few prior builds, so sigma is Bessel-
+        # corrected (ddof=1) to avoid the small-n low bias that over-alarms.
+        assert model.sigma == pytest.approx(errors.std(ddof=1))
+        assert model.sigma > errors.std()
+
+    def test_fit_uses_sample_std_not_population(self):
+        errors = np.array([0.0, 2.0])
+        model = GaussianErrorModel.fit(errors)
+        assert model.sigma == pytest.approx(np.sqrt(2.0))  # ddof=1, not 1.0
 
     def test_zscore(self):
         model = GaussianErrorModel(mu=2.0, sigma=0.5)

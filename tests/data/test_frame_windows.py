@@ -107,6 +107,20 @@ class TestBuildWindows:
         with pytest.raises(ValueError):
             build_windows(np.zeros((3, 1)), np.zeros(3), n_lags=3)
 
+    def test_minimum_length_yields_exactly_one_window(self):
+        """Boundary: len(target) == n_lags + 1 is the shortest legal series
+        (one supervised example); one sample fewer must raise. The campaign
+        skip rule `n_timesteps <= n_lags + 1` deliberately also skips the
+        one-window case, so both sides of that fence are pinned here."""
+        n_lags = 3
+        target = np.array([1.0, 2.0, 3.0, 4.0])  # length n_lags + 1
+        X, history, y = build_windows(np.zeros((4, 2)), target, n_lags=n_lags)
+        assert X.shape == (1, 2)
+        np.testing.assert_allclose(history, [[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(y, [4.0])
+        with pytest.raises(ValueError, match="too short"):
+            build_windows(np.zeros((3, 2)), target[:3], n_lags=n_lags)
+
     def test_invalid_inputs(self):
         with pytest.raises(ValueError):
             build_windows(np.zeros((5, 1)), np.zeros(5), n_lags=0)

@@ -154,6 +154,26 @@ class TestEmbeddingRowCache:
         with pytest.raises(ValueError):
             EmbeddingRowCache(self._tables(), np.dtype(np.float64), maxsize=0)
 
+    def test_cached_rows_are_read_only(self):
+        """Regression: rows() used to hand out writable references into the
+        cache, so a caller's in-place edit silently corrupted every future
+        prediction for that environment."""
+        cache = EmbeddingRowCache(self._tables(), np.dtype(np.float64))
+        row = cache.rows(np.array([[1, 2]]))
+        assert not row.flags.writeable
+        with pytest.raises(ValueError):
+            row[0, 0] = 99.0
+        # The cached value is untouched and still served.
+        np.testing.assert_array_equal(row, cache.rows(np.array([[1, 2]])))
+
+    def test_multi_row_batches_are_writable_copies(self):
+        cache = EmbeddingRowCache(self._tables(), np.dtype(np.float64))
+        batch = cache.rows(np.array([[0, 0], [1, 1]]))
+        expected_first = batch[0].copy()
+        assert batch.flags.writeable  # fancy-indexed fresh array
+        batch[0, 0] = expected_first[0] + 42.0  # must not poison the cache
+        np.testing.assert_array_equal(cache.rows(np.array([[0, 0]]))[0], expected_first)
+
 
 class TestEnginePredict:
     def test_chunked_predict_matches_single_shot(self):
@@ -163,6 +183,29 @@ class TestEnginePredict:
         np.testing.assert_allclose(
             engine.predict({"x": x}, batch_size=5), engine.predict({"x": x})
         )
+
+    def test_predict_many_bitwise_matches_per_call_predict(self):
+        layer = Dense(4, 2, rng=RNG)
+        engine = compile_module(layer)
+        parts = [{"x": RNG.standard_normal((n, 4))} for n in (3, 7, 1, 12)]
+        coalesced = engine.predict_many(parts, batch_size=5)
+        for piece, inputs in zip(coalesced, parts):
+            solo = engine.predict(inputs, batch_size=5)
+            assert piece.tobytes() == solo.tobytes()  # bitwise, not just close
+
+    def test_predict_many_rejects_mismatched_keys(self):
+        layer = Dense(4, 2, rng=RNG)
+        engine = compile_module(layer)
+        with pytest.raises(ValueError, match="differing keys"):
+            engine.predict_many([{"x": np.ones((2, 4))}, {"y": np.ones((2, 4))}])
+
+    def test_predict_many_empty_and_single(self):
+        layer = Dense(4, 2, rng=RNG)
+        engine = compile_module(layer)
+        assert engine.predict_many([]) == []
+        x = RNG.standard_normal((5, 4))
+        [only] = engine.predict_many([{"x": x}])
+        np.testing.assert_array_equal(only, engine.predict({"x": x}))
 
     def test_unregistered_module_raises(self):
         class Custom(Dense):

@@ -1,0 +1,222 @@
+"""CampaignScorer: byte-identity with the serial path, reuse accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import ContextualAnomalyDetector, GaussianErrorModel
+from repro.data import TelecomConfig, generate_telecom
+from repro.data.windows import build_windows
+from repro.parallel import CampaignScorer, ExecutionScore, WindowCache, WorkerPool
+from repro.workflow import ModelStore, TrainingPipeline
+
+N_LAGS = 3
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_telecom(
+        TelecomConfig(
+            n_chains=6,
+            n_testbeds=3,
+            builds_per_chain=(3, 4),
+            timesteps_per_build=(40, 60),
+            n_focus=2,
+            include_rare_testbed=False,
+            seed=5,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    pipeline = TrainingPipeline(
+        ModelStore(),
+        n_lags=N_LAGS,
+        model_params={"max_epochs": 5, "batch_size": 256, "dropout": 0.0},
+        seed=0,
+    )
+    regressor = pipeline.train(dataset.history_training_series()).model
+    regressor.compile()
+    return regressor
+
+
+@pytest.fixture(scope="module")
+def fleet(dataset):
+    """(pending executions, ingested-history map) shaped like a campaign day."""
+    executions = [chain.executions[-1] for chain in dataset.chains]
+    history = {
+        chain.executions[0].environment.chain_key: list(chain.executions[:-1])
+        for chain in dataset.chains
+    }
+    return executions, history
+
+
+def _serial_reference(model, detector, executions, history, masked):
+    """The orchestrator's serial monitor loop, transcribed literally."""
+
+    def predict(execution):
+        X, h, y = build_windows(execution.features, execution.cpu, N_LAGS)
+        return model.predict([execution.environment] * len(y), X, h), y
+
+    def error_model(chain_key):
+        previous = [
+            e for e in history.get(chain_key, []) if e.environment not in masked
+        ]
+        if not previous:
+            return None
+        errors = []
+        for execution in previous:
+            if execution.n_timesteps <= N_LAGS + 1:
+                continue
+            predictions, observed = predict(execution)
+            errors.append(predictions - observed)
+        if not errors:
+            return None
+        return GaussianErrorModel.fit(np.concatenate(errors))
+
+    reports = []
+    for execution in executions:
+        if execution.n_timesteps <= N_LAGS + 1:
+            reports.append(None)
+            continue
+        predictions, observed = predict(execution)
+        em = error_model(execution.environment.chain_key)
+        if em is None:
+            reports.append(detector.detect_self_calibrated(predictions, observed))
+        else:
+            reports.append(detector.detect(predictions, observed, em))
+    return reports
+
+
+def _assert_reports_bitwise_equal(parallel, serial):
+    assert (parallel is None) == (serial is None)
+    if parallel is None:
+        return
+    assert parallel.flags.tobytes() == serial.flags.tobytes()
+    assert parallel.errors.tobytes() == serial.errors.tobytes()  # bitwise
+    assert parallel.alarms == serial.alarms
+    assert parallel.gamma == serial.gamma
+
+
+class TestCampaignScorer:
+    @pytest.mark.parametrize("n_workers", [1, 4])
+    def test_bitwise_identical_to_serial_loop(self, model, fleet, n_workers):
+        executions, history = fleet
+        detector = ContextualAnomalyDetector(gamma=2.5, abs_threshold=5.0)
+        scorer = CampaignScorer(
+            detector, N_LAGS, pool=WorkerPool(n_workers, kind="threads")
+        )
+        scores = scorer.score(model, executions, history, masked=set())
+        reference = _serial_reference(model, detector, executions, history, set())
+        assert [s.index for s in scores] == list(range(len(executions)))
+        for score, serial_report in zip(scores, reference):
+            _assert_reports_bitwise_equal(score.report, serial_report)
+
+    def test_masked_history_changes_calibration_like_serial(self, model, fleet):
+        executions, history = fleet
+        detector = ContextualAnomalyDetector(gamma=2.5, abs_threshold=5.0)
+        # Mask every prior build of chain 0: the scorer must fall back to
+        # self-calibrated detection exactly as the serial loop does.
+        chain_key = executions[0].environment.chain_key
+        masked = {e.environment for e in history[chain_key]}
+        scorer = CampaignScorer(detector, N_LAGS, pool=WorkerPool(4))
+        scores = scorer.score(model, executions, history, masked)
+        reference = _serial_reference(model, detector, executions, history, masked)
+        for score, serial_report in zip(scores, reference):
+            _assert_reports_bitwise_equal(score.report, serial_report)
+
+    def test_empty_executions(self, model):
+        scorer = CampaignScorer(ContextualAnomalyDetector(), N_LAGS)
+        assert scorer.score(model, [], {}, set()) == []
+
+    def test_short_execution_skipped_not_scored(self, model, fleet):
+        executions, history = fleet
+        short = executions[0]
+        short_clipped = type(short)(
+            environment=short.environment,
+            features=short.features[: N_LAGS + 1],
+            cpu=short.cpu[: N_LAGS + 1],
+        )
+        scorer = CampaignScorer(ContextualAnomalyDetector(), N_LAGS)
+        [score] = scorer.score(model, [short_clipped], history, set())
+        assert score.report is None
+        assert score.mae is None
+        assert score.n_windows == 0
+        assert score.n_alarms == 0
+
+    def test_no_history_uses_self_calibration(self, model, fleet):
+        executions, _ = fleet
+        detector = ContextualAnomalyDetector(gamma=2.5, abs_threshold=5.0)
+        scorer = CampaignScorer(detector, N_LAGS, pool=WorkerPool(2))
+        [score] = scorer.score(model, executions[:1], {}, set())
+        reference = _serial_reference(model, detector, executions[:1], {}, set())
+        _assert_reports_bitwise_equal(score.report, reference[0])
+
+    def test_calibration_computed_once_per_chain(self, model, fleet):
+        """Two executions of one chain share one error-model calibration."""
+        executions, history = fleet
+        chain_key = executions[0].environment.chain_key
+        pair = [executions[0], history[chain_key][-1]]
+        scorer = CampaignScorer(
+            ContextualAnomalyDetector(), N_LAGS, pool=WorkerPool(2)
+        )
+        cache = scorer.window_cache
+        scores = scorer.score(model, pair, history, set())
+        assert len(scores) == 2
+        # Prior builds were windowed once for calibration and their windows
+        # reused for the second execution's scoring pass.
+        assert cache.hits > 0
+
+    def test_mae_matches_direct_computation(self, model, fleet):
+        executions, history = fleet
+        scorer = CampaignScorer(ContextualAnomalyDetector(), N_LAGS)
+        [score] = scorer.score(model, executions[:1], history, set())
+        X, h, y = build_windows(executions[0].features, executions[0].cpu, N_LAGS)
+        predictions = model.predict([executions[0].environment] * len(y), X, h)
+        assert score.mae == float(np.abs(predictions - y).mean())
+        assert score.n_windows == len(y)
+
+
+class TestWindowCache:
+    def test_identity_keyed_hit(self, fleet):
+        executions, _ = fleet
+        cache = WindowCache(N_LAGS)
+        first = cache.windows(executions[0])
+        second = cache.windows(executions[0])
+        assert cache.hits == 1 and cache.misses == 1
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_cached_arrays_are_frozen(self, fleet):
+        executions, _ = fleet
+        cache = WindowCache(N_LAGS)
+        X, history, y = cache.windows(executions[0])
+        for array in (X, history, y):
+            with pytest.raises(ValueError):
+                array[0] = 0.0
+
+    def test_matches_direct_build_windows(self, fleet):
+        executions, _ = fleet
+        cache = WindowCache(N_LAGS)
+        cached = cache.windows(executions[0])
+        direct = build_windows(executions[0].features, executions[0].cpu, N_LAGS)
+        for a, b in zip(cached, direct):
+            np.testing.assert_array_equal(a, b)
+
+    def test_eviction_bounds_size(self, fleet):
+        executions, history = fleet
+        cache = WindowCache(N_LAGS, maxsize=2)
+        pool = [e for chain in history.values() for e in chain][:4]
+        for execution in pool:
+            cache.windows(execution)
+        assert len(cache) == 2
+
+    def test_rejects_zero_maxsize(self):
+        with pytest.raises(ValueError):
+            WindowCache(N_LAGS, maxsize=0)
+
+
+class TestExecutionScore:
+    def test_n_alarms_without_report(self):
+        score = ExecutionScore(index=0, report=None, mae=None, n_windows=0)
+        assert score.n_alarms == 0

@@ -1,0 +1,136 @@
+"""Snapshot shards: partitioning, routing, read parity, isolation."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ReadOnlyTSDBError,
+    shard_index,
+    snapshot_shards,
+)
+from repro.workflow.tsdb import AmbiguousSeries, SeriesNotFound, TimeSeriesDB
+
+
+def _populated_db(n_envs=6, n_metrics=3, n_samples=5):
+    db = TimeSeriesDB(name="test-db")
+    timestamps = np.arange(float(n_samples))
+    for e in range(n_envs):
+        labels = {"env": f"em-{e:04d}"}
+        for m in range(n_metrics):
+            db.write_array(f"feature_{m:02d}", labels, timestamps, timestamps * (e + 1) + m)
+        db.write_array("cpu_usage", labels, timestamps, timestamps + e)
+    db.write("repro_selfmetric_total", {}, 0.0, 1.0)  # label-less series
+    return db
+
+
+class TestShardIndex:
+    def test_stable_and_in_range(self):
+        key = ("cpu_usage", (("env", "em-0001"),))
+        first = shard_index(key, 4)
+        assert 0 <= first < 4
+        assert shard_index(key, 4) == first  # deterministic, not salted
+
+    def test_label_half_drives_placement(self):
+        """All metrics of one labelled entity land in the same shard."""
+        labels = (("env", "em-0002"),)
+        indices = {shard_index((m, labels), 4) for m in ("a", "b", "cpu_usage")}
+        assert len(indices) == 1
+
+    def test_labelless_series_hash_by_metric(self):
+        assert shard_index(("some_total", ()), 3) == shard_index(("some_total", ()), 3)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_index(("m", ()), 0)
+
+
+class TestSnapshotShards:
+    def test_shards_partition_every_series(self):
+        db = _populated_db()
+        shards = snapshot_shards(db, 4)
+        assert shards.n_shards == 4
+        assert shards.n_series() == db.n_series()
+        assert shards.n_samples() == db.n_samples()
+
+    def test_single_shard_holds_everything(self):
+        db = _populated_db()
+        shards = snapshot_shards(db, 1)
+        assert shards.shards[0].n_series() == db.n_series()
+
+    def test_shard_for_finds_every_env_series(self):
+        db = _populated_db()
+        shards = snapshot_shards(db, 4)
+        for e in range(6):
+            labels = {"env": f"em-{e:04d}"}
+            shard = shards.shard_for(labels)
+            for metric in ("feature_00", "feature_01", "feature_02", "cpu_usage"):
+                series = shard.query_one(metric, labels)
+                live = db.query_one(metric, labels)
+                np.testing.assert_array_equal(series.as_arrays()[0], live.as_arrays()[0])
+                np.testing.assert_array_equal(series.as_arrays()[1], live.as_arrays()[1])
+
+    def test_shard_for_rejects_empty_labels(self):
+        shards = snapshot_shards(_populated_db(), 2)
+        with pytest.raises(ValueError, match="non-empty"):
+            shards.shard_for({})
+
+    def test_global_query_one_parity_with_live_db(self):
+        db = _populated_db()
+        shards = snapshot_shards(db, 4)
+        live = db.query_one("cpu_usage", {"env": "em-0003"})
+        snap = shards.query_one("cpu_usage", {"env": "em-0003"})
+        np.testing.assert_array_equal(snap.as_arrays()[1], live.as_arrays()[1])
+        with pytest.raises(SeriesNotFound):
+            shards.query_one("cpu_usage", {"env": "nope"})
+        with pytest.raises(AmbiguousSeries):
+            shards.query_one("cpu_usage")  # matches every env
+
+    def test_shard_query_one_error_parity(self):
+        db = _populated_db()
+        shard = snapshot_shards(db, 1).shards[0]
+        with pytest.raises(SeriesNotFound):
+            shard.query_one("missing_metric", {"env": "em-0000"})
+        with pytest.raises(AmbiguousSeries):
+            shard.query_one("cpu_usage")
+
+    def test_writes_refused(self):
+        shard = snapshot_shards(_populated_db(), 2).shards[0]
+        with pytest.raises(ReadOnlyTSDBError):
+            shard.write("cpu_usage", {"env": "x"}, 99.0, 1.0)
+        with pytest.raises(ReadOnlyTSDBError):
+            shard.write_array("cpu_usage", {"env": "x"}, np.array([99.0]), np.array([1.0]))
+
+    def test_snapshot_isolation(self):
+        """Writes to the live store after the snapshot are invisible."""
+        db = _populated_db(n_envs=1)
+        shards = snapshot_shards(db, 2)
+        before = len(shards.query_one("cpu_usage", {"env": "em-0000"}))
+        db.write("cpu_usage", {"env": "em-0000"}, 100.0, 42.0)
+        assert len(shards.query_one("cpu_usage", {"env": "em-0000"})) == before
+        assert len(db.query_one("cpu_usage", {"env": "em-0000"})) == before + 1
+
+    def test_snapshot_arrays_are_frozen(self):
+        shards = snapshot_shards(_populated_db(n_envs=1), 1)
+        timestamps, values = shards.query_one("cpu_usage", {"env": "em-0000"}).as_arrays()
+        with pytest.raises(ValueError):
+            values[0] = -1.0
+        with pytest.raises(ValueError):
+            timestamps[0] = -1.0
+
+    def test_range_matches_live_half_open_contract(self):
+        db = _populated_db(n_envs=1)
+        shards = snapshot_shards(db, 1)
+        snap = shards.query_one("cpu_usage", {"env": "em-0000"}).range(1.0, 3.0)
+        live = db.query_one("cpu_usage", {"env": "em-0000"}).range(1.0, 3.0)
+        np.testing.assert_array_equal(snap.as_arrays()[0], live.as_arrays()[0])
+        np.testing.assert_array_equal(snap.as_arrays()[1], live.as_arrays()[1])
+
+    def test_introspection(self):
+        db = _populated_db(n_envs=2, n_metrics=1)
+        shard = snapshot_shards(db, 1).shards[0]
+        assert "cpu_usage" in shard.metrics()
+        assert shard.label_values("env") == ["em-0000", "em-0001"]
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            snapshot_shards(_populated_db(n_envs=1), 0)

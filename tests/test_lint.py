@@ -3,7 +3,9 @@
 Runs ``ruff check`` with the repo's ``[tool.ruff]`` config when the binary
 is available. In environments without ruff (such as the offline test
 container) a stdlib fallback still enforces the highest-signal subset:
-every source file must parse, and no module may carry unused imports.
+every source file must parse, no module may carry unused imports, and no
+function may use a mutable default argument (ruff ``B006`` — a mutable
+default once served as a hidden cross-invocation cache in ``cli.py``).
 """
 
 from __future__ import annotations
@@ -63,6 +65,27 @@ class _ImportUsage(ast.NodeVisitor):
             self.used.add(node.value)
 
 
+_MUTABLE_DEFAULT_NODES = (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+
+
+def _mutable_defaults(path: Path, tree: ast.Module) -> list[str]:
+    """Stdlib approximation of ruff B006: flag literal mutable defaults."""
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, _MUTABLE_DEFAULT_NODES):
+                problems.append(
+                    f"{path.relative_to(REPO)}:{default.lineno}: mutable default "
+                    f"argument in {node.name}() (B006)"
+                )
+    return problems
+
+
 def _unused_imports(path: Path, tree: ast.Module) -> list[str]:
     visitor = _ImportUsage()
     visitor.visit(tree)
@@ -102,4 +125,5 @@ def test_lint():
             continue
         if path.name != "__init__.py":  # __init__ re-exports are intentional
             problems.extend(_unused_imports(path, tree))
+        problems.extend(_mutable_defaults(path, tree))
     assert not problems, "lint fallback found issues:\n" + "\n".join(problems)

@@ -6,6 +6,7 @@ require touching this test, which is the point.
 """
 
 import repro.obs
+import repro.parallel
 import repro.resilience
 import repro.workflow
 
@@ -49,6 +50,16 @@ RESILIENCE_API = {
     "DeadLetterRecord", "DeadLetterStore",
 }
 
+PARALLEL_API = {
+    # executor
+    "CampaignScorer", "ExecutionScore", "WindowCache",
+    # pool
+    "WorkerPool", "split_round_robin",
+    # sharding
+    "ReadOnlyTSDBError", "TSDBShards", "TSDBSnapshot", "shard_index",
+    "snapshot_shards",
+}
+
 OBS_API = {
     "Observability", "get_observability", "OBS",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "MetricSample",
@@ -81,6 +92,28 @@ def test_obs_public_api():
 
 def test_resilience_public_api():
     _check_surface(repro.resilience, RESILIENCE_API)
+
+
+def test_parallel_public_api():
+    _check_surface(repro.parallel, PARALLEL_API)
+
+
+def test_parallel_importable_first():
+    """repro.parallel must load cleanly as the *first* repro import.
+
+    parallel.sharding imports workflow.tsdb, and workflow.orchestrator
+    uses repro.parallel (lazily). If the orchestrator's import were eager
+    the cycle would only surface when parallel is imported first — so
+    probe exactly that order in a fresh interpreter.
+    """
+    import subprocess
+    import sys
+
+    probe = "import repro.parallel; import repro.workflow"
+    result = subprocess.run(
+        [sys.executable, "-c", probe], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
 
 
 def test_resilience_does_not_import_workflow_at_module_level():

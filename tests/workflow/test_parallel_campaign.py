@@ -1,0 +1,110 @@
+"""Serial vs multi-worker campaigns must be byte-identical end to end."""
+
+import json
+
+import pytest
+
+from repro.data import TelecomConfig, generate_telecom
+from repro.workflow import TestingCampaign
+from repro.workflow.orchestrator import _report_to_dict
+
+pytestmark = pytest.mark.parallel
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_telecom(
+        TelecomConfig(
+            n_chains=8,
+            n_testbeds=3,
+            builds_per_chain=(4, 6),
+            timesteps_per_build=(40, 60),
+            n_focus=2,
+            include_rare_testbed=False,
+            seed=7,
+        )
+    )
+
+
+def _campaign(n_workers, **kwargs):
+    return TestingCampaign(
+        model_params={"max_epochs": 3, "batch_size": 256},
+        seed=1,
+        n_workers=n_workers,
+        self_monitor=False,
+        **kwargs,
+    )
+
+
+def _run(campaign, dataset):
+    reports = campaign.run(dataset)
+    blob = json.dumps(
+        [_report_to_dict(report) for report in reports], sort_keys=True
+    ).encode()
+    return blob, campaign
+
+
+class TestParallelCampaignDeterminism:
+    def test_four_workers_byte_identical_to_serial(self, dataset):
+        serial_blob, serial = _run(_campaign(1), dataset)
+        parallel_blob, parallel = _run(_campaign(4), dataset)
+        assert parallel_blob == serial_blob  # reports, byte for byte
+        assert parallel.masked_environments == serial.masked_environments
+        assert parallel.latest_model.to_bytes() == serial.latest_model.to_bytes()
+        # Alarm stores agree record by record.
+        serial_alarms = serial.alarm_store.fetch()
+        parallel_alarms = parallel.alarm_store.fetch()
+        assert len(parallel_alarms) == len(serial_alarms)
+        for left, right in zip(parallel_alarms, serial_alarms):
+            assert (left.environment, left.start_step, left.end_step) == (
+                right.environment,
+                right.start_step,
+                right.end_step,
+            )
+            assert left.peak_deviation == right.peak_deviation
+
+    def test_collector_path_byte_identical(self, dataset):
+        """Sharded parallel read-backs reconstruct the same executions."""
+        serial_blob, serial = _run(_campaign(1, use_collector=True), dataset)
+        parallel_blob, parallel = _run(_campaign(4, use_collector=True), dataset)
+        assert parallel_blob == serial_blob
+        assert parallel.latest_model.to_bytes() == serial.latest_model.to_bytes()
+        assert not parallel.dead_letters.records()
+
+    def test_worker_kind_threads_vs_serial_pool_identical(self, dataset):
+        """n_workers=2 with a thread pool still merges deterministically."""
+        two_blob, _ = _run(_campaign(2), dataset)
+        four_blob, _ = _run(_campaign(4), dataset)
+        assert two_blob == four_blob  # worker count never changes results
+
+    def test_serial_checkpoint_resumes_under_parallel(self, dataset, tmp_path):
+        """n_workers is not campaign state: the same serial checkpoint
+        resumed with 1 worker and with 4 workers converges byte-identically.
+        (Model-store version numbering restarts on resume either way, so the
+        reference is the serial resume, not an uninterrupted run.)"""
+        checkpoint_dir = tmp_path / "ckpt"
+        interrupted = _campaign(1, checkpoint_dir=checkpoint_dir)
+        max_builds = max(len(chain) for chain in dataset.chains)
+        for day in range(max_builds // 2):
+            executions = [
+                chain.executions[day] for chain in dataset.chains if day < len(chain)
+            ]
+            interrupted.run_day(day, executions)
+
+        # Each resume gets its own copy: resuming writes further snapshots,
+        # and the second resume must start from the *interrupted* state.
+        import shutil
+
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        shutil.copytree(checkpoint_dir, serial_dir)
+        shutil.copytree(checkpoint_dir, parallel_dir)
+        serial_blob, serial = _run(_campaign(1, checkpoint_dir=serial_dir), dataset)
+        parallel_blob, parallel = _run(_campaign(4, checkpoint_dir=parallel_dir), dataset)
+        assert parallel_blob == serial_blob
+        assert parallel.masked_environments == serial.masked_environments
+        assert parallel.latest_model.to_bytes() == serial.latest_model.to_bytes()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            _campaign(0)

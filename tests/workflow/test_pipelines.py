@@ -188,6 +188,37 @@ class TestPredictionPipeline:
         if run.report.n_alarms >= 1:
             assert run.terminated_early
 
+    @pytest.mark.parallel
+    def test_run_many_bitwise_matches_sequential_runs(self, dataset, trained):
+        """Coalesced, pooled run_many == one pipeline.run per execution."""
+        store, _ = trained
+        executions = [chain.current for chain in dataset.chains[:6]]
+
+        solo_alarms = AlarmStore()
+        solo = PredictionPipeline(store, solo_alarms, gamma=2.0)
+        solo_runs = [solo.run(execution) for execution in executions]
+
+        pooled_alarms = AlarmStore()
+        pooled = PredictionPipeline(store, pooled_alarms, gamma=2.0)
+        pooled_runs = pooled.run_many(executions, n_workers=4)
+
+        assert len(pooled_runs) == len(solo_runs)
+        for left, right in zip(pooled_runs, solo_runs):
+            assert left.predictions.tobytes() == right.predictions.tobytes()
+            assert left.observations.tobytes() == right.observations.tobytes()
+            assert left.report.alarms == right.report.alarms
+            assert left.model_version == right.model_version
+        assert pooled_alarms.count() == solo_alarms.count()
+
+    @pytest.mark.parallel
+    def test_run_many_validates_error_model_alignment(self, dataset, trained):
+        store, _ = trained
+        pipeline = PredictionPipeline(store, AlarmStore())
+        with pytest.raises(ValueError, match="error_models"):
+            pipeline.run_many(
+                [dataset.chains[0].current], error_models=[None, None]
+            )
+
     def test_calibrate_requires_history(self, dataset, trained):
         from repro.data import BuildChain
 

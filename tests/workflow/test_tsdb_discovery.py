@@ -96,6 +96,21 @@ class TestTimeSeriesDB:
         with pytest.raises(ValueError):
             db.query_range("cpu", None, 5.0, 5.0)
 
+    def test_series_range_is_half_open(self):
+        """Boundary: range(start, end) includes a sample at exactly `start`
+        and excludes one at exactly `end` — start-inclusive, end-exclusive."""
+        db = TimeSeriesDB()
+        db.write_array("cpu", {"env": "a"}, np.arange(5.0), np.arange(5.0) * 10)
+        series = db.query_one("cpu", {"env": "a"})
+        timestamps, values = series.range(1.0, 3.0).as_arrays()
+        np.testing.assert_allclose(timestamps, [1.0, 2.0])
+        np.testing.assert_allclose(values, [10.0, 20.0])
+        # Degenerate and out-of-bounds windows are empty, never an error.
+        assert len(series.range(2.0, 2.0)) == 0
+        assert len(series.range(10.0, 20.0)) == 0
+        # A window past both ends returns every sample.
+        assert len(series.range(-1.0, 100.0)) == 5
+
     def test_introspection(self):
         db = TimeSeriesDB()
         db.write("cpu", {"env": "a"}, 0, 1)
