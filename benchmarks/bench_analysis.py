@@ -1,0 +1,97 @@
+"""Benchmark — repro.analysis full-repo scan latency.
+
+The lint engine runs inside tier-1 (tests/analysis/test_repo_clean.py and
+tests/test_lint.py), so its cost is paid on every test session. One AST
+parse per file and one dispatch-driven walk must keep the whole-repo scan
+(src + tests + benchmarks, all eight rules) comfortably inside the test
+budget.
+
+Acceptance: the full scan completes in under 5 seconds. Per-file and
+per-rule timings go to ``benchmarks/results/BENCH_analysis.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import Analyzer, default_registry
+
+RESULTS_DIR = Path(__file__).parent / "results"
+REPO = Path(__file__).resolve().parent.parent
+
+#: Whole-repo scan ceiling, in seconds.
+MAX_SCAN_SECONDS = 5.0
+
+SCAN_ROOTS = ("src", "tests", "benchmarks")
+
+
+def run_analysis_bench(rounds: int = 3) -> dict:
+    paths = [REPO / root for root in SCAN_ROOTS]
+
+    best_s, result = float("inf"), None
+    for _ in range(rounds):
+        analyzer = Analyzer(default_registry())
+        start = time.perf_counter()
+        result = analyzer.analyze_paths(paths, root=REPO)
+        best_s = min(best_s, time.perf_counter() - start)
+
+    # Per-rule cost: scan src/ with one rule at a time, so the totals show
+    # where a future slow rule would hide.
+    per_rule_ms = {}
+    for rule in default_registry():
+        registry = type(default_registry())()
+        registry.register(type(rule))
+        analyzer = Analyzer(registry)
+        start = time.perf_counter()
+        analyzer.analyze_paths([REPO / "src"], root=REPO)
+        per_rule_ms[rule.id] = 1e3 * (time.perf_counter() - start)
+
+    return {
+        "scan_roots": list(SCAN_ROOTS),
+        "files_scanned": result.n_files,
+        "scan_seconds_best_of": best_s,
+        "rounds": rounds,
+        "us_per_file": 1e6 * best_s / max(1, result.n_files),
+        "findings_pre_baseline": len(result.findings),
+        "parse_errors": len(result.parse_errors),
+        "per_rule_src_scan_ms": per_rule_ms,
+    }
+
+
+def _render(results: dict) -> str:
+    lines = [
+        "repro.analysis — full-repo scan (all rules, one AST pass per file)",
+        f"  files scanned          {results['files_scanned']:6d}",
+        f"  scan wall time         {results['scan_seconds_best_of']:8.3f} s "
+        f"(best of {results['rounds']})",
+        f"  per file               {results['us_per_file']:8.0f} us",
+        f"  findings (pre-baseline){results['findings_pre_baseline']:6d}",
+        "  per-rule src/ scan:",
+    ]
+    for rule_id, ms in sorted(results["per_rule_src_scan_ms"].items()):
+        lines.append(f"    {rule_id}  {ms:8.1f} ms")
+    return "\n".join(lines)
+
+
+def test_bench_analysis(benchmark):
+    from conftest import emit
+
+    results = benchmark.pedantic(run_analysis_bench, rounds=1, iterations=1)
+    emit("analysis", _render(results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_analysis.json").write_text(json.dumps(results, indent=2) + "\n")
+
+    assert results["scan_seconds_best_of"] < MAX_SCAN_SECONDS, (
+        f"full-repo scan took {results['scan_seconds_best_of']:.2f}s; "
+        f"ceiling is {MAX_SCAN_SECONDS:.0f}s"
+    )
+    assert results["parse_errors"] == 0
+
+
+if __name__ == "__main__":
+    bench_results = run_analysis_bench()
+    print(_render(bench_results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_analysis.json").write_text(
+        json.dumps(bench_results, indent=2) + "\n"
+    )

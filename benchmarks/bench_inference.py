@@ -96,7 +96,7 @@ def run_inference_bench(n_stream: int = 300) -> dict:
         ("batch256_throughput", big_batch, max(1, n_stream // 10)),
     ):
         autograd_s, compiled_s = _time_pair(
-            lambda: autograd_forward(batch), lambda: engine(**batch), repeats
+            lambda b=batch: autograd_forward(b), lambda b=batch: engine(**b), repeats
         )
         results[name] = {
             "calls": repeats,

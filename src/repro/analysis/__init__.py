@@ -1,0 +1,54 @@
+"""repro.analysis — the project's AST lint engine (audit-as-code).
+
+PR 4's byte-identical parallel campaigns stay byte-identical only while
+nobody reintroduces the bug classes that audit removed by hand: bare
+``+=`` on shared counters, writable cache-row aliases, wall-clock reads
+on the simulated campaign clock, unseeded RNGs. This package encodes
+those audits as eight AST rules (REP001-REP008) that run in tier-1, with
+inline ``# repro: noqa[REP00x]`` suppressions (checked for staleness)
+and a committed, justification-carrying baseline for the survivors.
+
+Entry points::
+
+    python -m repro.analysis src/            # scan, text report
+    python -m repro analyze src/ --format json
+    Analyzer(default_registry()).analyze_paths(["src"])   # programmatic
+"""
+
+from .baseline import Baseline, BaselineEntry, apply_baseline
+from .cli import DEFAULT_BASELINE_NAME, discover_baseline, main
+from .engine import (
+    UNUSED_SUPPRESSION_ID,
+    AnalysisResult,
+    Analyzer,
+    FileContext,
+    Finding,
+    Rule,
+    RuleRegistry,
+    iter_python_files,
+)
+from .report import JSON_SCHEMA_VERSION, render_json, render_text
+from .rules import ALL_RULES, DEFAULT_REGISTRY, default_registry
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisResult",
+    "Analyzer",
+    "apply_baseline",
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_REGISTRY",
+    "default_registry",
+    "discover_baseline",
+    "FileContext",
+    "Finding",
+    "iter_python_files",
+    "JSON_SCHEMA_VERSION",
+    "main",
+    "render_json",
+    "render_text",
+    "Rule",
+    "RuleRegistry",
+    "UNUSED_SUPPRESSION_ID",
+]

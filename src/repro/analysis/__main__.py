@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — scan the tree against the rule catalog."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":  # pragma: no cover - thin shim
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline entry acknowledges one finding the team has decided to keep —
+each carries a one-line ``justification`` so the decision is reviewable.
+Matching is by fingerprint (rule id, path, offending source text), never
+by line number: unrelated edits above a finding must not invalidate its
+entry, and moving the offending line verbatim must not create a "new"
+finding.
+
+Two failure modes are symmetrical and both surfaced:
+
+- a finding with no entry is *new* — the scan fails until it is fixed or
+  justified into the baseline;
+- an entry with no finding is *expired* — the code was fixed, so the
+  entry is dead weight that silently licenses a regression; drop it from
+  the file (or re-run ``--update-baseline``), and ``--strict-baseline``
+  turns expiry into a scan failure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .engine import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "apply_baseline"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    snippet: str
+    justification: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}::{self.path}::{self.snippet}"
+
+
+class Baseline:
+    """An ordered set of grandfathered findings, (de)serializable to JSON."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None):
+        self.entries: list[BaselineEntry] = list(entries or [])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def fingerprints(self) -> set[str]:
+        return {entry.fingerprint for entry in self.entries}
+
+    # -- io ----------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                snippet=item["snippet"],
+                justification=item.get("justification", ""),
+            )
+            for item in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "snippet": entry.snippet,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.snippet)
+                )
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], justification: str = "grandfathered"
+    ) -> "Baseline":
+        entries = [
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                snippet=finding.snippet,
+                justification=justification,
+            )
+            for finding in findings
+        ]
+        # one entry per distinct fingerprint
+        seen: set[str] = set()
+        unique = []
+        for entry in entries:
+            if entry.fingerprint not in seen:
+                seen.add(entry.fingerprint)
+                unique.append(entry)
+        return cls(unique)
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Split a scan against the baseline.
+
+    Returns ``(new, grandfathered, expired)``: findings with no entry,
+    findings an entry covers, and entries no finding matched (the code
+    they excused has been fixed — prune them).
+    """
+    known = baseline.fingerprints()
+    new = [f for f in findings if f.fingerprint not in known]
+    grandfathered = [f for f in findings if f.fingerprint in known]
+    live = {f.fingerprint for f in findings}
+    expired = [e for e in baseline.entries if e.fingerprint not in live]
+    return new, grandfathered, expired

@@ -1,0 +1,475 @@
+"""Single-pass AST analysis engine: parse once, dispatch to every rule.
+
+The engine is deliberately small: one :func:`ast.parse` per file, one
+depth-first walk, and per-node dispatch to the rules that registered an
+interest in that node type. Rules see a :class:`FileContext` carrying the
+ancestor stack (for lock-enclosure and scope questions), the module's
+import surface, and cheap per-function symbol tables — everything the
+project-specific rules in :mod:`repro.analysis.rules` need without a
+second pass.
+
+Suppressions are inline comments of the form ``# repro: noqa[REP004]``
+(multiple ids comma-separated). A suppression that matches no finding on
+its line is itself reported under the reserved id ``REP000`` — dead
+pragmas rot into lies about which lines are exempt, so they fail the scan
+just like a real finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from ..obs import get_observability
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "RuleRegistry",
+    "AnalysisResult",
+    "Analyzer",
+    "iter_python_files",
+    "UNUSED_SUPPRESSION_ID",
+]
+
+_OBS = get_observability()
+_M_FILES = _OBS.counter(
+    "repro_analysis_files_scanned_total", "Python files parsed by repro.analysis."
+)
+_M_FINDINGS = _OBS.counter(
+    "repro_analysis_findings_total",
+    "Raw findings produced by repro.analysis rules (pre-suppression).",
+    labels=("rule",),
+)
+_M_SUPPRESSED = _OBS.counter(
+    "repro_analysis_suppressed_total",
+    "Findings silenced by an inline `# repro: noqa[...]` pragma.",
+)
+_H_SCAN = _OBS.histogram(
+    "repro_analysis_scan_seconds",
+    "End-to-end latency of one repro.analysis scan (all files, all rules).",
+    buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0),
+)
+
+#: Reserved rule id for the unused-suppression check.
+UNUSED_SUPPRESSION_ID = "REP000"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, addressable and fingerprintable.
+
+    The fingerprint deliberately excludes the line *number*: baselined
+    findings must survive unrelated edits above them, so identity is the
+    (rule, path, source-line-text) triple plus nothing positional.
+    """
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    message: str
+    snippet: str  # stripped source text of the offending line
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}::{self.path}::{self.snippet}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """Everything rules may ask about the file currently being walked."""
+
+    def __init__(self, path: str, tree: ast.Module, source: str):
+        self.path = path
+        self.tree = tree
+        self.source = source
+        self.lines = source.splitlines()
+        parts = Path(path).parts
+        self.is_test = "tests" in parts or Path(path).name.startswith("test_")
+        self.is_benchmark = "benchmarks" in parts
+        # the repro subpackage ('core', 'workflow', ...) when under src/repro/
+        self.package = ""
+        if "repro" in parts:
+            tail = parts[parts.index("repro") + 1 :]
+            if len(tail) > 1:
+                self.package = tail[0]
+        self.imports = _module_imports(tree)
+        self.imports_numpy = bool({"numpy", "np"} & self.imports)
+        #: ancestor stack maintained by the walker; stack[-1] is the parent
+        #: of the node currently being dispatched.
+        self.stack: list[ast.AST] = []
+        self._function_locals: dict[int, frozenset[str]] = {}
+        self._module_globals: frozenset[str] | None = None
+
+    # -- source access -----------------------------------------------------
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    # -- scope questions ---------------------------------------------------
+    @property
+    def module_globals(self) -> frozenset[str]:
+        """Names bound at module scope (assignments, defs, imports)."""
+        if self._module_globals is None:
+            self._module_globals = frozenset(_bound_names(self.tree.body))
+        return self._module_globals
+
+    def enclosing_function(self) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for node in reversed(self.stack):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    def enclosing_class(self) -> ast.ClassDef | None:
+        for node in reversed(self.stack):
+            if isinstance(node, ast.ClassDef):
+                return node
+        return None
+
+    def function_locals(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+        """Names the function binds locally (params + assignments),
+        excluding names it declares ``global``/``nonlocal``."""
+        cached = self._function_locals.get(id(func))
+        if cached is None:
+            args = func.args
+            names: set[str] = {
+                a.arg
+                for a in (
+                    *args.posonlyargs, *args.args, *args.kwonlyargs,
+                    *([args.vararg] if args.vararg else []),
+                    *([args.kwarg] if args.kwarg else []),
+                )
+            }
+            names |= _bound_names(func.body)
+            names -= _scope_global_decls(func.body)
+            cached = frozenset(names)
+            self._function_locals[id(func)] = cached
+        return cached
+
+    def resolves_to_module_global(self, name: str) -> bool:
+        """Does ``name``, read in the current scope, hit module state?"""
+        if name not in self.module_globals:
+            return False
+        for node in reversed(self.stack):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # function_locals already excludes `global`-declared names,
+                # so a miss here means the name falls through to module scope.
+                return name not in self.function_locals(node)
+        return True  # read at module scope itself
+
+    def inside_lock_with(self) -> bool:
+        """Is the current node lexically inside ``with <something lock-ish>``?
+
+        'Lock-ish' means the context expression's source mentions ``lock``
+        (``with self._lock:``, ``with _VALUE_LOCK:``, ``with pool.lock():``)
+        — a naming convention this repo already follows everywhere.
+        """
+        for node in self.stack:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if "lock" in ast.unparse(item.context_expr).lower():
+                        return True
+        return False
+
+
+def _module_imports(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+                names.add(alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names.add(node.module.split(".")[0])
+    return names
+
+
+def _bound_names(body: Iterable[ast.stmt]) -> set[str]:
+    """Names bound by a statement list's own scope (not nested functions)."""
+    names: set[str] = set()
+
+    def collect_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                collect_target(element)
+        elif isinstance(target, ast.Starred):
+            collect_target(target.value)
+
+    def visit(stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+                continue  # nested scope: its assignments are not ours
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    names.add(alias.asname or alias.name.split(".")[0])
+                continue
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    collect_target(target)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                collect_target(stmt.target)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                collect_target(stmt.target)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        collect_target(item.optional_vars)
+            # recurse into compound statements' bodies (same scope)
+            for attr in ("body", "orelse", "finalbody"):
+                child = getattr(stmt, attr, None)
+                if child:
+                    visit(child)
+            for handler in getattr(stmt, "handlers", []) or []:
+                if handler.name:
+                    names.add(handler.name)
+                visit(handler.body)
+
+    visit(body)
+    return names
+
+
+def _scope_global_decls(body: Iterable[ast.stmt]) -> set[str]:
+    """Names declared ``global``/``nonlocal`` in this scope (not nested defs)."""
+    names: set[str] = set()
+
+    def visit(stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+                names.update(stmt.names)
+            for attr in ("body", "orelse", "finalbody"):
+                child = getattr(stmt, attr, None)
+                if child:
+                    visit(child)
+            for handler in getattr(stmt, "handlers", []) or []:
+                visit(handler.body)
+
+    visit(body)
+    return names
+
+
+class Rule:
+    """Base class: subclasses declare ``id``/``title`` and visit hooks.
+
+    ``node_types`` names the AST node classes the rule wants dispatched to
+    :meth:`visit`; :meth:`start_file` / :meth:`finish_file` bracket each
+    file for rules that keep per-file state (dataflow rules).
+    """
+
+    id: str = "REP000"
+    title: str = ""
+    node_types: tuple[type, ...] = ()
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def start_file(self, ctx: FileContext) -> None:
+        pass
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        """Yield ``(lineno, message)`` pairs for violations at ``node``."""
+        return iter(())
+
+    def finish_file(self, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        return iter(())
+
+
+class RuleRegistry:
+    """Ordered rule set with id-uniqueness and by-node-type dispatch maps."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, rule: Rule | type[Rule]) -> Rule:
+        if isinstance(rule, type):
+            rule = rule()
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.id!r}")
+        if not re.fullmatch(r"REP\d{3}", rule.id):
+            raise ValueError(f"rule id must look like REP### ; got {rule.id!r}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(f"no rule registered under {rule_id!r}") from None
+
+    def ids(self) -> list[str]:
+        return sorted(self._rules)
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one scan, before/after baseline application."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+    n_suppressed: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def _parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed on that line."""
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+                suppressions.setdefault(token.start[0], set()).update(ids)
+    except tokenize.TokenError:  # pragma: no cover - parse already succeeded
+        pass
+    return suppressions
+
+
+class Analyzer:
+    """Run every applicable rule over a set of files in one AST pass each."""
+
+    def __init__(self, registry: RuleRegistry):
+        self.registry = registry
+
+    # -- single source unit ------------------------------------------------
+    def analyze_source(self, source: str, path: str) -> list[Finding]:
+        """Analyze one in-memory source text as if it lived at ``path``."""
+        return self._analyze_unit(source, path)[0]
+
+    def _analyze_unit(self, source: str, path: str) -> tuple[list[Finding], int]:
+        tree = ast.parse(source, filename=path)
+        ctx = FileContext(path, tree, source)
+        active = [rule for rule in self.registry if rule.applies(ctx)]
+        if not active:
+            return [], 0
+        dispatch: dict[type, list[Rule]] = {}
+        for rule in active:
+            rule.start_file(ctx)
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+
+        raw: list[tuple[str, int, str]] = []  # (rule_id, lineno, message)
+
+        def walk(node: ast.AST) -> None:
+            for rule in dispatch.get(type(node), ()):
+                for lineno, message in rule.visit(node, ctx):
+                    raw.append((rule.id, lineno, message))
+            ctx.stack.append(node)
+            for child in ast.iter_child_nodes(node):
+                walk(child)
+            ctx.stack.pop()
+
+        walk(tree)
+        for rule in active:
+            for lineno, message in rule.finish_file(ctx):
+                raw.append((rule.id, lineno, message))
+
+        # -- suppressions ---------------------------------------------------
+        suppressions = _parse_suppressions(source)
+        used: dict[int, set[str]] = {}
+        findings: list[Finding] = []
+        n_suppressed = 0
+        for rule_id, lineno, message in raw:
+            _M_FINDINGS.labels(rule=rule_id).inc()
+            if rule_id in suppressions.get(lineno, ()):
+                used.setdefault(lineno, set()).add(rule_id)
+                _M_SUPPRESSED.inc()
+                n_suppressed += 1
+                continue
+            findings.append(
+                Finding(rule_id, path, lineno, message, self._snippet(ctx, lineno))
+            )
+        for lineno, ids in sorted(suppressions.items()):
+            unused = ids - used.get(lineno, set())
+            for rule_id in sorted(unused):
+                _M_FINDINGS.labels(rule=UNUSED_SUPPRESSION_ID).inc()
+                findings.append(
+                    Finding(
+                        UNUSED_SUPPRESSION_ID,
+                        path,
+                        lineno,
+                        f"unused suppression: no {rule_id} finding on this line",
+                        self._snippet(ctx, lineno),
+                    )
+                )
+        findings.sort(key=lambda f: (f.line, f.rule))
+        return findings, n_suppressed
+
+    @staticmethod
+    def _snippet(ctx: FileContext, lineno: int) -> str:
+        return ctx.line_text(lineno)
+
+    # -- trees of files ----------------------------------------------------
+    def analyze_paths(
+        self,
+        paths: Iterable[str | Path],
+        root: str | Path | None = None,
+        on_file: Callable[[Path], None] | None = None,
+    ) -> AnalysisResult:
+        """Scan files/directories; paths in findings are relative to ``root``
+        (default: the current working directory) when possible."""
+        root = Path(root) if root is not None else Path.cwd()
+        result = AnalysisResult()
+        with _H_SCAN.time() as timer:
+            for file_path in iter_python_files(paths):
+                if on_file is not None:
+                    on_file(file_path)
+                try:
+                    rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+                except ValueError:
+                    rel = file_path.as_posix()
+                try:
+                    source = file_path.read_text()
+                    findings, n_suppressed = self._analyze_unit(source, rel)
+                except SyntaxError as error:
+                    result.parse_errors.append(f"{rel}: {error}")
+                    continue
+                result.n_files += 1
+                _M_FILES.inc()
+                result.n_suppressed += n_suppressed
+                result.findings.extend(findings)
+        result.elapsed_seconds = timer.elapsed
+        result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return result
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into sorted ``*.py`` files."""
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path

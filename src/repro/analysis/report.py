@@ -1,0 +1,91 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+The JSON shape is versioned and treated as a public contract (tests pin
+it): tooling that trends finding counts or annotates diffs should not
+break when the engine grows new fields.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .baseline import BaselineEntry
+from .engine import AnalysisResult, Finding
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(
+    result: AnalysisResult,
+    new: list[Finding],
+    grandfathered: list[Finding],
+    expired: list[BaselineEntry],
+) -> str:
+    lines: list[str] = []
+    for finding in new:
+        lines.append(finding.render())
+    for entry in expired:
+        lines.append(
+            f"{entry.path}: baseline entry for {entry.rule} no longer matches "
+            f"anything (snippet {entry.snippet!r}) — prune it"
+        )
+    counts = ", ".join(f"{rule}={n}" for rule, n in _count(new).items()) or "none"
+    lines.append(
+        f"{result.n_files} files scanned: {len(new)} finding(s) [{counts}], "
+        f"{len(grandfathered)} baselined, {result.n_suppressed} suppressed, "
+        f"{len(expired)} expired baseline entr{'y' if len(expired) == 1 else 'ies'}"
+    )
+    for error in result.parse_errors:
+        lines.append(f"parse error: {error}")
+    return "\n".join(lines)
+
+
+def render_json(
+    result: AnalysisResult,
+    new: list[Finding],
+    grandfathered: list[Finding],
+    expired: list[BaselineEntry],
+) -> str:
+    def finding_dict(finding: Finding) -> dict:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+            "snippet": finding.snippet,
+        }
+
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [finding_dict(f) for f in new],
+        "grandfathered": [finding_dict(f) for f in grandfathered],
+        "expired_baseline": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "snippet": entry.snippet,
+                "justification": entry.justification,
+            }
+            for entry in expired
+        ],
+        "summary": {
+            "files_scanned": result.n_files,
+            "new_findings": len(new),
+            "grandfathered": len(grandfathered),
+            "suppressed": result.n_suppressed,
+            "expired_baseline": len(expired),
+            "by_rule": _count(new),
+            "parse_errors": list(result.parse_errors),
+            "elapsed_seconds": result.elapsed_seconds,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _count(findings: list[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))

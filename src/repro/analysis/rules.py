@@ -1,0 +1,436 @@
+"""The project rule catalog: eight checks distilled from real bugs.
+
+Every rule here encodes an invariant this repo has already paid for once:
+
+- REP001 — the Trainer/chaos determinism audits (unseeded RNG breaks
+  byte-identical campaign replays);
+- REP002 — the sim-clock discipline that keeps scrapes, checkpoints and
+  model metadata reproducible (wall-clock reads leaked into model-store
+  and alarm timestamps);
+- REP003 — the PR 4 metrics race (``self._value += x`` on shared leaves,
+  lost increments under the parallel executor);
+- REP004 — the ``EmbeddingRowCache`` aliasing bug (a cached row handed
+  out writable corrupted every later prediction);
+- REP005 — ``lock.acquire()`` without ``with`` leaks the lock on any
+  exception between acquire and release;
+- REP006 — ``==`` on floats (byte-identical guarantees compare exact
+  values only where the code path is exactly reproducible);
+- REP007 — swallowed exceptions in the resilience ladder (a silent
+  ``except Exception: pass`` hides the faults chaos testing injects);
+- REP008 — mutation of read-only TSDB snapshot shards (snapshot isolation
+  is the parallel executor's whole correctness story).
+
+Rules are deliberately syntactic: no type inference, no cross-file
+analysis. Where syntax alone over-approximates, the escape hatches are an
+inline ``# repro: noqa[REP00x]`` (checked for staleness) or a baseline
+entry with a written justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import FileContext, Rule, RuleRegistry
+
+__all__ = ["DEFAULT_REGISTRY", "default_registry", "ALL_RULES"]
+
+#: Packages under src/repro/ that run on the simulated campaign clock.
+_SIM_CLOCK_PACKAGES = frozenset({"core", "workflow", "parallel", "resilience"})
+
+#: numpy legacy global-state API — any call through these mutates or reads
+#: hidden process-wide RNG state.
+_NP_GLOBAL_STATE_FNS = frozenset({
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "get_state", "gumbel",
+    "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_normal", "negative_binomial",
+    "noncentral_chisquare", "noncentral_f", "normal", "pareto",
+    "permutation", "poisson", "power", "rand", "randint", "randn",
+    "random", "random_integers", "random_sample", "ranf", "rayleigh",
+    "sample", "seed", "set_state", "shuffle", "standard_cauchy",
+    "standard_exponential", "standard_gamma", "standard_normal",
+    "standard_t", "triangular", "uniform", "vonmises", "wald", "weibull",
+    "zipf",
+})
+
+_WALL_CLOCK_ATTRS = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``np.random.default_rng`` -> ``["np", "random", "default_rng"]``
+    (empty when the expression is not a plain dotted name)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base Name of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class UnseededRNGRule(Rule):
+    """REP001: every RNG must be constructed from an explicit seed."""
+
+    id = "REP001"
+    title = "unseeded RNG construction"
+    node_types = (ast.Call,)
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.is_test
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        chain = _attr_chain(node.func)
+        if not chain:
+            return
+        # np.random.default_rng() / numpy.random.default_rng() / default_rng()
+        if chain[-1] == "default_rng" and (
+            len(chain) == 1 or chain[:-1] in (["np", "random"], ["numpy", "random"])
+        ):
+            if not node.args and not node.keywords:
+                yield (
+                    node.lineno,
+                    "np.random.default_rng() without a seed — pass an explicit "
+                    "seed (or an already-seeded Generator) so runs replay",
+                )
+            elif node.args and isinstance(node.args[0], ast.Constant) and (
+                node.args[0].value is None
+            ):
+                yield (node.lineno, "np.random.default_rng(None) is unseeded")
+            return
+        # np.random.RandomState() with no seed
+        if chain[-1] == "RandomState" and chain[:-1] in (["np", "random"], ["numpy", "random"]):
+            if not node.args and not node.keywords:
+                yield (node.lineno, "np.random.RandomState() without a seed")
+            return
+        # legacy module-level API: np.random.rand / shuffle / seed / ...
+        if (
+            len(chain) == 3
+            and chain[0] in ("np", "numpy")
+            and chain[1] == "random"
+            and chain[2] in _NP_GLOBAL_STATE_FNS
+        ):
+            yield (
+                node.lineno,
+                f"np.random.{chain[2]}() uses hidden global RNG state — "
+                "construct a seeded np.random.default_rng(seed) instead",
+            )
+
+
+class WallClockRule(Rule):
+    """REP002: sim-clock packages must not read the wall clock."""
+
+    id = "REP002"
+    title = "wall-clock read in sim-clock code"
+    node_types = (ast.Call,)
+
+    def applies(self, ctx: FileContext) -> bool:
+        return (
+            ctx.package in _SIM_CLOCK_PACKAGES
+            and not ctx.is_test
+            and not ctx.is_benchmark
+        )
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        chain = _attr_chain(node.func)
+        if len(chain) != 2:
+            return
+        module, attr = chain
+        if attr in _WALL_CLOCK_ATTRS.get(module, ()):
+            yield (
+                node.lineno,
+                f"{module}.{attr}() reads the wall clock in sim-clock code — "
+                "plumb the simulated clock (or an obs timing shim such as "
+                "Histogram.time()) instead",
+            )
+
+
+class UnlockedSharedStateRule(Rule):
+    """REP003: ``+=`` on shared (module/class-level) state needs a lock."""
+
+    id = "REP003"
+    title = "unlocked augmented assignment on shared state"
+    node_types = (ast.AugAssign,)
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.is_test
+
+    def visit(self, node: ast.AugAssign, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        if ctx.enclosing_function() is None:
+            return  # module import / class body runs single-threaded
+        target = node.target
+        shared: str | None = None
+        if isinstance(target, ast.Name):
+            if ctx.resolves_to_module_global(target.id):
+                shared = f"module-level name {target.id!r}"
+        else:
+            root = _root_name(target)
+            if root is None:
+                return
+            if root == "cls":
+                shared = "class-level state via 'cls'"
+            elif root == "self":
+                return  # instance state: REP003 tracks shared containers
+            elif ctx.resolves_to_module_global(root):
+                shared = f"state reached through module-level name {root!r}"
+            else:
+                enclosing_class = ctx.enclosing_class()
+                if enclosing_class is not None and root == enclosing_class.name:
+                    shared = f"class attribute of {root!r}"
+        if shared is None:
+            return
+        if ctx.inside_lock_with():
+            return
+        yield (
+            node.lineno,
+            f"augmented assignment on {shared} without an enclosing "
+            "'with <lock>:' — a concurrent writer loses increments "
+            "(the PR 4 metrics race)",
+        )
+
+
+class AliasedCacheReturnRule(Rule):
+    """REP004: getters must not hand out writable cached arrays."""
+
+    id = "REP004"
+    title = "cached array returned without copy/freeze"
+    node_types = (ast.Return, ast.Yield)
+    _PREFIXES = ("get", "lookup", "rows")
+
+    def applies(self, ctx: FileContext) -> bool:
+        # only meaningful where numpy arrays can flow; keeps dict-returning
+        # getters in numpy-free modules out of scope by construction
+        return ctx.imports_numpy and not ctx.is_test
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        value = node.value
+        if value is None:
+            return
+        func = ctx.enclosing_function()
+        if func is None or not func.name.lower().startswith(self._PREFIXES):
+            return
+        candidate = value
+        if isinstance(candidate, ast.Subscript):
+            candidate = candidate.value
+        if not isinstance(candidate, ast.Attribute):
+            return
+        root = _root_name(candidate)
+        if root not in ("self", "cls"):
+            return
+        yield (
+            node.lineno,
+            f"{func.name}() returns instance-attribute state by reference — "
+            "return a .copy(), freeze it (setflags(write=False)), or "
+            "suppress with a justification (the EmbeddingRowCache aliasing bug)",
+        )
+
+
+class RawLockAcquireRule(Rule):
+    """REP005: locks are taken with ``with``, never bare ``acquire()``."""
+
+    id = "REP005"
+    title = "lock.acquire() outside a context manager"
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            yield (
+                node.lineno,
+                ".acquire() without a context manager leaks the lock on any "
+                "exception before release — use 'with lock:' instead",
+            )
+
+
+def _is_inf_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+        and node.args[0].value.lower().lstrip("+-") in ("inf", "infinity")
+    )
+
+
+def _float_operand(node: ast.expr) -> str | None:
+    """Why this operand is float-typed, or None when it is not provably so.
+
+    Exact sentinels are deliberately *not* float-typed for this rule:
+    ``0.0`` and ``float('inf')`` compare exactly by construction, and the
+    codebase uses them as in-band markers.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        if node.value == 0.0 or node.value in (float("inf"), float("-inf")):
+            return None
+        return f"float literal {node.value!r}"
+    if isinstance(node, ast.UnaryOp) and isinstance(node.operand, ast.Constant):
+        value = node.operand.value
+        if isinstance(value, float) and value != 0.0 and value != float("inf"):
+            return f"float literal -{value!r}"
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return "true-division result"
+    if _is_inf_call(node):
+        return None
+    if isinstance(node, ast.Call):
+        chain = _attr_chain(node.func)
+        if chain == ["float"] or chain[-1:] == ["float64"] or chain[-1:] == ["float32"]:
+            return f"{'.'.join(chain)}() result"
+    return None
+
+
+class FloatEqualityRule(Rule):
+    """REP006: ``==``/``!=`` on float-typed expressions."""
+
+    id = "REP006"
+    title = "float equality comparison"
+    node_types = (ast.Compare,)
+
+    def visit(self, node: ast.Compare, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        for operand in (node.left, *node.comparators):
+            reason = _float_operand(operand)
+            if reason is not None:
+                yield (
+                    node.lineno,
+                    f"float equality against {reason} — compare with a "
+                    "tolerance (math.isclose / np.isclose), or suppress "
+                    "where exact determinism is the point",
+                )
+                return
+
+
+_LOGGING_ATTRS = frozenset({
+    "inc", "observe", "set", "dec",  # obs metric mutators
+    "debug", "info", "warning", "error", "exception", "critical", "log",
+    "record", "quarantine", "push",
+})
+
+
+class SwallowedExceptionRule(Rule):
+    """REP007: broad handlers must re-raise, log, or count."""
+
+    id = "REP007"
+    title = "broad exception handler swallows silently"
+    node_types = (ast.ExceptHandler,)
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.package in ("workflow", "resilience") and not ctx.is_test
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return True  # bare except
+        names = [type_node] if not isinstance(type_node, ast.Tuple) else type_node.elts
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in ("Exception", "BaseException"):
+                return True
+        return False
+
+    def visit(self, node: ast.ExceptHandler, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        if not self._is_broad(node.type):
+            return
+        for stmt in node.body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.Raise):
+                    return
+                if isinstance(inner, ast.Call):
+                    func = inner.func
+                    if isinstance(func, ast.Attribute) and func.attr in _LOGGING_ATTRS:
+                        return
+        yield (
+            node.lineno,
+            "broad except swallows the error without re-raising, logging, or "
+            "counting it — the resilience ladder degrades loudly or not at all",
+        )
+
+
+class SnapshotMutationRule(Rule):
+    """REP008: objects from ``snapshot_shards``/``shard_for`` are read-only."""
+
+    id = "REP008"
+    title = "mutation of a TSDB snapshot shard"
+    node_types = (ast.Assign, ast.AugAssign, ast.For)
+
+    def start_file(self, ctx: FileContext) -> None:
+        self._tracked: set[str] = set()
+
+    @staticmethod
+    def _binds_snapshot(value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        chain = _attr_chain(value.func)
+        return bool(chain) and chain[-1] in ("snapshot_shards", "shard_for")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        if isinstance(node, ast.For):
+            # for shard in shards.shards: ... propagates snapshot-ness
+            iter_root = _root_name(node.iter)
+            if (
+                iter_root in self._tracked
+                and isinstance(node.target, ast.Name)
+            ):
+                self._tracked.add(node.target.id)
+            return
+        if isinstance(node, ast.Assign):
+            if self._binds_snapshot(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._tracked.add(target.id)
+                return
+            targets = node.targets
+        else:  # AugAssign
+            targets = [node.target]
+        for target in targets:
+            if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                continue
+            root = _root_name(target)
+            if root in self._tracked:
+                yield (
+                    target.lineno,
+                    f"write through {root!r}, a read-only TSDB snapshot — "
+                    "snapshot isolation is what makes parallel campaigns "
+                    "byte-identical; write to the live TSDB instead",
+                )
+
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    UnseededRNGRule,
+    WallClockRule,
+    UnlockedSharedStateRule,
+    AliasedCacheReturnRule,
+    RawLockAcquireRule,
+    FloatEqualityRule,
+    SwallowedExceptionRule,
+    SnapshotMutationRule,
+)
+
+
+def default_registry() -> RuleRegistry:
+    """A fresh registry holding the full project rule catalog."""
+    registry = RuleRegistry()
+    for rule_cls in ALL_RULES:
+        registry.register(rule_cls)
+    return registry
+
+
+DEFAULT_REGISTRY = default_registry()

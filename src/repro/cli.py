@@ -15,6 +15,7 @@ Usage::
     python -m repro corpus            # EM coverage/balance statistics
     python -m repro calibration       # §3.2 Gaussian-error assumption check
     python -m repro all               # everything above, in order
+    python -m repro analyze src       # repro.analysis lint engine (REP rules)
 
 Options: ``--full`` uses the paper-scale training protocol (slower);
 ``--seed N`` reseeds the synthetic corpora; ``--chains N`` resizes the
@@ -269,6 +270,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        # The lint engine owns its own argparse surface (--format,
+        # --baseline, ...); dispatch before the experiment parser rejects it.
+        from .analysis import main as analysis_main
+
+        return analysis_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

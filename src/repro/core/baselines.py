@@ -21,6 +21,7 @@ import numpy as np
 
 from ..ml.preprocessing import StandardScaler
 from ..nn.gru import GRU
+from ..nn.init import ensure_rng
 from ..nn.inference import CompiledDense, compile_recurrent, register_compiler
 from ..nn.layers import Dense, Dropout, Module
 from ..nn.tensor import Tensor
@@ -53,7 +54,7 @@ class FNNModel(Module):
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         self.hidden_layer = Dense(n_features, hidden, activation="sigmoid", rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
         self.output = Dense(hidden, 1, rng=rng)
@@ -79,7 +80,7 @@ class RFNNModel(Module):
         super().__init__()
         if n_lags < 1:
             raise ValueError("n_lags must be >= 1")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         self.n_features = n_features
         self.n_lags = n_lags
         self.fnn = Dense(n_features, fnn_hidden, activation="sigmoid", rng=rng)

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..data.environment import EM_FIELDS, Environment
 from ..ml.preprocessing import LabelEncoder
+from ..nn.init import ensure_rng
 from ..nn.layers import Embedding, Module
 from ..nn.tensor import Tensor
 
@@ -142,7 +143,7 @@ class EnvironmentEmbeddings(Module):
             raise ValueError("embedding_dim must be >= 1")
         if not 0.0 <= unknown_dropout < 1.0:
             raise ValueError("unknown_dropout must be in [0, 1)")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         self.vocabulary = vocabulary
         self.embedding_dim = embedding_dim
         self.unknown_dropout = unknown_dropout

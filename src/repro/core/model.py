@@ -24,7 +24,6 @@ prediction.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -90,7 +89,7 @@ class Env2VecModel(Module):
             raise ValueError(f"unknown recurrent_unit {recurrent_unit!r}; choose 'gru' or 'lstm'")
         if n_lags < 1:
             raise ValueError("n_lags must be >= 1")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = initializers.ensure_rng(rng)
         self.n_features = n_features
         self.n_lags = n_lags
         self.head = head
@@ -331,10 +330,9 @@ class Env2VecRegressor:
         """
         if self.model is None:
             raise RuntimeError("model is not fitted; call fit() first")
-        start = time.perf_counter()
-        self.model.eval()
-        self._engine = compile_module(self.model, dtype=dtype)
-        _H_COMPILE.observe(time.perf_counter() - start)
+        with _H_COMPILE.time():
+            self.model.eval()
+            self._engine = compile_module(self.model, dtype=dtype)
         return self._engine
 
     def _ensure_engine(self) -> InferenceModel:

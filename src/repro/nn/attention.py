@@ -41,7 +41,7 @@ class AdditiveAttention(Module):
         super().__init__()
         if hidden_size < 1:
             raise ValueError("hidden_size must be >= 1")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = initializers.ensure_rng(rng)
         attention_size = attention_size if attention_size is not None else hidden_size
         if attention_size < 1:
             raise ValueError("attention_size must be >= 1")

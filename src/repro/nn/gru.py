@@ -39,7 +39,7 @@ class GRUCell(Module):
         super().__init__()
         if activation not in ACTIVATIONS:
             raise ValueError(f"unknown activation {activation!r}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = initializers.ensure_rng(rng)
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.activation_name = activation

@@ -14,6 +14,8 @@ from contextlib import contextmanager
 import numpy as np
 
 __all__ = [
+    "DEFAULT_SEED",
+    "ensure_rng",
     "glorot_uniform",
     "he_uniform",
     "orthogonal",
@@ -21,6 +23,28 @@ __all__ = [
     "embedding_uniform",
     "deferred_init",
 ]
+
+#: Seed behind every ``rng=None`` fallback in the stack. Constructing a
+#: module without passing an rng used to mean "fresh entropy from the OS";
+#: since the REP001 determinism audit it means "the deterministic default
+#: stream" — two modules built with all-default arguments are identical.
+DEFAULT_SEED = 0
+
+
+def ensure_rng(
+    rng: np.random.Generator | None, seed: int | None = None
+) -> np.random.Generator:
+    """``rng`` unchanged, or a deterministically seeded generator.
+
+    The replacement for ``rng if rng is not None else default_rng()``:
+    an unseeded ``default_rng()`` (REP001) silently made every
+    default-constructed layer irreproducible. ``seed=None`` falls back to
+    :data:`DEFAULT_SEED` so ``ensure_rng(rng, seed)`` stays deterministic
+    even for callers whose own seed parameter was left unset.
+    """
+    if rng is not None:
+        return rng
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
 
 
 class _InitMode(threading.local):

@@ -169,7 +169,7 @@ class Dense(Module):
         super().__init__()
         if activation not in ACTIVATIONS:
             raise ValueError(f"unknown activation {activation!r}; choose from {sorted(ACTIVATIONS)}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = initializers.ensure_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.activation_name = activation
@@ -194,7 +194,7 @@ class Dropout(Module):
         if not 0.0 <= rate < 1.0:
             raise ValueError("dropout rate must be in [0, 1)")
         self.rate = rate
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = initializers.ensure_rng(rng)
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.rate == 0.0 or not is_grad_enabled():
@@ -223,7 +223,7 @@ class Embedding(Module):
         super().__init__()
         if num_embeddings < 1:
             raise ValueError("num_embeddings must be >= 1")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = initializers.ensure_rng(rng)
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(

@@ -40,7 +40,7 @@ class LSTMCell(Module):
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = initializers.ensure_rng(rng)
         self.input_size = input_size
         self.hidden_size = hidden_size
         for gate in ("i", "f", "o", "g"):

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..obs import get_observability
 from .inference import UnsupportedModuleError, compile_module
+from .init import ensure_rng
 from .layers import Module
 from .losses import get_loss
 from .optim import Adam, Optimizer
@@ -181,7 +182,7 @@ class Trainer:
         self.early_stopping = early_stopping
         self.lr_scheduler = lr_scheduler
         self.shuffle = shuffle
-        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.rng = ensure_rng(rng, seed)
         self.verbose = verbose
 
     def fit(

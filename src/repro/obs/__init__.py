@@ -31,6 +31,7 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    HistogramTimer,
     MetricSample,
     MetricsRegistry,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramTimer",
     "MetricSample",
     "DEFAULT_BUCKETS",
     "LATENCY_BUCKETS",

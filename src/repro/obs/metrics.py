@@ -28,12 +28,14 @@ from __future__ import annotations
 import re
 import threading
 from bisect import bisect_left
+from time import perf_counter
 from typing import Iterator
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramTimer",
     "MetricSample",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
@@ -245,6 +247,35 @@ def format_le(bound: float) -> str:
     return text[:-2] if text.endswith(".0") else text
 
 
+class HistogramTimer:
+    """``with histogram.time() as t: ...`` — observe the block's duration.
+
+    This is the sanctioned way for sim-clock code (``core``, ``workflow``,
+    ``parallel``, ``resilience``) to measure real elapsed time: the
+    monotonic-clock read lives here in :mod:`repro.obs`, the one package
+    the REP002 wall-clock rule exempts, instead of being scattered
+    through pipeline bodies as ``time.perf_counter()`` pairs. The timer
+    always measures (one perf_counter read per enter/exit — nowhere near
+    a hot path); only the ``observe`` respects the registry switch.
+    ``t.elapsed`` holds the measured seconds after the block exits.
+    """
+
+    __slots__ = ("_histogram", "_start", "elapsed")
+
+    def __init__(self, histogram: "Histogram"):
+        self._histogram = histogram
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "HistogramTimer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = perf_counter() - self._start
+        self._histogram.observe(self.elapsed)
+
+
 class Histogram(_Metric):
     """Cumulative-bucket histogram of positive observations.
 
@@ -294,6 +325,11 @@ class Histogram(_Metric):
             self._counts[bucket] += 1
             self._sum += value
             self._count += 1
+
+    def time(self) -> HistogramTimer:
+        """A context manager observing the wrapped block's wall duration."""
+        self._require_leaf()
+        return HistogramTimer(self)
 
     @property
     def count(self) -> int:

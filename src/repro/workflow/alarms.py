@@ -14,7 +14,6 @@ Alarms can also drive automated actions such as early termination — see
 from __future__ import annotations
 
 import sqlite3
-import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -66,6 +65,12 @@ class AlarmStore:
         self._conn = sqlite3.connect(str(path))
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
+        row = self._conn.execute("SELECT MAX(created_at) FROM alarms").fetchone()
+        self._logical_time = int(row[0]) if row and row[0] is not None else 0
+
+    def _next_logical_time(self) -> float:
+        self._logical_time += 1
+        return float(self._logical_time)
 
     def close(self) -> None:
         self._conn.close()
@@ -86,7 +91,13 @@ class AlarmStore:
         gamma: float,
         created_at: float | None = None,
     ) -> int:
-        """Insert one alarm; returns its id."""
+        """Insert one alarm; returns its id.
+
+        ``created_at`` defaults to a logical per-store sequence number
+        (1, 2, 3, ...). A wall-clock default here (REP002) leaked real
+        time into campaign reports and broke same-seed byte-identity;
+        callers that need real timestamps pass them explicitly.
+        """
         if not 0 <= start_step < end_step:
             raise ValueError("need 0 <= start_step < end_step")
         cursor = self._conn.execute(
@@ -101,7 +112,7 @@ class AlarmStore:
                 end_step,
                 float(peak_deviation),
                 float(gamma),
-                created_at if created_at is not None else time.time(),
+                created_at if created_at is not None else self._next_logical_time(),
             ),
         )
         self._conn.commit()

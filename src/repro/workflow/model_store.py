@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -69,15 +68,26 @@ class ModelStore:
             )
             self._latest = max(self._latest, version)
 
-    def publish(self, blob: bytes, metadata: dict | None = None) -> ModelVersion:
-        """Store a new model blob as the latest version."""
+    def publish(
+        self,
+        blob: bytes,
+        metadata: dict | None = None,
+        published_at: float | None = None,
+    ) -> ModelVersion:
+        """Store a new model blob as the latest version.
+
+        ``published_at`` defaults to the version number itself — a logical
+        timestamp. Reading the wall clock here (REP002) made same-seed
+        campaign reports differ byte-for-byte across runs; callers that
+        want real time pass it explicitly.
+        """
         if not blob:
             raise ValueError("cannot publish an empty model blob")
         version = self._latest + 1
         record = ModelVersion(
             version=version,
             size_bytes=len(blob),
-            published_at=time.time(),
+            published_at=float(version) if published_at is None else published_at,
             metadata=dict(metadata or {}),
             checksum=hashlib.sha256(blob).hexdigest(),
         )

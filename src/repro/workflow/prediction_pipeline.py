@@ -10,7 +10,6 @@ push alarms — testbed, interval, peak deviation — into the alarm store.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -180,8 +179,7 @@ class PredictionPipeline:
         With ``error_model=None`` the §4.3 self-calibrated mode is used
         (for unseen environments without history).
         """
-        run_start = time.perf_counter()
-        with _OBS.span("predict.run"):
+        with _H_RUN.time(), _OBS.span("predict.run"):
             model, version = self._fetch_model()
             with _OBS.span("predict.forward"):
                 predicted, observed = self._predict_execution(model, execution)
@@ -212,7 +210,6 @@ class PredictionPipeline:
         _M_RUNS.inc()
         _M_WINDOWS.inc(len(observed))
         _M_ALARMS.inc(len(alarm_ids))
-        _H_RUN.observe(time.perf_counter() - run_start)
         return PipelineRun(
             report=report,
             predictions=predicted,
@@ -255,8 +252,9 @@ class PredictionPipeline:
             raise ValueError("error_models must align with executions")
         if not executions:
             return []
-        run_start = time.perf_counter()
-        with _OBS.span("predict.run_many"):
+        # One latency observation for the whole batch (a per-execution
+        # observation would misrepresent the coalesced forwards).
+        with _H_RUN.time(), _OBS.span("predict.run_many"):
             model, version = self._fetch_model()
             model.ensure_compiled()
             indexed = list(enumerate(executions))
@@ -330,9 +328,6 @@ class PredictionPipeline:
                         terminated_early=terminated,
                     )
                 )
-        # One latency observation for the whole batch (a per-execution
-        # observation would misrepresent the coalesced forwards).
-        _H_RUN.observe(time.perf_counter() - run_start)
         return runs
 
     def run_from_tsdb(

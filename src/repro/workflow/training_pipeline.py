@@ -14,7 +14,6 @@ artifact to a :class:`~repro.workflow.model_store.ModelStore`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -92,59 +91,58 @@ class TrainingPipeline:
         ``masked_environments`` are the executions with true-positive
         alarms (and engineer-reported problems) excluded per step 2.
         """
-        run_start = time.perf_counter()
-        masked = masked_environments or set()
-        usable = [record for record in records if record[0] not in masked]
-        if not usable:
-            raise ValueError("no training data left after masking")
-        n_masked = len(records) - len(usable)
+        with _H_RUN.time():
+            masked = masked_environments or set()
+            usable = [record for record in records if record[0] not in masked]
+            if not usable:
+                raise ValueError("no training data left after masking")
+            n_masked = len(records) - len(usable)
 
-        with _OBS.span("train.build_windows"):
-            series = [(features, cpu) for _, features, cpu in usable]
-            X, history, y, series_ids = build_windows_multi(series, self.n_lags)
-            environments = [usable[i][0] for i in series_ids]
-        n_windows = len(y)
+            with _OBS.span("train.build_windows"):
+                series = [(features, cpu) for _, features, cpu in usable]
+                X, history, y, series_ids = build_windows_multi(series, self.n_lags)
+                environments = [usable[i][0] for i in series_ids]
+            n_windows = len(y)
 
-        model = Env2VecRegressor(n_lags=self.n_lags, seed=self.seed, **self.model_params)
-        val = None
-        if self.val_fraction > 0 and len(y) >= 20:
-            rng = np.random.default_rng(self.seed)
-            order = rng.permutation(len(y))
-            n_val = max(1, int(len(y) * self.val_fraction))
-            val_idx, train_idx = order[:n_val], order[n_val:]
-            val = (
-                [environments[i] for i in val_idx],
-                X[val_idx],
-                history[val_idx],
-                y[val_idx],
-            )
-            environments = [environments[i] for i in train_idx]
-            X, history, y = X[train_idx], history[train_idx], y[train_idx]
+            model = Env2VecRegressor(n_lags=self.n_lags, seed=self.seed, **self.model_params)
+            val = None
+            if self.val_fraction > 0 and len(y) >= 20:
+                rng = np.random.default_rng(self.seed)
+                order = rng.permutation(len(y))
+                n_val = max(1, int(len(y) * self.val_fraction))
+                val_idx, train_idx = order[:n_val], order[n_val:]
+                val = (
+                    [environments[i] for i in val_idx],
+                    X[val_idx],
+                    history[val_idx],
+                    y[val_idx],
+                )
+                environments = [environments[i] for i in train_idx]
+                X, history, y = X[train_idx], history[train_idx], y[train_idx]
 
-        with _OBS.span("train.fit"):
-            try:
-                model.fit(environments, X, history, y, val=val)
-            except TrainingDiverged:
-                # The aborted model is never published; the store keeps
-                # serving the previous version. Count it and let the
-                # orchestrator decide how the day degrades.
-                _M_DIVERGED.inc()
-                raise
-        with _OBS.span("train.publish"):
-            blob = model.to_bytes()
-            version = self.store.publish(
-                blob,
-                metadata={
-                    "n_examples": int(len(y)),
-                    "n_lags": self.n_lags,
-                    "masked_executions": n_masked,
-                },
-            )
-        _M_RUNS.inc()
-        _M_EPOCHS.inc(model.history_.epochs_run)
-        _M_WINDOWS.inc(n_windows)
-        _G_MASKED.set(n_masked)
-        _H_RUN.observe(time.perf_counter() - run_start)
+            with _OBS.span("train.fit"):
+                try:
+                    model.fit(environments, X, history, y, val=val)
+                except TrainingDiverged:
+                    # The aborted model is never published; the store keeps
+                    # serving the previous version. Count it and let the
+                    # orchestrator decide how the day degrades.
+                    _M_DIVERGED.inc()
+                    raise
+            with _OBS.span("train.publish"):
+                blob = model.to_bytes()
+                version = self.store.publish(
+                    blob,
+                    metadata={
+                        "n_examples": int(len(y)),
+                        "n_lags": self.n_lags,
+                        "masked_executions": n_masked,
+                    },
+                )
+            _M_RUNS.inc()
+            _M_EPOCHS.inc(model.history_.epochs_run)
+            _M_WINDOWS.inc(n_windows)
+            _G_MASKED.set(n_masked)
         return TrainingResult(
             model=model,
             version=version,

@@ -1,0 +1,449 @@
+"""Per-rule positive/negative snippets for the REP001-REP008 catalog.
+
+Each rule gets at least one snippet it must flag and one it must not.
+Snippets are scanned under fake repo-relative paths so the package/test
+scoping (`applies`) is exercised exactly as it is in a real scan.
+"""
+
+import textwrap
+
+from repro.analysis import Analyzer, default_registry
+
+WORKFLOW = "src/repro/workflow/mod.py"
+RESILIENCE = "src/repro/resilience/mod.py"
+NN = "src/repro/nn/mod.py"
+TESTS = "tests/test_mod.py"
+
+
+def scan(source: str, path: str = WORKFLOW):
+    analyzer = Analyzer(default_registry())
+    return analyzer.analyze_source(textwrap.dedent(source), path)
+
+
+def rules_of(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+# -- REP001: unseeded RNG ---------------------------------------------------
+
+def test_rep001_flags_unseeded_default_rng():
+    findings = scan(
+        """
+        import numpy as np
+
+        def build():
+            return np.random.default_rng()
+        """,
+        path=NN,
+    )
+    assert rules_of(findings) == {"REP001"}
+
+
+def test_rep001_flags_default_rng_none_and_randomstate():
+    findings = scan(
+        """
+        import numpy as np
+
+        def build():
+            a = np.random.default_rng(None)
+            b = np.random.RandomState()
+            return a, b
+        """,
+        path=NN,
+    )
+    assert [f.rule for f in findings] == ["REP001", "REP001"]
+
+
+def test_rep001_flags_legacy_global_state_api():
+    findings = scan(
+        """
+        import numpy as np
+
+        def noise(n):
+            np.random.seed(0)
+            return np.random.normal(size=n)
+        """,
+        path=NN,
+    )
+    assert [f.rule for f in findings] == ["REP001", "REP001"]
+
+
+def test_rep001_allows_seeded_construction():
+    findings = scan(
+        """
+        import numpy as np
+
+        def build(seed):
+            a = np.random.default_rng(seed)
+            b = np.random.default_rng(7)
+            c = np.random.RandomState(seed)
+            return a, b, c
+        """,
+        path=NN,
+    )
+    assert findings == []
+
+
+def test_rep001_exempt_in_tests():
+    findings = scan(
+        """
+        import numpy as np
+
+        def helper():
+            return np.random.default_rng()
+        """,
+        path=TESTS,
+    )
+    assert findings == []
+
+
+# -- REP002: wall-clock reads ----------------------------------------------
+
+def test_rep002_flags_wall_clock_in_sim_clock_package():
+    findings = scan(
+        """
+        import time
+
+        def stamp():
+            return time.time(), time.perf_counter()
+        """,
+        path=WORKFLOW,
+    )
+    assert [f.rule for f in findings] == ["REP002", "REP002"]
+
+
+def test_rep002_flags_datetime_now():
+    findings = scan(
+        """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """,
+        path=RESILIENCE,
+    )
+    assert rules_of(findings) == {"REP002"}
+
+
+def test_rep002_ignores_non_sim_clock_packages():
+    source = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    assert scan(source, path=NN) == []
+    assert scan(source, path="benchmarks/bench_mod.py") == []
+    assert scan(source, path="tests/workflow/test_mod.py") == []
+
+
+def test_rep002_ignores_simulated_clock_calls():
+    findings = scan(
+        """
+        def stamp(clock):
+            return clock.now()
+        """,
+        path=WORKFLOW,
+    )
+    assert findings == []
+
+
+# -- REP003: unlocked shared-state augmented assignment ---------------------
+
+def test_rep003_flags_unlocked_module_global_augassign():
+    findings = scan(
+        """
+        COUNTER = 0
+
+        def bump():
+            global COUNTER
+            COUNTER += 1
+        """,
+        path=WORKFLOW,
+    )
+    assert rules_of(findings) == {"REP003"}
+
+
+def test_rep003_flags_container_reached_through_module_global():
+    findings = scan(
+        """
+        TOTALS = {}
+
+        def bump(key):
+            TOTALS[key] += 1
+        """,
+        path=WORKFLOW,
+    )
+    assert rules_of(findings) == {"REP003"}
+
+
+def test_rep003_allows_lock_protected_and_local_state():
+    findings = scan(
+        """
+        import threading
+
+        _LOCK = threading.Lock()
+        COUNTER = 0
+
+        def bump():
+            global COUNTER
+            with _LOCK:
+                COUNTER += 1
+
+        def local_only():
+            count = 0
+            count += 1
+            return count
+
+        class Leaf:
+            def inc(self):
+                self._value += 1
+        """,
+        path=WORKFLOW,
+    )
+    assert findings == []
+
+
+def test_rep003_ignores_module_level_augassign():
+    # module bodies execute once, single-threaded, at import
+    findings = scan(
+        """
+        TOTAL = 0
+        TOTAL += 1
+        """,
+        path=WORKFLOW,
+    )
+    assert findings == []
+
+
+# -- REP004: aliased cache returns ------------------------------------------
+
+def test_rep004_flags_getter_returning_instance_attribute():
+    findings = scan(
+        """
+        import numpy as np
+
+        class RowCache:
+            def get_rows(self):
+                return self._rows
+
+            def lookup(self, key):
+                return self._cache[key]
+        """,
+        path=NN,
+    )
+    assert [f.rule for f in findings] == ["REP004", "REP004"]
+
+
+def test_rep004_allows_copies_and_non_getters():
+    findings = scan(
+        """
+        import numpy as np
+
+        class RowCache:
+            def get_rows(self):
+                return self._rows.copy()
+
+            def insert(self, key):
+                return self._cache[key]
+        """,
+        path=NN,
+    )
+    assert findings == []
+
+
+def test_rep004_out_of_scope_without_numpy():
+    # dict-returning getters in numpy-free modules are not aliasing bugs
+    findings = scan(
+        """
+        class Registry:
+            def get_all(self):
+                return self._records
+        """,
+        path=WORKFLOW,
+    )
+    assert findings == []
+
+
+# -- REP005: bare lock.acquire() --------------------------------------------
+
+def test_rep005_flags_bare_acquire():
+    findings = scan(
+        """
+        def critical(lock):
+            lock.acquire()
+            try:
+                pass
+            finally:
+                lock.release()
+        """,
+        path=NN,
+    )
+    assert rules_of(findings) == {"REP005"}
+
+
+def test_rep005_allows_with_statement():
+    findings = scan(
+        """
+        def critical(lock):
+            with lock:
+                pass
+        """,
+        path=NN,
+    )
+    assert findings == []
+
+
+# -- REP006: float equality --------------------------------------------------
+
+def test_rep006_flags_float_literal_equality():
+    findings = scan(
+        """
+        def check(x, a, b):
+            return x == 0.5 or a != b / 2
+        """,
+        path=NN,
+    )
+    assert [f.rule for f in findings] == ["REP006", "REP006"]
+
+
+def test_rep006_flags_float_cast_equality():
+    findings = scan(
+        """
+        def check(x, y):
+            return x == float(y)
+        """,
+        path=NN,
+    )
+    assert rules_of(findings) == {"REP006"}
+
+
+def test_rep006_allows_sentinels_and_ordering():
+    findings = scan(
+        """
+        def check(x, y):
+            if x == 0.0 or y == float("inf"):
+                return True
+            return x < 0.5 and y <= 1.5
+        """,
+        path=NN,
+    )
+    assert findings == []
+
+
+# -- REP007: swallowed broad exceptions --------------------------------------
+
+def test_rep007_flags_silent_broad_handler():
+    findings = scan(
+        """
+        def guard(step):
+            try:
+                step()
+            except Exception:
+                pass
+        """,
+        path=RESILIENCE,
+    )
+    assert rules_of(findings) == {"REP007"}
+
+
+def test_rep007_flags_bare_except():
+    findings = scan(
+        """
+        def guard(step):
+            try:
+                step()
+            except:
+                return None
+        """,
+        path=RESILIENCE,
+    )
+    assert rules_of(findings) == {"REP007"}
+
+
+def test_rep007_allows_reraise_log_or_count():
+    findings = scan(
+        """
+        def guard(step, failures, log):
+            try:
+                step()
+            except Exception:
+                failures.inc()
+            try:
+                step()
+            except Exception as error:
+                log.warning("step failed: %s", error)
+            try:
+                step()
+            except Exception:
+                raise
+            try:
+                step()
+            except ValueError:
+                pass
+        """,
+        path=RESILIENCE,
+    )
+    assert findings == []
+
+
+def test_rep007_out_of_scope_outside_resilience_ladder():
+    findings = scan(
+        """
+        def guard(step):
+            try:
+                step()
+            except Exception:
+                pass
+        """,
+        path=NN,
+    )
+    assert findings == []
+
+
+# -- REP008: snapshot mutation ------------------------------------------------
+
+def test_rep008_flags_write_through_snapshot_binding():
+    findings = scan(
+        """
+        from repro.parallel import snapshot_shards
+
+        def corrupt(db):
+            shards = snapshot_shards(db, 4)
+            shards.names[0] = "oops"
+        """,
+        path="src/repro/parallel/mod.py",
+    )
+    assert rules_of(findings) == {"REP008"}
+
+
+def test_rep008_propagates_through_for_loop_and_shard_for():
+    findings = scan(
+        """
+        from repro.parallel import snapshot_shards
+
+        def corrupt(db, key):
+            snap = snapshot_shards(db, 4)
+            for shard in snap.shards:
+                shard.hits += 1
+            mine = snap.shard_for(key)
+            mine.series["x"] = []
+        """,
+        path="src/repro/parallel/mod.py",
+    )
+    assert [f.rule for f in findings] == ["REP008", "REP008"]
+
+
+def test_rep008_allows_reads_and_unrelated_writes():
+    findings = scan(
+        """
+        from repro.parallel import snapshot_shards
+
+        def inspect(db, out):
+            shards = snapshot_shards(db, 4)
+            out.total = len(shards.shards)
+            return shards.shard_for("x")
+        """,
+        path="src/repro/parallel/mod.py",
+    )
+    assert findings == []

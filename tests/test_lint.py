@@ -3,9 +3,15 @@
 Runs ``ruff check`` with the repo's ``[tool.ruff]`` config when the binary
 is available. In environments without ruff (such as the offline test
 container) a stdlib fallback still enforces the highest-signal subset:
-every source file must parse, no module may carry unused imports, and no
+every source file must parse, no module may carry unused imports, no
 function may use a mutable default argument (ruff ``B006`` — a mutable
-default once served as a hidden cross-invocation cache in ``cli.py``).
+default once served as a hidden cross-invocation cache in ``cli.py``),
+and no ``except`` handler may raise a *new* exception without chaining it
+(``B904`` — losing the original fault blinds the resilience ladder).
+
+The project's own AST engine (:mod:`repro.analysis`, rules
+REP001-REP008) runs alongside either path — it has no external binary to
+be missing.
 """
 
 from __future__ import annotations
@@ -86,6 +92,31 @@ def _mutable_defaults(path: Path, tree: ast.Module) -> list[str]:
     return problems
 
 
+def _unchained_raises(path: Path, tree: ast.Module) -> list[str]:
+    """Stdlib approximation of ruff B904: ``raise X`` inside ``except``
+    without ``from err``/``from None`` discards the original traceback."""
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Raise)
+                and inner.exc is not None
+                and inner.cause is None
+                # re-raising the caught exception object itself is chained
+                # by construction (`except E as err: ... raise err`)
+                and not (
+                    isinstance(inner.exc, ast.Name) and inner.exc.id == node.name
+                )
+            ):
+                problems.append(
+                    f"{path.relative_to(REPO)}:{inner.lineno}: raise inside "
+                    "except without 'from' (B904)"
+                )
+    return problems
+
+
 def _unused_imports(path: Path, tree: ast.Module) -> list[str]:
     visitor = _ImportUsage()
     visitor.visit(tree)
@@ -126,4 +157,25 @@ def test_lint():
         if path.name != "__init__.py":  # __init__ re-exports are intentional
             problems.extend(_unused_imports(path, tree))
         problems.extend(_mutable_defaults(path, tree))
+        problems.extend(_unchained_raises(path, tree))
     assert not problems, "lint fallback found issues:\n" + "\n".join(problems)
+
+
+def test_repro_analysis_gate():
+    """The in-repo AST engine scans src/ clean against its baseline.
+
+    Exercised through the same entry point CI and developers use
+    (``python -m repro.analysis``), from the repo root so baseline paths
+    resolve identically.
+    """
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src", "--strict-baseline"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        f"repro.analysis gate failed:\n{result.stdout}{result.stderr}"
+    )

@@ -62,7 +62,8 @@ PARALLEL_API = {
 
 OBS_API = {
     "Observability", "get_observability", "OBS",
-    "MetricsRegistry", "Counter", "Gauge", "Histogram", "MetricSample",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "HistogramTimer",
+    "MetricSample",
     "DEFAULT_BUCKETS", "LATENCY_BUCKETS",
     "Span", "SpanTracker", "span",
     "render_prometheus", "TSDBExporter",
