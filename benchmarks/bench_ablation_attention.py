@@ -43,8 +43,8 @@ def test_ablation_attention(benchmark):
     attention_model = models[True]
     chain = dataset.chains[0]
     X, history, y = build_windows(chain.current.features, chain.current.cpu, 5)
-    attention_model.predict([chain.current.environment] * len(y), X, history)
-    weights = attention_model.model.attention.last_weights.mean(axis=0)
+    attention_model.predict([chain.current.environment] * len(y), X, history, compiled=False)
+    weights = attention_model.model.encoder.attention.last_weights.mean(axis=0)
 
     emit(
         "ablation_attention",

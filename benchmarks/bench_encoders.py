@@ -1,0 +1,104 @@
+"""Benchmark — compiled inference throughput of every registered encoder.
+
+The SequenceEncoder registry decouples the time-series branch from the
+Env2Vec head; this benchmark measures the cost of each choice in the two
+serving shapes that matter (§3 steps 3-5):
+
+- **batch-1 streaming**: one prediction per call (production monitoring);
+- **batch-256 throughput**: one vectorized call (calibration/backfill),
+
+each through the compiled tape-free closure from ``compile_module``. Every
+encoder is verified against its autograd forward (≤1e-10) before timing.
+Results go to ``benchmarks/results/BENCH_encoders.json`` plus the usual
+rendered table. New encoders registered via ``@register_encoder`` are
+picked up automatically.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import emit
+from repro.nn import available_encoders, compile_module, create_encoder
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_LAGS = 3
+HIDDEN = 16
+SEED = 0
+
+
+def _best_of(fn, repeats: int, rounds: int = 7) -> float:
+    """Best-of-``rounds`` wall time for ``repeats`` back-to-back calls."""
+    best = np.inf
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_encoder_bench(n_stream: int = 300) -> dict:
+    rng = np.random.default_rng(SEED)
+    stream = rng.standard_normal((1, N_LAGS, 1))
+    big = rng.standard_normal((256, N_LAGS, 1))
+
+    results = {}
+    for name in available_encoders():
+        encoder = create_encoder(name, 1, HIDDEN, rng=np.random.default_rng(SEED))
+        encoder.eval()
+        engine = compile_module(encoder)
+        engine.assert_close({"sequence": stream}, atol=1e-10)
+        engine.assert_close({"sequence": big}, atol=1e-10)
+
+        stream_s = _best_of(lambda: engine(sequence=stream), n_stream)
+        batch_repeats = max(1, n_stream // 10)
+        big_s = _best_of(lambda: engine(sequence=big), batch_repeats)
+        results[name] = {
+            "output_dim": encoder.output_dim,
+            "n_parameters": sum(p.data.size for _, p in encoder.named_parameters()),
+            "batch1_us_per_call": 1e6 * stream_s / n_stream,
+            "batch256_us_per_call": 1e6 * big_s / batch_repeats,
+            "batch256_rows_per_s": 256 * batch_repeats / big_s,
+        }
+    return results
+
+
+def _render(results: dict) -> str:
+    lines = ["Encoder zoo — compiled inference cost per registered encoder"]
+    baseline = results.get("gru")
+    for name, row in results.items():
+        relative = row["batch1_us_per_call"] / baseline["batch1_us_per_call"]
+        lines.append(
+            f"  {name:<16} params={row['n_parameters']:5d}  "
+            f"batch1={row['batch1_us_per_call']:7.1f}us  "
+            f"batch256={row['batch256_us_per_call']:8.1f}us  "
+            f"({row['batch256_rows_per_s'] / 1e3:7.1f}k rows/s)  "
+            f"vs gru={relative:4.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_encoders(benchmark):
+    results = benchmark.pedantic(run_encoder_bench, rounds=1, iterations=1)
+    emit("encoders", _render(results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_encoders.json").write_text(json.dumps(results, indent=2) + "\n")
+
+    assert set(results) == set(available_encoders())
+    for name, row in results.items():
+        assert row["batch1_us_per_call"] > 0, name
+        # a 256-row call must amortize far better than 256 streaming calls
+        assert row["batch256_us_per_call"] < 256 * row["batch1_us_per_call"], name
+
+
+if __name__ == "__main__":
+    bench_results = run_encoder_bench()
+    print(_render(bench_results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_encoders.json").write_text(
+        json.dumps(bench_results, indent=2) + "\n"
+    )

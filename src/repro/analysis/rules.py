@@ -1,4 +1,4 @@
-"""The project rule catalog: eight checks distilled from real bugs.
+"""The project rule catalog: nine checks distilled from real bugs.
 
 Every rule here encodes an invariant this repo has already paid for once:
 
@@ -18,7 +18,10 @@ Every rule here encodes an invariant this repo has already paid for once:
 - REP007 — swallowed exceptions in the resilience ladder (a silent
   ``except Exception: pass`` hides the faults chaos testing injects);
 - REP008 — mutation of read-only TSDB snapshot shards (snapshot isolation
-  is the parallel executor's whole correctness story).
+  is the parallel executor's whole correctness story);
+- REP009 — the SequenceEncoder boundary (modules outside ``repro.nn``
+  reaching for GRU/LSTM/AdditiveAttention directly bypass the encoder
+  registry, its compile dispatch, and its serialization schema).
 
 Rules are deliberately syntactic: no type inference, no cross-file
 analysis. Where syntax alone over-approximates, the escape hatches are an
@@ -413,6 +416,65 @@ class SnapshotMutationRule(Rule):
                 )
 
 
+#: Layer names only repro.nn may touch: everything else goes through the
+#: SequenceEncoder registry (create_encoder / compile_plan).
+_ENCODER_INTERNAL_NAMES = frozenset(
+    {"GRU", "GRUCell", "LSTM", "LSTMCell", "AdditiveAttention"}
+)
+_ENCODER_INTERNAL_MODULES = frozenset({"gru", "lstm", "attention"})
+
+
+class EncoderImportBoundaryRule(Rule):
+    """REP009: only ``repro.nn`` may import raw recurrent/attention layers."""
+
+    id = "REP009"
+    title = "raw sequence-layer import outside repro.nn"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def applies(self, ctx: FileContext) -> bool:
+        return (
+            ctx.package is not None
+            and ctx.package != "nn"
+            and not ctx.is_test
+            and not ctx.is_benchmark
+        )
+
+    @staticmethod
+    def _module_tail(module: str | None) -> str | None:
+        if not module:
+            return None
+        parts = module.split(".")
+        # matches repro.nn.gru, nn.gru, ..nn.gru (relative: module == "nn.gru")
+        if len(parts) >= 2 and parts[-2] == "nn":
+            return parts[-1]
+        return None
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                tail = self._module_tail(alias.name)
+                if tail in _ENCODER_INTERNAL_MODULES:
+                    yield (
+                        node.lineno,
+                        f"import of nn.{tail} outside repro.nn — go through the "
+                        "SequenceEncoder registry (repro.nn.create_encoder / "
+                        "compile_plan) so new encoders need no call-site edits",
+                    )
+            return
+        tail = self._module_tail(node.module)
+        from_encoder_module = tail in _ENCODER_INTERNAL_MODULES
+        for alias in node.names:
+            if alias.name in _ENCODER_INTERNAL_NAMES or (
+                from_encoder_module and alias.name != "*"
+            ):
+                yield (
+                    node.lineno,
+                    f"import of {alias.name!r} outside repro.nn — go through the "
+                    "SequenceEncoder registry (repro.nn.create_encoder / "
+                    "compile_plan) so new encoders need no call-site edits",
+                )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     UnseededRNGRule,
     WallClockRule,
@@ -422,6 +484,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     FloatEqualityRule,
     SwallowedExceptionRule,
     SnapshotMutationRule,
+    EncoderImportBoundaryRule,
 )
 
 

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..ml.base import Estimator
 from ..ml.preprocessing import StandardScaler
-from ..nn.gru import GRU
+from ..nn.encoders import create_encoder, validate_encoder_name
 from ..nn.init import ensure_rng
-from ..nn.inference import CompiledDense, compile_recurrent, register_compiler
+from ..nn.inference import CompiledDense, compile_plan, register_compiler
 from ..nn.layers import Dense, Dropout, Module
 from ..nn.tensor import Tensor
 from ..nn.training import EarlyStopping, Trainer, TrainingHistory
@@ -65,7 +66,7 @@ class FNNModel(Module):
 
 
 class RFNNModel(Module):
-    """GRU + FNN backbone with a linear regression head (no embeddings)."""
+    """Sequence encoder + FNN backbone with a linear regression head (no embeddings)."""
 
     def __init__(
         self,
@@ -75,6 +76,7 @@ class RFNNModel(Module):
         gru_hidden: int = 16,
         dense_dim: int = 40,
         dropout: float = 0.1,
+        encoder: str = "gru",
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
@@ -85,8 +87,8 @@ class RFNNModel(Module):
         self.n_lags = n_lags
         self.fnn = Dense(n_features, fnn_hidden, activation="sigmoid", rng=rng)
         self.fnn_dropout = Dropout(dropout, rng=rng)
-        self.gru = GRU(1, gru_hidden, activation="relu", rng=rng)
-        self.combine = Dense(fnn_hidden + gru_hidden, dense_dim, rng=rng)
+        self.encoder = create_encoder(encoder, 1, gru_hidden, rng=rng)
+        self.combine = Dense(fnn_hidden + self.encoder.output_dim, dense_dim, rng=rng)
         self.output = Dense(dense_dim, 1, rng=rng)
 
     def forward(self, cf: np.ndarray, history: np.ndarray) -> Tensor:
@@ -97,7 +99,7 @@ class RFNNModel(Module):
         if history.shape[1] != self.n_lags:
             raise ValueError(f"expected history window of {self.n_lags}, got {history.shape[1]}")
         v_fs = self.fnn_dropout(self.fnn(Tensor(cf)))
-        v_ts = self.gru(Tensor(history[:, :, None]))
+        v_ts = self.encoder(Tensor(history[:, :, None]))
         v_d = self.combine(Tensor.concat([v_ts, v_fs], axis=1))
         return self.output(v_d).reshape(-1)
 
@@ -116,7 +118,7 @@ def _compile_fnn(model: FNNModel, dtype: np.dtype):
 @register_compiler(RFNNModel)
 def _compile_rfnn(model: RFNNModel, dtype: np.dtype):
     fnn = CompiledDense(model.fnn, dtype)
-    gru = compile_recurrent(model.gru, dtype)
+    encoder = compile_plan(model.encoder, dtype)
     combine = CompiledDense(model.combine, dtype)
     output = CompiledDense(model.output, dtype)
     n_features, n_lags = model.n_features, model.n_lags
@@ -128,13 +130,13 @@ def _compile_rfnn(model: RFNNModel, dtype: np.dtype):
             raise ValueError(f"expected {n_features} contextual features, got {cf.shape[1]}")
         if history.shape[1] != n_lags:
             raise ValueError(f"expected history window of {n_lags}, got {history.shape[1]}")
-        v_s = np.concatenate([gru(history[:, :, None]), fnn(cf)], axis=1)
+        v_s = np.concatenate([encoder(history[:, :, None]), fnn(cf)], axis=1)
         return output(combine(v_s)).reshape(-1)
 
     return forward
 
 
-class _ScaledNNRegressor:
+class _ScaledNNRegressor(Estimator):
     """Shared fit/predict plumbing: standardize X (and history) and y."""
 
     def __init__(self, lr: float, batch_size: int, max_epochs: int, patience: int, seed: int):
@@ -186,6 +188,7 @@ class _ScaledNNRegressor:
         )
         self.history_ = trainer.fit(inputs, targets, val_inputs, val_targets)
         self._trainer = trainer
+        self._fitted = True
 
     def _predict(self, X, history) -> np.ndarray:
         if self.model is None:
@@ -238,6 +241,7 @@ class RFNNRegressor(_ScaledNNRegressor):
         gru_hidden: int = 16,
         dense_dim: int = 40,
         dropout: float = 0.1,
+        encoder: str = "gru",
         lr: float = 0.003,
         batch_size: int = 128,
         max_epochs: int = 80,
@@ -250,6 +254,8 @@ class RFNNRegressor(_ScaledNNRegressor):
         self.gru_hidden = gru_hidden
         self.dense_dim = dense_dim
         self.dropout = dropout
+        validate_encoder_name(encoder)
+        self.encoder = encoder
 
     def _build_model(self, n_features: int, rng: np.random.Generator) -> Module:
         return RFNNModel(
@@ -259,6 +265,7 @@ class RFNNRegressor(_ScaledNNRegressor):
             gru_hidden=self.gru_hidden,
             dense_dim=self.dense_dim,
             dropout=self.dropout,
+            encoder=self.encoder,
             rng=rng,
         )
 

@@ -4,8 +4,11 @@ Three input branches feed a combination layer:
 
 - an **FNN** with one sigmoid hidden layer over the contextual features
   ``a_t`` produces ``v_fs``;
-- a **GRU** (ReLU candidate activation, Appendix A) over the RU-history
-  window ``{y_{p-n}, ..., y_{p-1}}`` produces ``v_ts``;
+- a **sequence encoder** over the RU-history window
+  ``{y_{p-n}, ..., y_{p-1}}`` produces ``v_ts`` — the paper's GRU (ReLU
+  candidate activation, Appendix A) by default, or any variant from the
+  :mod:`repro.nn.encoders` registry via ``encoder="lstm"``,
+  ``"stacked"``, ``"bidirectional"``, ``"attention"``, ...;
 - per-EM-field **embedding lookup tables** produce the concatenated
   environment embedding ``C = [ec^1, ..., ec^k]`` (eq. 1).
 
@@ -28,24 +31,22 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.environment import EM_FIELDS, Environment
+from ..ml.base import Estimator
 from ..ml.preprocessing import StandardScaler
 from ..obs import get_observability
 from ..nn import init as initializers
 from ..nn import ops
-from ..nn.attention import AdditiveAttention
-from ..nn.gru import GRU
+from ..nn.encoders import create_encoder, resolve_encoder_name
 from ..nn.inference import (
     CompiledDense,
     EmbeddingRowCache,
     InferenceModel,
-    compile_attention,
     compile_module,
-    compile_recurrent,
+    compile_plan,
     register_compiler,
     snapshot,
 )
 from ..nn.layers import Dense, Dropout, Module
-from ..nn.lstm import LSTM
 from ..nn.tensor import Tensor, no_grad
 from ..nn.training import EarlyStopping, Trainer, TrainingHistory
 from .embeddings import EnvironmentEmbeddings, EnvironmentVocabulary
@@ -65,7 +66,7 @@ _M_PREDICTIONS = _OBS.counter(
 
 
 class Env2VecModel(Module):
-    """FNN + GRU + environment embeddings with a Hadamard prediction head."""
+    """FNN + sequence encoder + environment embeddings with a Hadamard head."""
 
     def __init__(
         self,
@@ -78,45 +79,37 @@ class Env2VecModel(Module):
         dropout: float = 0.1,
         head: str = "hadamard",
         unknown_dropout: float = 0.0,
-        use_attention: bool = False,
-        recurrent_unit: str = "gru",
+        encoder: str | None = None,
+        use_attention: bool | None = None,
+        recurrent_unit: str | None = None,
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
         if head not in PREDICTION_HEADS:
             raise ValueError(f"unknown head {head!r}; choose from {PREDICTION_HEADS}")
-        if recurrent_unit not in ("gru", "lstm"):
-            raise ValueError(f"unknown recurrent_unit {recurrent_unit!r}; choose 'gru' or 'lstm'")
+        encoder_name = resolve_encoder_name(encoder, recurrent_unit, use_attention)
         if n_lags < 1:
             raise ValueError("n_lags must be >= 1")
         rng = initializers.ensure_rng(rng)
         self.n_features = n_features
         self.n_lags = n_lags
         self.head = head
-        self.use_attention = use_attention
+        self.encoder_name = encoder_name
         # FNN branch: one sigmoid hidden layer (Appendix A).
         self.fnn = Dense(n_features, fnn_hidden, activation="sigmoid", rng=rng)
         self.fnn_dropout = Dropout(dropout, rng=rng)
-        # GRU branch over the univariate RU history (ReLU candidate,
-        # Appendix A). With the §6 attention extension, all hidden states
-        # are kept and pooled by additive attention instead of taking the
-        # last state.
-        self.recurrent_unit = recurrent_unit
-        if recurrent_unit == "lstm":
-            self.gru = LSTM(1, gru_hidden, return_sequences=use_attention, rng=rng)
-        else:
-            self.gru = GRU(
-                1, gru_hidden, activation="relu", return_sequences=use_attention, rng=rng
-            )
-        if use_attention:
-            self.attention = AdditiveAttention(gru_hidden, rng=rng)
+        # Time-series branch over the univariate RU history: any registered
+        # SequenceEncoder (the paper's GRU with ReLU candidate, Appendix A,
+        # by default; the §6 attention extension keeps all hidden states and
+        # pools them by additive attention).
+        self.encoder = create_encoder(encoder_name, 1, gru_hidden, rng=rng)
         # Embedding branch (with <unk>-row training via unknown-dropout).
         self.embeddings = EnvironmentEmbeddings(
             vocabulary, embedding_dim, unknown_dropout=unknown_dropout, rng=rng
         )
         c_dim = self.embeddings.output_dim
         # Dense combination layer: v_s -> v_d with dim(v_d) == dim(C).
-        self.combine = Dense(fnn_hidden + gru_hidden, c_dim, rng=rng)
+        self.combine = Dense(fnn_hidden + self.encoder.output_dim, c_dim, rng=rng)
         if head == "bilinear":
             from ..nn.layers import Parameter
 
@@ -126,6 +119,16 @@ class Env2VecModel(Module):
         elif head == "mlp":
             self.head_hidden = Dense(2 * c_dim, c_dim, activation="relu", rng=rng)
             self.head_out = Dense(c_dim, 1, rng=rng)
+
+    @property
+    def use_attention(self) -> bool:
+        """Deprecated alias: whether the encoder pools with attention."""
+        return "attention" in self.encoder_name
+
+    @property
+    def recurrent_unit(self) -> str:
+        """Deprecated alias: the recurrent-cell family behind the encoder."""
+        return "lstm" if self.encoder_name.startswith("lstm") else "gru"
 
     def forward(self, cf: np.ndarray, history: np.ndarray, env: np.ndarray) -> Tensor:
         """Predict ``y'_p`` for a batch.
@@ -141,8 +144,7 @@ class Env2VecModel(Module):
         if history.shape[1] != self.n_lags:
             raise ValueError(f"expected history window of {self.n_lags}, got {history.shape[1]}")
         v_fs = self.fnn_dropout(self.fnn(Tensor(cf)))
-        gru_out = self.gru(Tensor(history[:, :, None]))
-        v_ts = self.attention(gru_out) if self.use_attention else gru_out
+        v_ts = self.encoder(Tensor(history[:, :, None]))
         v_s = Tensor.concat([v_ts, v_fs], axis=1)
         v_d = self.combine(v_s)
         c = self.embeddings(env)
@@ -159,13 +161,13 @@ def _compile_env2vec(model: Env2VecModel, dtype: np.dtype):
     """Compile rule for the full Env2Vec architecture.
 
     Mirrors :meth:`Env2VecModel.forward` in eval mode: dropout and
-    unknown-dropout are elided, the recurrent branch runs the fused
-    sequence kernels, and the embedding branch is served from an LRU
-    :class:`EmbeddingRowCache` keyed by the env-id tuple.
+    unknown-dropout are elided, the time-series branch embeds the
+    encoder's own registered plan (fused sequence kernels), and the
+    embedding branch is served from an LRU :class:`EmbeddingRowCache`
+    keyed by the env-id tuple.
     """
     fnn = CompiledDense(model.fnn, dtype)
-    recurrent = compile_recurrent(model.gru, dtype)
-    attention = compile_attention(model.attention, dtype) if model.use_attention else None
+    encoder = compile_plan(model.encoder, dtype)
     combine = CompiledDense(model.combine, dtype)
     env_cache = EmbeddingRowCache(model.embeddings.table_arrays(), dtype)
     head = model.head
@@ -184,9 +186,7 @@ def _compile_env2vec(model: Env2VecModel, dtype: np.dtype):
         if history.shape[1] != n_lags:
             raise ValueError(f"expected history window of {n_lags}, got {history.shape[1]}")
         v_fs = fnn(cf)
-        v_ts = recurrent(history[:, :, None])
-        if attention is not None:
-            v_ts = attention(v_ts)
+        v_ts = encoder(history[:, :, None])
         v_d = combine(np.concatenate([v_ts, v_fs], axis=1))
         c = env_cache.rows(env)
         if head == "hadamard":
@@ -199,12 +199,16 @@ def _compile_env2vec(model: Env2VecModel, dtype: np.dtype):
     return forward
 
 
-class Env2VecRegressor:
+class Env2VecRegressor(Estimator):
     """High-level estimator: vocabulary + scaling + training + prediction.
 
     ``fit`` consumes per-sample environments plus aligned contextual
     features, RU-history windows, and targets (as produced by
-    :func:`repro.data.windows.build_windows_multi`).
+    :func:`repro.data.windows.build_windows_multi`). The time-series
+    branch is selected by ``encoder`` (any name from
+    :func:`repro.nn.available_encoders`); ``use_attention`` and
+    ``recurrent_unit`` survive as deprecated aliases and normalize into
+    ``encoder`` at construction.
     """
 
     def __init__(
@@ -216,8 +220,9 @@ class Env2VecRegressor:
         dropout: float = 0.1,
         head: str = "hadamard",
         unknown_dropout: float = 0.05,
-        use_attention: bool = False,
-        recurrent_unit: str = "gru",
+        encoder: str | None = None,
+        use_attention: bool | None = None,
+        recurrent_unit: str | None = None,
         em_fields: tuple[str, ...] = EM_FIELDS,
         lr: float = 0.005,
         batch_size: int = 256,
@@ -233,8 +238,11 @@ class Env2VecRegressor:
         self.dropout = dropout
         self.head = head
         self.unknown_dropout = unknown_dropout
-        self.use_attention = use_attention
-        self.recurrent_unit = recurrent_unit
+        # Normalize the deprecated aliases away immediately so get_params/
+        # clone round-trip through the canonical encoder name alone.
+        self.encoder = resolve_encoder_name(encoder, recurrent_unit, use_attention)
+        self.use_attention = None
+        self.recurrent_unit = None
         self.lr = lr
         self.batch_size = batch_size
         self.max_epochs = max_epochs
@@ -293,8 +301,7 @@ class Env2VecRegressor:
             dropout=self.dropout,
             head=self.head,
             unknown_dropout=self.unknown_dropout,
-            use_attention=self.use_attention,
-            recurrent_unit=self.recurrent_unit,
+            encoder=self.encoder,
             rng=rng,
         )
         inputs = self._batch(environments, X, history)
@@ -319,6 +326,7 @@ class Env2VecRegressor:
         )
         self.history_ = trainer.fit(inputs, targets, val_inputs, val_targets)
         self._engine = None  # weights changed; any compiled engine is stale
+        self._fitted = True
         return self
 
     def compile(self, dtype=np.float64) -> InferenceModel:
@@ -469,8 +477,7 @@ class Env2VecRegressor:
                 "dropout": self.dropout,
                 "head": self.head,
                 "unknown_dropout": self.unknown_dropout,
-                "use_attention": self.use_attention,
-                "recurrent_unit": self.recurrent_unit,
+                "encoder": self.encoder,
             },
             "n_features": self.model.n_features,
             "vocabulary": self.vocabulary.to_config(),
@@ -495,6 +502,11 @@ class Env2VecRegressor:
 
         state, config = load_model_bytes(blob)
         hyper = config["hyper"]
+        # Legacy blobs (pre-registry) stored the alias pair instead of the
+        # canonical encoder name; resolve through the same alias table.
+        encoder_name = hyper.get("encoder") or resolve_encoder_name(
+            None, hyper.get("recurrent_unit"), hyper.get("use_attention")
+        )
         regressor = cls(
             n_lags=hyper["n_lags"],
             embedding_dim=hyper["embedding_dim"],
@@ -503,8 +515,7 @@ class Env2VecRegressor:
             dropout=hyper["dropout"],
             head=hyper["head"],
             unknown_dropout=hyper.get("unknown_dropout", 0.0),
-            use_attention=hyper.get("use_attention", False),
-            recurrent_unit=hyper.get("recurrent_unit", "gru"),
+            encoder=encoder_name,
         )
         regressor.vocabulary = EnvironmentVocabulary.from_config(config["vocabulary"])
         with initializers.deferred_init():
@@ -518,8 +529,7 @@ class Env2VecRegressor:
                 dropout=hyper["dropout"],
                 head=hyper["head"],
                 unknown_dropout=hyper.get("unknown_dropout", 0.0),
-                use_attention=hyper.get("use_attention", False),
-                recurrent_unit=hyper.get("recurrent_unit", "gru"),
+                encoder=encoder_name,
             )
         regressor.model.load_state_dict(state)
         scaler = StandardScaler()
@@ -528,4 +538,5 @@ class Env2VecRegressor:
         regressor._x_scaler = scaler
         regressor._y_mean = float(config["y_mean"])
         regressor._y_std = float(config["y_std"])
+        regressor._fitted = True
         return regressor

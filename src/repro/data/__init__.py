@@ -10,14 +10,22 @@
   (§4.2) with fault injection (:mod:`~repro.data.faults`).
 """
 
-from .chains import BuildChain, TestExecution
+from .chains import BuildChain, ServiceChainTopology, TestExecution, VNFPlacement
 from .environment import EM_FIELDS, TABLE1_SCHEMA, Environment, Testbed, random_testbed
 from .faults import FAULT_KINDS, InjectedFault, apply_fault, inject_faults
 from .frame import Frame
 from .kdn import KDN_CPU_SCALE, KDN_NAMES, KDN_SPLITS, KDNDataset, load_all_kdn, load_kdn
 from .stats import CorpusStats, FieldCoverage, corpus_stats
 from .serialize import dataset_from_bytes, dataset_to_bytes, load_dataset, save_dataset
-from .telecom import FEATURE_NAMES, TelecomConfig, TelecomDataset, generate_telecom
+from .telecom import (
+    FEATURE_NAMES,
+    ChainedTelecomConfig,
+    ChainedTelecomDataset,
+    TelecomConfig,
+    TelecomDataset,
+    generate_chained_telecom,
+    generate_telecom,
+)
 from .windows import build_windows, build_windows_multi
 
 __all__ = [
@@ -44,6 +52,11 @@ __all__ = [
     "TelecomConfig",
     "TelecomDataset",
     "generate_telecom",
+    "ChainedTelecomConfig",
+    "ChainedTelecomDataset",
+    "generate_chained_telecom",
+    "ServiceChainTopology",
+    "VNFPlacement",
     "save_dataset",
     "load_dataset",
     "dataset_to_bytes",

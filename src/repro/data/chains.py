@@ -9,6 +9,16 @@ the current (or most recent) build in each build chain as the test case,
 and those associated with the previous builds as the
 training/cross-validation data" (§4.2.1) — exposed here as
 :attr:`BuildChain.current` and :attr:`BuildChain.history`.
+
+Build chains model *independent* environments. Production VNFs are also
+deployed as **service chains** (§1: packet cores, load balancers and
+firewalls chained into one service): upstream VNF load propagates to
+downstream members, so their resource series are coupled, not
+independent. :class:`VNFPlacement` and :class:`ServiceChainTopology`
+describe that wiring — which build chains form a service chain, in what
+order, and with what placement (co-located on a shared host vs. remote
+with queueing delay). :func:`repro.data.generate_chained_telecom` uses
+them to synthesize coupled workloads.
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ import numpy as np
 from .environment import Environment
 from .faults import InjectedFault
 
-__all__ = ["TestExecution", "BuildChain"]
+__all__ = ["TestExecution", "BuildChain", "VNFPlacement", "ServiceChainTopology"]
 
 
 @dataclass
@@ -133,3 +143,73 @@ class BuildChain:
     def history_series(self) -> list[tuple[np.ndarray, np.ndarray]]:
         """(features, cpu) pairs of the historical executions."""
         return [(execution.features, execution.cpu) for execution in self.history]
+
+
+@dataclass(frozen=True)
+class VNFPlacement:
+    """Where one service-chain member runs, relative to its upstream hop.
+
+    ``colocated`` members share a host with the previous VNF: load arrives
+    with no queueing delay but CPU contention couples the two series.
+    Remote members instead see the upstream load ``delay`` timesteps late,
+    attenuated by ``damping`` (buffering/batching between hops).
+    """
+
+    position: int
+    testbed: str
+    colocated: bool = False
+    delay: int = 0
+    damping: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.position < 0:
+            raise ValueError("position must be >= 0")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+        if self.position == 0 and self.delay != 0:
+            raise ValueError("the head of a service chain has no upstream delay")
+        if self.colocated and self.delay != 0:
+            raise ValueError("a colocated member shares its host: delay must be 0")
+        if not 0.0 < self.damping <= 1.0:
+            raise ValueError("damping must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ServiceChainTopology:
+    """An ordered service chain over build-chain indices of a dataset.
+
+    ``members[i]`` is the index (into ``dataset.chains``) of the build
+    chain that plays position ``i``; ``placements[i]`` describes how that
+    member is deployed. Position 0 is the ingress VNF; each later member
+    receives the previous member's load.
+    """
+
+    name: str
+    members: tuple[int, ...]
+    placements: tuple[VNFPlacement, ...]
+
+    def __post_init__(self) -> None:
+        members = tuple(self.members)
+        placements = tuple(self.placements)
+        object.__setattr__(self, "members", members)
+        object.__setattr__(self, "placements", placements)
+        if len(members) < 2:
+            raise ValueError("a service chain needs at least 2 members")
+        if len(members) != len(placements):
+            raise ValueError("members and placements must be aligned")
+        if len(set(members)) != len(members):
+            raise ValueError("a build chain cannot appear twice in one topology")
+        for i, placement in enumerate(placements):
+            if placement.position != i:
+                raise ValueError(
+                    f"placement {i} has position {placement.position}; topologies are ordered"
+                )
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def upstream_of(self, position: int) -> int | None:
+        """Member index feeding the VNF at ``position`` (None for ingress)."""
+        if not 0 <= position < len(self.members):
+            raise IndexError(f"position {position} out of range for {len(self.members)} members")
+        return self.members[position - 1] if position > 0 else None

@@ -18,15 +18,27 @@ from pathlib import Path
 
 import numpy as np
 
-from .chains import BuildChain, TestExecution
+from .chains import BuildChain, ServiceChainTopology, TestExecution, VNFPlacement
 from .environment import Environment, Testbed
 from .faults import InjectedFault
-from .telecom import TelecomConfig, TelecomDataset
+from .telecom import (
+    ChainedTelecomConfig,
+    ChainedTelecomDataset,
+    TelecomConfig,
+    TelecomDataset,
+)
 
 __all__ = ["save_dataset", "load_dataset", "dataset_to_bytes", "dataset_from_bytes"]
 
 _MANIFEST_KEY = "__manifest__"
 _FORMAT_VERSION = 1
+
+#: Dataset/config class pairs by manifest tag. Chained corpora round-trip
+#: through the same archive layout plus a "topologies" manifest section.
+_DATASET_KINDS: dict[str, tuple[type, type]] = {
+    "telecom": (TelecomDataset, TelecomConfig),
+    "chained_telecom": (ChainedTelecomDataset, ChainedTelecomConfig),
+}
 
 
 def dataset_to_bytes(dataset: TelecomDataset) -> bytes:
@@ -49,8 +61,10 @@ def dataset_to_bytes(dataset: TelecomDataset) -> bytes:
                 }
             )
         chains_manifest.append({"executions": executions_manifest})
+    kind = "chained_telecom" if isinstance(dataset, ChainedTelecomDataset) else "telecom"
     manifest = {
         "format_version": _FORMAT_VERSION,
+        "kind": kind,
         "config": asdict(dataset.config),
         "feature_names": dataset.feature_names,
         "focus_indices": list(dataset.focus_indices),
@@ -59,6 +73,15 @@ def dataset_to_bytes(dataset: TelecomDataset) -> bytes:
         },
         "chains": chains_manifest,
     }
+    if kind == "chained_telecom":
+        manifest["topologies"] = [
+            {
+                "name": topology.name,
+                "members": list(topology.members),
+                "placements": [asdict(placement) for placement in topology.placements],
+            }
+            for topology in dataset.topologies
+        ]
     arrays[_MANIFEST_KEY] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
     buffer = io.BytesIO()
     np.savez_compressed(buffer, **arrays)
@@ -77,12 +100,16 @@ def dataset_from_bytes(blob: bytes) -> TelecomDataset:
         raise ValueError(
             f"unsupported corpus format version {manifest.get('format_version')!r}"
         )
+    kind = manifest.get("kind", "telecom")
+    if kind not in _DATASET_KINDS:
+        raise ValueError(f"unknown dataset kind {kind!r}")
+    dataset_cls, config_cls = _DATASET_KINDS[kind]
     config_dict = manifest["config"]
-    # Tuples arrive as lists from JSON; restore them for TelecomConfig.
+    # Tuples arrive as lists from JSON; restore them for the config class.
     for key, value in config_dict.items():
         if isinstance(value, list):
             config_dict[key] = tuple(value)
-    config = TelecomConfig(**config_dict)
+    config = config_cls(**config_dict)
 
     chains = []
     for chain_index, chain_manifest in enumerate(manifest["chains"]):
@@ -107,12 +134,25 @@ def dataset_from_bytes(blob: bytes) -> TelecomDataset:
         name: Testbed(testbed_id=name, labels=dict(labels))
         for name, labels in manifest.get("testbeds", {}).items()
     }
-    return TelecomDataset(
+    extra_fields = {}
+    if kind == "chained_telecom":
+        extra_fields["topologies"] = [
+            ServiceChainTopology(
+                name=entry["name"],
+                members=tuple(entry["members"]),
+                placements=tuple(
+                    VNFPlacement(**placement) for placement in entry["placements"]
+                ),
+            )
+            for entry in manifest.get("topologies", [])
+        ]
+    return dataset_cls(
         chains=chains,
         feature_names=list(manifest["feature_names"]),
         config=config,
         focus_indices=list(manifest["focus_indices"]),
         testbeds=testbeds,
+        **extra_fields,
     )
 
 

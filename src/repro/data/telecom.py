@@ -37,11 +37,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .chains import BuildChain, TestExecution
+from .chains import BuildChain, ServiceChainTopology, TestExecution, VNFPlacement
 from .environment import Environment, Testbed, random_testbed
 from .faults import inject_faults
 
-__all__ = ["TelecomConfig", "TelecomDataset", "generate_telecom", "FEATURE_NAMES"]
+__all__ = [
+    "TelecomConfig",
+    "TelecomDataset",
+    "generate_telecom",
+    "ChainedTelecomConfig",
+    "ChainedTelecomDataset",
+    "generate_chained_telecom",
+    "FEATURE_NAMES",
+]
 
 #: Contextual features collected per timestep (Table 2's WMs and PMs).
 FEATURE_NAMES = [
@@ -513,4 +521,163 @@ def generate_telecom(config: TelecomConfig | None = None) -> TelecomDataset:
         config=config,
         focus_indices=focus,
         testbeds=testbeds,
+    )
+
+
+@dataclass
+class ChainedTelecomConfig(TelecomConfig):
+    """Knobs for chained-VNF (service chain) workload generation.
+
+    Extends the independent-chain simulator: build chains are grouped
+    into service chains of ``chain_length`` members, and each downstream
+    member's CPU series is coupled to its upstream neighbor's. The
+    coupling is *placement-dependent*: remote hops receive the upstream
+    load delayed and damped (queueing/buffering between hosts), while
+    co-located hops contend for the same CPUs with no delay. Upstream
+    fault deltas therefore bleed downstream **without** downstream
+    ground-truth labels — the confound that makes chained topologies a
+    harder detection problem than independent ones.
+    """
+
+    chain_length: tuple[int, int] = (2, 4)
+    colocation_probability: float = 0.35
+    delay_range: tuple[int, int] = (1, 4)
+    damping_range: tuple[float, float] = (0.55, 0.9)
+    queue_gain: float = 0.4
+    colocation_coupling: float = 0.3
+    latency_gain: float = 0.35
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.chain_length[0] < 2:
+            raise ValueError("service chains need at least 2 members")
+        if self.chain_length[0] > self.chain_length[1]:
+            raise ValueError("chain_length range is inverted")
+        if not 0.0 <= self.colocation_probability <= 1.0:
+            raise ValueError("colocation_probability must be in [0, 1]")
+        if not 1 <= self.delay_range[0] <= self.delay_range[1]:
+            raise ValueError("delay_range must satisfy 1 <= lo <= hi")
+        if not 0.0 < self.damping_range[0] <= self.damping_range[1] <= 1.0:
+            raise ValueError("damping_range must lie in (0, 1]")
+        if self.queue_gain < 0 or self.colocation_coupling < 0 or self.latency_gain < 0:
+            raise ValueError("coupling gains must be >= 0")
+
+
+@dataclass
+class ChainedTelecomDataset(TelecomDataset):
+    """A telecom corpus whose build chains form coupled service chains."""
+
+    topologies: list[ServiceChainTopology] = field(default_factory=list)
+
+    def chained_indices(self) -> set[int]:
+        """Indices of build chains that belong to some service chain."""
+        return {index for topology in self.topologies for index in topology.members}
+
+
+def _propagated_load(upstream: np.ndarray, n: int, delay: int) -> np.ndarray:
+    """Upstream series as seen ``delay`` steps later, trimmed/held to ``n``."""
+    if delay > 0:
+        upstream = np.concatenate([np.full(delay, upstream[0]), upstream[:-delay]])
+    if len(upstream) >= n:
+        return upstream[:n]
+    return np.concatenate([upstream, np.full(n - len(upstream), upstream[-1])])
+
+
+def _couple_downstream(
+    down: TestExecution,
+    up: TestExecution,
+    placement: VNFPlacement,
+    config: ChainedTelecomConfig,
+) -> None:
+    """Mix the upstream member's load into a downstream execution in place.
+
+    The coupling signal is the upstream *CPU deviation from its mean*, so
+    upstream fault spikes (which live in CPU, not in the workload
+    features) propagate downstream as unlabeled CPU excursions.
+    """
+    n = down.n_timesteps
+    propagated = _propagated_load(up.cpu, n, placement.delay)
+    deviation = propagated - propagated.mean()
+    gain = config.colocation_coupling if placement.colocated else config.queue_gain
+    down.cpu = np.clip(down.cpu + placement.damping * gain * deviation, 2.0, 98.0)
+    # Placement-dependent latency: jitter grows with upstream load, more
+    # per queueing hop — observable, so context-aware models can adapt.
+    jitter_col = FEATURE_NAMES.index("jitter_ms")
+    hops = 1 + placement.delay
+    jitter_shift = config.latency_gain * hops * np.clip(deviation / 20.0, -1.0, None)
+    down.features[:, jitter_col] = np.clip(
+        down.features[:, jitter_col] * (1.0 + np.maximum(jitter_shift, 0.0)), 0.1, None
+    )
+
+
+def generate_chained_telecom(config: ChainedTelecomConfig | None = None) -> ChainedTelecomDataset:
+    """Generate a corpus whose build chains are wired into service chains.
+
+    Starts from the independent corpus of :func:`generate_telecom` (same
+    seed → identical marginals), then groups build chains into service
+    chains and rewrites every downstream execution with its upstream
+    coupling, position by position, so load (and fault) deltas compound
+    along the chain. The rare-testbed chain, when present, stays
+    independent — its Table 7 pathology must not be confounded.
+    """
+    config = config or ChainedTelecomConfig()
+    base = generate_telecom(config)
+    rng = np.random.default_rng(np.random.SeedSequence([config.seed, 0x5EC]))
+
+    rare_index = len(base.chains) - 1 if config.include_rare_testbed else None
+    eligible = [i for i in range(len(base.chains)) if i != rare_index]
+    order = [eligible[i] for i in rng.permutation(len(eligible))]
+
+    topologies: list[ServiceChainTopology] = []
+    cursor = 0
+    while len(order) - cursor >= config.chain_length[0]:
+        length = int(rng.integers(config.chain_length[0], config.chain_length[1] + 1))
+        length = min(length, len(order) - cursor)
+        members = tuple(order[cursor : cursor + length])
+        cursor += length
+        placements = [
+            VNFPlacement(position=0, testbed=base.chains[members[0]].key[0])
+        ]
+        for position in range(1, length):
+            colocated = bool(rng.random() < config.colocation_probability)
+            placements.append(
+                VNFPlacement(
+                    position=position,
+                    testbed=base.chains[members[position]].key[0],
+                    colocated=colocated,
+                    delay=0 if colocated else int(rng.integers(*config.delay_range)),
+                    damping=float(rng.uniform(*config.damping_range)),
+                )
+            )
+        topologies.append(
+            ServiceChainTopology(
+                name=f"service_chain_{len(topologies):03d}",
+                members=members,
+                placements=tuple(placements),
+            )
+        )
+
+    for topology in topologies:
+        for position in range(1, len(topology)):
+            up_chain = base.chains[topology.members[position - 1]]
+            down_chain = base.chains[topology.members[position]]
+            placement = topology.placements[position]
+            # Pair executions from the most recent backwards so the
+            # current builds (the detection targets) are always coupled.
+            n_pairs = min(len(up_chain), len(down_chain))
+            for offset in range(1, n_pairs + 1):
+                _couple_downstream(
+                    down_chain.executions[-offset],
+                    up_chain.executions[-offset],
+                    placement,
+                    config,
+                )
+
+    return ChainedTelecomDataset(
+        chains=base.chains,
+        feature_names=base.feature_names,
+        config=config,
+        focus_indices=base.focus_indices,
+        testbeds=base.testbeds,
+        topologies=topologies,
     )

@@ -10,6 +10,8 @@ Each table/figure of the paper's evaluation has a driver here that the
 - Table 6 — :func:`~repro.eval.telecom_experiments.run_unseen_table`
 - Table 7 — :func:`~repro.eval.telecom_experiments.run_coverage_table`
 - Figure 6 — :func:`~repro.eval.telecom_experiments.run_embedding_pca`
+- Encoder-vs-topology F1 grid —
+  :func:`~repro.eval.topology_experiments.run_encoder_topology_table`
 """
 
 from .holdout import DEFAULT_CF_GROUPS, HoldoutResult, cf_group_holdout, em_field_holdout
@@ -32,6 +34,12 @@ from .telecom_experiments import (
     train_env2vec_telecom,
     train_rfnn_all_telecom,
     window_history_pool,
+)
+from .topology_experiments import (
+    ENCODER_ZOO,
+    TopologyComparisonResult,
+    TopologyRow,
+    run_encoder_topology_table,
 )
 
 __all__ = [
@@ -64,4 +72,8 @@ __all__ = [
     "train_env2vec_telecom",
     "train_rfnn_all_telecom",
     "window_history_pool",
+    "ENCODER_ZOO",
+    "TopologyRow",
+    "TopologyComparisonResult",
+    "run_encoder_topology_table",
 ]

@@ -15,12 +15,22 @@ mini-batch training loop with early stopping, and model serialization.
 
 from . import ops
 from .attention import AdditiveAttention
+from .encoders import (
+    SequenceEncoder,
+    available_encoders,
+    create_encoder,
+    encoder_from_config,
+    register_encoder,
+    resolve_encoder_name,
+    validate_encoder_name,
+)
 from .gru import GRU, GRUCell
 from .inference import (
     EmbeddingRowCache,
     InferenceModel,
     UnsupportedModuleError,
     compile_module,
+    compile_plan,
     register_compiler,
 )
 from .init import deferred_init, embedding_uniform, glorot_uniform, he_uniform, orthogonal, zeros
@@ -28,7 +38,14 @@ from .layers import ACTIVATIONS, Dense, Dropout, Embedding, Module, Parameter, S
 from .losses import get_loss, huber_loss, mae_loss, mse_loss
 from .lstm import LSTM, LSTMCell
 from .optim import SGD, Adam, Optimizer, clip_gradients
-from .serialize import load_model_bytes, load_state, save_model_bytes, save_state
+from .serialize import (
+    load_encoder_bytes,
+    load_model_bytes,
+    load_state,
+    save_encoder_bytes,
+    save_model_bytes,
+    save_state,
+)
 from .tensor import Tensor, apply_op, is_grad_enabled, no_grad
 from .training import EarlyStopping, ReduceLROnPlateau, Trainer, TrainingDiverged, TrainingHistory
 
@@ -42,7 +59,17 @@ __all__ = [
     "EmbeddingRowCache",
     "UnsupportedModuleError",
     "compile_module",
+    "compile_plan",
     "register_compiler",
+    "SequenceEncoder",
+    "register_encoder",
+    "available_encoders",
+    "validate_encoder_name",
+    "create_encoder",
+    "encoder_from_config",
+    "resolve_encoder_name",
+    "save_encoder_bytes",
+    "load_encoder_bytes",
     "deferred_init",
     "Module",
     "Parameter",

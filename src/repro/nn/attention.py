@@ -19,6 +19,8 @@ Enabled in :class:`repro.core.model.Env2VecModel` via
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from . import init as initializers
@@ -53,9 +55,24 @@ class AdditiveAttention(Module):
         self.context = Parameter(
             initializers.glorot_uniform((attention_size, 1), rng), name="context"
         )
-        self._last_weights: np.ndarray | None = None
+        # Last-forward weights are kept *per thread*: the parallel campaign
+        # executor's workers share one model, and a single mutable buffer
+        # would let worker A read the weights of worker B's coalesced batch.
+        # A plain dict keyed by thread id (assignment is atomic under the
+        # GIL) rather than threading.local so the module stays deepcopy-able.
+        self._weights_by_thread: dict[int, np.ndarray] = {}
 
     def forward(self, sequence: Tensor) -> Tensor:
+        out, _ = self.attend(sequence)
+        return out
+
+    def attend(self, sequence: Tensor) -> tuple[Tensor, np.ndarray]:
+        """Forward pass returning ``(pooled, weights)``.
+
+        The returned ``(batch, timesteps)`` weights belong to *this* call —
+        the race-free way to inspect attention; :attr:`last_weights` is the
+        convenience accessor for single-threaded analysis code.
+        """
         if sequence.ndim != 3 or sequence.shape[2] != self.hidden_size:
             raise ValueError(
                 f"expected (batch, timesteps, {self.hidden_size}); got shape {sequence.shape}"
@@ -64,16 +81,23 @@ class AdditiveAttention(Module):
         out, cache = ops.attention_forward(
             sequence.data, self.projection.data, self.context.data
         )
-        self._last_weights = cache["weights"].copy()
-        return apply_op(
+        weights = cache["weights"].copy()
+        self._weights_by_thread[threading.get_ident()] = weights
+        pooled = apply_op(
             (sequence, self.projection, self.context),
             out,
             lambda grad: ops.attention_backward(grad, cache),
         )
+        return pooled, weights
 
     @property
     def last_weights(self) -> np.ndarray:
-        """Attention weights from the most recent forward pass (analysis)."""
-        if self._last_weights is None:
-            raise RuntimeError("attention has not been applied yet")
-        return self._last_weights
+        """Attention weights from this thread's most recent forward (analysis).
+
+        Each thread sees only its own forwards; for an explicit per-call
+        handle (immune even to reentrant use) call :meth:`attend`.
+        """
+        weights = self._weights_by_thread.get(threading.get_ident())
+        if weights is None:
+            raise RuntimeError("attention has not been applied yet (in this thread)")
+        return weights

@@ -71,6 +71,7 @@ __all__ = [
     "EmbeddingRowCache",
     "CompiledDense",
     "compile_module",
+    "compile_plan",
     "compile_recurrent",
     "compile_attention",
     "register_compiler",
@@ -355,12 +356,16 @@ class InferenceModel:
         return max_err
 
 
-def compile_module(module, dtype=np.float64) -> InferenceModel:
-    """Compile a fitted module into an :class:`InferenceModel`.
+def compile_plan(module, dtype=np.float64) -> Callable[..., np.ndarray]:
+    """The registered compile rule's raw forward closure, no engine wrapper.
 
-    Raises :class:`UnsupportedModuleError` when no rule is registered for
-    the module's exact type (subclasses may override ``forward``, so they
-    are deliberately not matched through the MRO).
+    This is how one module's plan embeds inside another's: the Env2Vec
+    compile rule dispatches its time-series branch through the registry
+    (``compile_plan(model.encoder, dtype)``) instead of special-casing
+    recurrent/attention layer types. Raises
+    :class:`UnsupportedModuleError` when no rule is registered for the
+    module's exact type (subclasses may override ``forward``, so they are
+    deliberately not matched through the MRO).
     """
     dtype = np.dtype(dtype)
     compiler = _COMPILERS.get(type(module))
@@ -368,8 +373,18 @@ def compile_module(module, dtype=np.float64) -> InferenceModel:
         raise UnsupportedModuleError(
             f"no inference compiler registered for {type(module).__name__}"
         )
+    return compiler(module, dtype)
+
+
+def compile_module(module, dtype=np.float64) -> InferenceModel:
+    """Compile a fitted module into an :class:`InferenceModel`.
+
+    Raises :class:`UnsupportedModuleError` when no rule is registered for
+    the module's exact type (see :func:`compile_plan`).
+    """
+    dtype = np.dtype(dtype)
     start = time.perf_counter()
-    engine = InferenceModel(compiler(module, dtype), module, dtype)
+    engine = InferenceModel(compile_plan(module, dtype), module, dtype)
     _H_COMPILE.observe(time.perf_counter() - start)
     return engine
 

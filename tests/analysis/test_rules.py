@@ -447,3 +447,62 @@ def test_rep008_allows_reads_and_unrelated_writes():
         path="src/repro/parallel/mod.py",
     )
     assert findings == []
+
+
+# -- REP009: sequence-layer import boundary ---------------------------------
+
+def test_rep009_flags_layer_class_imports_outside_nn():
+    findings = scan(
+        """
+        from ..nn.gru import GRU
+        from ..nn.lstm import LSTM
+        from ..nn.attention import AdditiveAttention
+        """,
+        path="src/repro/core/mod.py",
+    )
+    assert [f.rule for f in findings] == ["REP009", "REP009", "REP009"]
+
+
+def test_rep009_flags_names_via_package_import():
+    findings = scan(
+        """
+        from repro.nn import GRUCell, LSTMCell
+        """,
+        path="src/repro/eval/mod.py",
+    )
+    assert [f.rule for f in findings] == ["REP009", "REP009"]
+
+
+def test_rep009_flags_module_import():
+    findings = scan(
+        """
+        import repro.nn.gru
+        """,
+        path="src/repro/core/mod.py",
+    )
+    assert rules_of(findings) == {"REP009"}
+
+
+def test_rep009_allows_registry_entry_points():
+    findings = scan(
+        """
+        from ..nn.encoders import create_encoder, resolve_encoder_name
+        from ..nn.inference import compile_plan
+        from ..nn.layers import Dense, Dropout
+        """,
+        path="src/repro/core/mod.py",
+    )
+    assert findings == []
+
+
+def test_rep009_silent_inside_nn_tests_and_benchmarks():
+    source = """
+        from .gru import GRU
+        from .attention import AdditiveAttention
+        """
+    assert scan(source, path=NN) == []
+    source = """
+        from repro.nn import GRU, AdditiveAttention
+        """
+    assert scan(source, path=TESTS) == []
+    assert scan(source, path="benchmarks/bench_mod.py") == []

@@ -80,7 +80,7 @@ class TestRFNNModel:
         cf = RNG.standard_normal((3, 2))
         history = RNG.standard_normal((3, 1))
         v_fs = model.fnn(Tensor(cf))
-        v_ts = model.gru(Tensor(history[:, :, None]))
+        v_ts = model.encoder(Tensor(history[:, :, None]))
         v_d = model.combine(Tensor.concat([v_ts, v_fs], axis=1)).numpy()
         expected = v_d @ model.output.weight.numpy().reshape(-1) + model.output.bias.numpy()[0]
         np.testing.assert_allclose(model(cf=cf, history=history).numpy(), expected, atol=1e-12)
@@ -89,5 +89,5 @@ class TestRFNNModel:
         model = RFNNModel(2, n_lags=4, rng=RNG)
         out = model(cf=RNG.standard_normal((5, 2)), history=RNG.standard_normal((5, 4)))
         (out**2).sum().backward()
-        assert model.gru.cell.w_z.grad is not None
-        assert np.abs(model.gru.cell.w_z.grad).sum() > 0
+        assert model.encoder.gru.cell.w_z.grad is not None
+        assert np.abs(model.encoder.gru.cell.w_z.grad).sum() > 0

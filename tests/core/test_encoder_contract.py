@@ -1,0 +1,201 @@
+"""Env2VecRegressor encoder selection through the Estimator contract.
+
+Parametrized over every registered encoder: the choice must survive
+``get_params``/``clone``, training, compiled prediction (≤1e-10 parity),
+and ``to_bytes``/``from_bytes`` — plus the deprecated alias spellings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import RFNNRegressor
+from repro.core.model import Env2VecModel, Env2VecRegressor
+from repro.data.environment import Environment
+from repro.ml.base import Estimator
+from repro.nn import available_encoders
+
+N_LAGS = 3
+FAST = dict(
+    n_lags=N_LAGS,
+    embedding_dim=3,
+    fnn_hidden=6,
+    gru_hidden=4,
+    max_epochs=2,
+    batch_size=32,
+    seed=3,
+)
+
+
+def _environments(n: int) -> list[Environment]:
+    envs = [
+        Environment(
+            testbed=f"Testbed_{i % 3:02d}",
+            sut="SUT_A",
+            testcase="Testcase_Load",
+            build=f"Build_S{i % 2:02d}",
+        )
+        for i in range(3)
+    ]
+    return [envs[i % len(envs)] for i in range(n)]
+
+
+def _training_data(n: int = 80, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, 4))
+    history = rng.standard_normal((n, N_LAGS))
+    y = X[:, 0] + 0.5 * history[:, -1] + rng.normal(0, 0.1, n)
+    return _environments(n), X, history, y
+
+
+class TestEstimatorContract:
+    def test_is_estimator(self):
+        assert issubclass(Env2VecRegressor, Estimator)
+        assert issubclass(RFNNRegressor, Estimator)
+
+    @pytest.mark.parametrize("name", available_encoders())
+    def test_get_params_exposes_encoder(self, name):
+        model = Env2VecRegressor(encoder=name, **FAST)
+        params = model.get_params()
+        assert params["encoder"] == name
+        # the deprecated aliases normalize away at construction
+        assert params["use_attention"] is None
+        assert params["recurrent_unit"] is None
+
+    @pytest.mark.parametrize("name", available_encoders())
+    def test_clone_preserves_encoder(self, name):
+        clone = Env2VecRegressor(encoder=name, **FAST).clone()
+        assert clone.encoder == name
+        assert not clone._fitted
+
+    def test_alias_params_clone_cleanly(self):
+        model = Env2VecRegressor(recurrent_unit="lstm", use_attention=True, **FAST)
+        assert model.encoder == "lstm_attention"
+        assert model.clone().encoder == "lstm_attention"
+
+    def test_unknown_encoder_lists_registered(self):
+        with pytest.raises(ValueError, match="registered encoders"):
+            Env2VecRegressor(encoder="transformer", **FAST)
+        with pytest.raises(ValueError, match="registered encoders"):
+            RFNNRegressor(encoder="transformer")
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            Env2VecRegressor(encoder="gru", use_attention=True, **FAST)
+
+    def test_require_fitted(self):
+        model = Env2VecRegressor(**FAST)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model._require_fitted()
+
+
+@pytest.mark.parametrize("name", available_encoders())
+class TestEveryEncoderTrains:
+    def test_fit_predict_roundtrip(self, name):
+        envs, X, history, y = _training_data()
+        model = Env2VecRegressor(encoder=name, **FAST).fit(envs, X, history, y)
+        assert model._fitted
+        assert model.model.encoder_name == name
+
+        compiled = model.predict(envs[:16], X[:16], history[:16])
+        eager = model.predict(envs[:16], X[:16], history[:16], compiled=False)
+        np.testing.assert_allclose(compiled, eager, atol=1e-10)
+
+        restored = Env2VecRegressor.from_bytes(model.to_bytes())
+        assert restored.encoder == name
+        assert restored._fitted
+        np.testing.assert_array_equal(
+            restored.predict(envs[:16], X[:16], history[:16]), compiled
+        )
+
+
+class TestAliasEquivalence:
+    """Alias spellings must hit the exact same RNG draw order as encoder=."""
+
+    @pytest.mark.parametrize(
+        ("alias_kwargs", "name"),
+        [
+            ({"recurrent_unit": "gru"}, "gru"),
+            ({"recurrent_unit": "lstm"}, "lstm"),
+            ({"use_attention": True}, "attention"),
+            ({"recurrent_unit": "lstm", "use_attention": True}, "lstm_attention"),
+        ],
+    )
+    def test_alias_and_encoder_fit_identically(self, alias_kwargs, name):
+        envs, X, history, y = _training_data(n=60)
+        via_alias = Env2VecRegressor(**alias_kwargs, **FAST).fit(envs, X, history, y)
+        via_name = Env2VecRegressor(encoder=name, **FAST).fit(envs, X, history, y)
+        assert via_alias.to_bytes() == via_name.to_bytes()
+
+    def test_model_level_back_compat_properties(self):
+        envs, X, history, y = _training_data(n=60)
+        model = Env2VecRegressor(encoder="lstm_attention", **FAST).fit(envs, X, history, y)
+        assert model.model.use_attention is True
+        assert model.model.recurrent_unit == "lstm"
+        plain = Env2VecRegressor(**FAST).fit(envs, X, history, y)
+        assert plain.model.use_attention is False
+        assert plain.model.recurrent_unit == "gru"
+
+
+def test_legacy_blob_alias_keys_still_load():
+    """from_bytes resolves pre-registry hyper dicts (use_attention/recurrent_unit)."""
+    import io
+    import json
+
+    import numpy as np_
+
+    envs, X, history, y = _training_data(n=60)
+    model = Env2VecRegressor(use_attention=True, **FAST).fit(envs, X, history, y)
+    blob = model.to_bytes()
+
+    # rewrite the config to the legacy schema
+    with np_.load(io.BytesIO(blob)) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    config = json.loads(arrays["__config__"].tobytes().decode("utf-8"))
+    hyper = config["hyper"]
+    del hyper["encoder"]
+    hyper["use_attention"] = True
+    hyper["recurrent_unit"] = "gru"
+    arrays["__config__"] = np_.frombuffer(
+        json.dumps(config).encode("utf-8"), dtype=np_.uint8
+    )
+    buffer = io.BytesIO()
+    np_.savez(buffer, **arrays)
+
+    restored = Env2VecRegressor.from_bytes(buffer.getvalue())
+    assert restored.encoder == "attention"
+    np_.testing.assert_array_equal(
+        restored.predict(envs[:8], X[:8], history[:8]),
+        model.predict(envs[:8], X[:8], history[:8]),
+    )
+
+
+@pytest.mark.parametrize("name", ["gru", "lstm", "bidirectional"])
+def test_rfnn_regressor_encoder_choice(name):
+    rng = np.random.default_rng(1)
+    X = rng.standard_normal((60, 4))
+    history = rng.standard_normal((60, 2))
+    y = X[:, 0] + history[:, -1]
+    model = RFNNRegressor(
+        n_lags=2, fnn_hidden=6, gru_hidden=4, dense_dim=5, max_epochs=2, encoder=name
+    )
+    assert model.clone().encoder == name
+    model.fit(X, history, y)
+    assert model._fitted
+    assert model.model.encoder.name == name
+    assert model.predict(X[:10], history[:10]).shape == (10,)
+
+
+def test_env2vec_model_direct_encoder_param():
+    from repro.core.embeddings import EnvironmentVocabulary
+
+    vocab = EnvironmentVocabulary().fit(_environments(6))
+    model = Env2VecModel(
+        n_features=4,
+        n_lags=N_LAGS,
+        vocabulary=vocab,
+        encoder="bidirectional",
+        gru_hidden=4,
+        rng=np.random.default_rng(0),
+    )
+    # combine sizes itself from output_dim (2 * hidden for bidirectional)
+    assert model.combine.in_features == model.fnn.out_features + 8

@@ -80,7 +80,7 @@ class TestEnv2VecModel:
         env = np.zeros((4, 4), dtype=np.int64)
         out = model(cf=cf, history=history, env=env).numpy()
         v_fs = model.fnn(Tensor(cf))
-        v_ts = model.gru(Tensor(history[:, :, None]))
+        v_ts = model.encoder(Tensor(history[:, :, None]))
         v_d = model.combine(Tensor.concat([v_ts, v_fs], axis=1)).numpy()
         c = model.embeddings(env).numpy()
         np.testing.assert_allclose(out, (v_d * c).sum(axis=1), atol=1e-12)

@@ -110,3 +110,67 @@ class TestAdditiveAttention:
         # Timestep 0 gets the most attention on average.
         mean_weights = attention.last_weights.mean(axis=0)
         assert mean_weights[0] == max(mean_weights)
+
+
+class TestThreadSafety:
+    """Regression: last_weights must not be a shared mutable buffer.
+
+    The parallel campaign executor's workers share one model; before the
+    per-thread fix, worker A could read the attention weights of worker
+    B's coalesced batch through ``last_weights``.
+    """
+
+    def test_attend_returns_per_call_weights(self):
+        attention = AdditiveAttention(4, rng=RNG)
+        first_seq = RNG.standard_normal((2, 5, 4))
+        second_seq = RNG.standard_normal((3, 6, 4))
+        _, first_weights = attention.attend(Tensor(first_seq))
+        _, second_weights = attention.attend(Tensor(second_seq))
+        # the handle from the first call is unaffected by the second
+        assert first_weights.shape == (2, 5)
+        assert second_weights.shape == (3, 6)
+        out = attention(Tensor(first_seq)).numpy()
+        np.testing.assert_allclose(
+            out, np.einsum("bt,bth->bh", first_weights, first_seq), atol=1e-12
+        )
+
+    def test_last_weights_is_per_thread_under_worker_pool(self):
+        from repro.parallel import WorkerPool
+
+        attention = AdditiveAttention(3, rng=np.random.default_rng(7))
+        rng = np.random.default_rng(9)
+        # distinct batch shapes per task so cross-thread bleed is detectable
+        batches = [rng.standard_normal((i + 1, 4 + i, 3)) for i in range(8)]
+
+        def run(batch: np.ndarray) -> bool:
+            for _ in range(20):  # many forwards to interleave threads
+                out = attention(Tensor(batch)).numpy()
+                weights = attention.last_weights
+                if weights.shape != batch.shape[:2]:
+                    return False
+                if not np.allclose(out, np.einsum("bt,bth->bh", weights, batch), atol=1e-12):
+                    return False
+            return True
+
+        with WorkerPool(n_workers=4) as pool:
+            results = pool.map(run, batches)
+        assert all(results)
+
+    def test_fresh_thread_sees_no_weights(self):
+        import threading
+
+        attention = AdditiveAttention(3, rng=np.random.default_rng(5))
+        attention(Tensor(np.random.default_rng(1).standard_normal((2, 4, 3))))
+        outcome = {}
+
+        def probe():
+            try:
+                attention.last_weights
+                outcome["raised"] = False
+            except RuntimeError:
+                outcome["raised"] = True
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        assert outcome["raised"] is True

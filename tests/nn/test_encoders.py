@@ -1,0 +1,178 @@
+"""SequenceEncoder registry tests, parametrized over every registered encoder.
+
+New encoders added via ``@register_encoder`` are picked up automatically:
+each one must pass autograd-vs-compiled parity (≤1e-10), byte-identical
+``save_encoder_bytes``/``load_encoder_bytes`` round-trips, config
+round-trips, and seed determinism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SequenceEncoder,
+    Tensor,
+    available_encoders,
+    compile_module,
+    create_encoder,
+    encoder_from_config,
+    load_encoder_bytes,
+    register_encoder,
+    resolve_encoder_name,
+    save_encoder_bytes,
+    validate_encoder_name,
+)
+from repro.nn.encoders import _ENCODERS
+
+INPUT_SIZE = 1
+HIDDEN = 5
+
+
+def _make(name: str, seed: int = 11) -> SequenceEncoder:
+    return create_encoder(name, INPUT_SIZE, HIDDEN, rng=np.random.default_rng(seed))
+
+
+def _sequence(batch: int = 6, timesteps: int = 7, seed: int = 3) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((batch, timesteps, INPUT_SIZE))
+
+
+class TestRegistry:
+    def test_zoo_is_registered(self):
+        for name in ("gru", "lstm", "stacked", "bidirectional", "attention", "lstm_attention"):
+            assert name in available_encoders()
+
+    def test_available_encoders_sorted(self):
+        assert list(available_encoders()) == sorted(available_encoders())
+
+    def test_validate_lists_all_registered_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            validate_encoder_name("transformer")
+        message = str(excinfo.value)
+        for name in available_encoders():
+            assert name in message
+
+    def test_create_unknown_encoder_raises(self):
+        with pytest.raises(ValueError, match="unknown encoder"):
+            create_encoder("nope", 1, 4)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_encoder("gru")(type("Dup", (SequenceEncoder,), {}))
+
+    def test_registered_class_carries_name(self):
+        for name, cls in _ENCODERS.items():
+            assert cls.name == name
+
+
+class TestAliasResolution:
+    @pytest.mark.parametrize(
+        ("unit", "attention", "expected"),
+        [
+            (None, None, "gru"),
+            ("gru", None, "gru"),
+            ("gru", True, "attention"),
+            ("lstm", None, "lstm"),
+            ("lstm", True, "lstm_attention"),
+        ],
+    )
+    def test_alias_map(self, unit, attention, expected):
+        assert resolve_encoder_name(None, unit, attention) == expected
+
+    def test_direct_name_passthrough(self):
+        assert resolve_encoder_name("bidirectional") == "bidirectional"
+
+    def test_registered_name_as_recurrent_unit(self):
+        # an unmapped unit naming a registered encoder is a direct alias
+        assert resolve_encoder_name(None, "stacked", None) == "stacked"
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            resolve_encoder_name("gru", "lstm", None)
+        with pytest.raises(ValueError, match="not both"):
+            resolve_encoder_name("gru", None, True)
+
+    def test_attention_with_unmapped_unit_rejected(self):
+        with pytest.raises(ValueError, match="use_attention"):
+            resolve_encoder_name(None, "stacked", True)
+
+    def test_unknown_unit_lists_encoders(self):
+        with pytest.raises(ValueError, match="registered encoders"):
+            resolve_encoder_name(None, "rnn", None)
+
+
+@pytest.mark.parametrize("name", available_encoders())
+class TestEveryEncoder:
+    def test_forward_shape_matches_output_dim(self, name):
+        encoder = _make(name)
+        out = encoder(Tensor(_sequence()))
+        assert out.shape == (6, encoder.output_dim)
+
+    def test_gradients_reach_every_parameter(self, name):
+        encoder = _make(name)
+        out = encoder(Tensor(_sequence()))
+        (out * out).sum().backward()
+        for param_name, param in encoder.named_parameters():
+            assert param.grad is not None, param_name
+            assert np.isfinite(param.grad).all(), param_name
+
+    def test_compiled_parity(self, name):
+        encoder = _make(name)
+        encoder.eval()
+        engine = compile_module(encoder)
+        max_diff = engine.assert_close({"sequence": _sequence(batch=9)}, atol=1e-10)
+        assert max_diff <= 1e-10
+
+    def test_serialization_byte_identity(self, name):
+        encoder = _make(name)
+        blob = save_encoder_bytes(encoder)
+        restored = load_encoder_bytes(blob)
+        assert type(restored) is type(encoder)
+        assert save_encoder_bytes(restored) == blob
+
+    def test_restored_encoder_predicts_identically(self, name):
+        encoder = _make(name)
+        restored = load_encoder_bytes(save_encoder_bytes(encoder))
+        encoder.eval()
+        restored.eval()
+        sequence = _sequence(batch=4)
+        np.testing.assert_array_equal(
+            encoder(Tensor(sequence)).numpy(), restored(Tensor(sequence)).numpy()
+        )
+
+    def test_config_roundtrip(self, name):
+        encoder = _make(name)
+        rebuilt = encoder_from_config(encoder.to_config(), rng=np.random.default_rng(0))
+        assert rebuilt.to_config() == encoder.to_config()
+
+    def test_seed_determinism(self, name):
+        a, b = _make(name, seed=21), _make(name, seed=21)
+        for (key_a, param_a), (key_b, param_b) in zip(
+            a.named_parameters(), b.named_parameters()
+        ):
+            assert key_a == key_b
+            np.testing.assert_array_equal(param_a.data, param_b.data)
+
+    def test_input_validation(self, name):
+        encoder = _make(name)
+        with pytest.raises(ValueError, match="expected"):
+            encoder(Tensor(np.zeros((2, 5))))
+        with pytest.raises(ValueError, match="expected"):
+            encoder(Tensor(np.zeros((2, 5, INPUT_SIZE + 1))))
+
+
+def test_bidirectional_output_dim_doubles():
+    encoder = _make("bidirectional")
+    assert encoder.output_dim == 2 * HIDDEN
+
+
+def test_encoder_from_config_missing_key():
+    with pytest.raises(ValueError, match="missing"):
+        encoder_from_config({"name": "gru", "input_size": 1})
+
+
+def test_load_encoder_bytes_rejects_plain_model_blob():
+    from repro.nn import Dense, save_model_bytes
+
+    blob = save_model_bytes(Dense(2, 2, rng=np.random.default_rng(0)))
+    with pytest.raises(ValueError, match="missing recipe"):
+        load_encoder_bytes(blob)
