@@ -1,0 +1,259 @@
+"""Benchmark — the serving frontier: micro-batching vs per-request.
+
+An always-on deployment monitors live chains: each request carries the
+newest telemetry tail of one chain's current execution (the increment
+that arrived since the last scrape), and CI triggers land requests in
+bursts. Per-request serving pays the full fixed cost of a pipeline
+execution — kernel-plan dispatch, window construction, event-loop
+round-trips — for every single tail. The ``repro.serve`` micro-batcher
+coalesces whatever is queued into one
+:meth:`~repro.workflow.PredictionPipeline.execute` call, amortizing all
+of it; because every compiled kernel is row-wise, the coalesced results
+are byte-identical to per-request ones, so the trade is purely
+latency-vs-throughput.
+
+Contenders, over the same 1000-chain workload and the same seeded bursty
+arrival schedule: ``max_batch`` ∈ {1, 4, 16, 64, 256} (``max_batch=1``
+*is* per-request serving — the admission queue drains one request per
+batch). Each contender replays the schedule three times; medians are
+reported to damp scheduler noise.
+
+Acceptance, enforced at the knee (the smallest ``max_batch`` reaching
+≥90% of the best median throughput):
+
+- knee throughput ≥3x per-request throughput, at equal-or-better p95;
+- p99 ≤ 5x p50 at the knee (no long-tail collapse from coalescing);
+- coalesced responses byte-identical to batch ``execute`` (gate runs
+  before any timing).
+
+Results go to ``benchmarks/results/BENCH_serving.json``.
+"""
+
+import asyncio
+import json
+import statistics
+from pathlib import Path
+
+from conftest import emit
+from repro.data import TelecomConfig, generate_telecom
+from repro.data.chains import TestExecution
+from repro.serve import (
+    Env2VecService,
+    LoadProfile,
+    PredictRequest,
+    ServeConfig,
+    arrival_offsets,
+    run_load,
+)
+from repro.workflow import (
+    AlarmStore,
+    ModelStore,
+    PredictBatch,
+    PredictionPipeline,
+    TrainingPipeline,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Acceptance floor: knee throughput over per-request (max_batch=1).
+MIN_SPEEDUP = 3.0
+#: Long-tail guard at the knee.
+MAX_P99_OVER_P50 = 5.0
+#: A contender is "at the knee" once it reaches this share of the best.
+KNEE_FRACTION = 0.9
+
+BATCH_SIZES = (1, 4, 16, 64, 256)
+N_CHAINS = 1000
+#: Timesteps per streaming request — the tail of the chain's current
+#: execution (newest telemetry since the previous monitoring pass).
+TAIL_TIMESTEPS = 8
+TRIALS = 3
+N_LAGS = 3
+
+
+def _workload():
+    """(store, requests, offsets): 1000 live chains on a bursty schedule."""
+    dataset = generate_telecom(
+        TelecomConfig(
+            n_chains=N_CHAINS,
+            n_testbeds=30,
+            builds_per_chain=(2, 3),
+            timesteps_per_build=(40, 50),
+            n_focus=4,
+            include_rare_testbed=False,
+            seed=7,
+        )
+    )
+    store = ModelStore()
+    corpus = [
+        (e.environment, e.features, e.cpu)
+        for chain in dataset.chains[:100]
+        for e in chain.history
+    ]
+    TrainingPipeline(
+        store,
+        n_lags=N_LAGS,
+        model_params={"max_epochs": 4, "batch_size": 512, "dropout": 0.0},
+        seed=0,
+    ).train(corpus)
+
+    def tail(execution: TestExecution) -> TestExecution:
+        return TestExecution(
+            environment=execution.environment,
+            features=execution.features[-TAIL_TIMESTEPS:],
+            cpu=execution.cpu[-TAIL_TIMESTEPS:],
+        )
+
+    requests = [
+        PredictRequest(execution=tail(chain.current), request_id=str(i))
+        for i, chain in enumerate(dataset.chains)
+    ]
+    offsets = arrival_offsets(
+        LoadProfile(n_requests=N_CHAINS, burst_size=32.0, burst_gap=0.0005, seed=7)
+    )
+    return store, requests, offsets
+
+
+def _assert_byte_identical(store, requests) -> None:
+    """Coalesced serving == one batch execute, byte for byte."""
+    executions = [request.execution for request in requests]
+    reference = PredictionPipeline(store, AlarmStore()).execute(
+        PredictBatch(tuple(executions))
+    )
+
+    async def scenario():
+        service = Env2VecService(
+            store, config=ServeConfig(max_batch=64, max_wait=0.002, max_queue_depth=4096)
+        )
+        async with service:
+            return await service.client().predict_many(requests)
+
+    responses = asyncio.run(scenario())
+    assert any(response.batch_size > 1 for response in responses)
+    for response, run in zip(responses, reference):
+        assert response.status == "ok"
+        assert response.run.predictions.tobytes() == run.predictions.tobytes()
+        assert response.run.observations.tobytes() == run.observations.tobytes()
+        assert response.run.alarm_ids == run.alarm_ids
+
+
+def _run_trial(store, requests, offsets, max_batch: int):
+    async def scenario():
+        service = Env2VecService(
+            store,
+            config=ServeConfig(
+                max_batch=max_batch, max_wait=0.001, max_queue_depth=4096
+            ),
+        )
+        async with service:
+            client = service.client()
+            # Warm the first-dispatch numpy paths off the clock.
+            await run_load(client, requests[:64], offsets[:64], max_retries=0)
+            return await run_load(client, requests, offsets, max_retries=0)
+
+    return asyncio.run(scenario())
+
+
+def run_serving_bench() -> dict:
+    store, requests, offsets = _workload()
+
+    # Correctness gate first: coalescing must not change a single byte.
+    _assert_byte_identical(store, requests)
+
+    contenders = {}
+    for max_batch in BATCH_SIZES:
+        reports = [_run_trial(store, requests, offsets, max_batch) for _ in range(TRIALS)]
+        assert all(r.n_failed == 0 and r.n_rejected == 0 for r in reports)
+        contenders[max_batch] = {
+            "throughput_rps": statistics.median(r.throughput for r in reports),
+            "p50_ms": statistics.median(r.percentile(50) for r in reports) * 1e3,
+            "p95_ms": statistics.median(r.percentile(95) for r in reports) * 1e3,
+            "p99_ms": statistics.median(r.percentile(99) for r in reports) * 1e3,
+            "trials_rps": sorted(r.throughput for r in reports),
+        }
+
+    best = max(stats["throughput_rps"] for stats in contenders.values())
+    knee = min(
+        mb
+        for mb, stats in contenders.items()
+        if stats["throughput_rps"] >= KNEE_FRACTION * best
+    )
+    return {
+        "workload": {
+            "n_chains": N_CHAINS,
+            "n_requests": len(requests),
+            "tail_timesteps": TAIL_TIMESTEPS,
+            "burst_size": 32.0,
+            "burst_gap_seconds": 0.0005,
+            "trials_per_contender": TRIALS,
+        },
+        "contenders": {str(mb): stats for mb, stats in contenders.items()},
+        "knee_max_batch": knee,
+        "speedup_at_knee": contenders[knee]["throughput_rps"]
+        / contenders[1]["throughput_rps"],
+        "byte_identical": True,
+        "acceptance": {
+            "min_speedup_at_knee": MIN_SPEEDUP,
+            "max_p99_over_p50_at_knee": MAX_P99_OVER_P50,
+            "knee_fraction_of_best": KNEE_FRACTION,
+        },
+    }
+
+
+def _render(results: dict) -> str:
+    workload = results["workload"]
+    lines = [
+        "Serving frontier — micro-batching vs per-request "
+        f"({workload['n_requests']} requests over {workload['n_chains']} live chains, "
+        f"{workload['tail_timesteps']}-timestep streaming tails, "
+        f"median of {workload['trials_per_contender']} replays)",
+    ]
+    knee = results["knee_max_batch"]
+    for mb, stats in results["contenders"].items():
+        marker = "  <- knee" if int(mb) == knee else ""
+        lines.append(
+            f"  max_batch={mb:>4} {stats['throughput_rps']:8.1f} req/s  "
+            f"p50 {stats['p50_ms']:6.1f}  p95 {stats['p95_ms']:6.1f}  "
+            f"p99 {stats['p99_ms']:6.1f} ms{marker}"
+        )
+    lines.append(
+        f"  knee speedup vs per-request: {results['speedup_at_knee']:.2f}x; "
+        f"responses byte-identical to batch execute: {results['byte_identical']}"
+    )
+    return "\n".join(lines)
+
+
+def _assert_acceptance(results: dict) -> None:
+    knee = results["contenders"][str(results["knee_max_batch"])]
+    per_request = results["contenders"]["1"]
+    assert results["byte_identical"]
+    assert results["speedup_at_knee"] >= MIN_SPEEDUP, (
+        f"micro-batching reached only {results['speedup_at_knee']:.2f}x over "
+        f"per-request serving; floor is {MIN_SPEEDUP:.1f}x"
+    )
+    assert knee["p95_ms"] <= per_request["p95_ms"], (
+        f"knee p95 {knee['p95_ms']:.1f} ms is worse than per-request "
+        f"p95 {per_request['p95_ms']:.1f} ms"
+    )
+    assert knee["p99_ms"] <= MAX_P99_OVER_P50 * knee["p50_ms"], (
+        f"knee p99 {knee['p99_ms']:.1f} ms exceeds "
+        f"{MAX_P99_OVER_P50:.0f}x p50 ({knee['p50_ms']:.1f} ms)"
+    )
+
+
+def test_bench_serving(benchmark):
+    results = benchmark.pedantic(run_serving_bench, rounds=1, iterations=1)
+    emit("serving", _render(results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serving.json").write_text(json.dumps(results, indent=2) + "\n")
+    _assert_acceptance(results)
+
+
+if __name__ == "__main__":
+    bench_results = run_serving_bench()
+    print(_render(bench_results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serving.json").write_text(
+        json.dumps(bench_results, indent=2) + "\n"
+    )
+    _assert_acceptance(bench_results)

@@ -1,4 +1,4 @@
-"""The project rule catalog: nine checks distilled from real bugs.
+"""The project rule catalog: ten checks distilled from real bugs.
 
 Every rule here encodes an invariant this repo has already paid for once:
 
@@ -21,7 +21,10 @@ Every rule here encodes an invariant this repo has already paid for once:
   is the parallel executor's whole correctness story);
 - REP009 — the SequenceEncoder boundary (modules outside ``repro.nn``
   reaching for GRU/LSTM/AdditiveAttention directly bypass the encoder
-  registry, its compile dispatch, and its serialization schema).
+  registry, its compile dispatch, and its serialization schema);
+- REP010 — the serve boundary (``repro.serve._internal`` holds the
+  admission/batcher/warm-pool machinery; outside imports would freeze a
+  surface that is deliberately free to change).
 
 Rules are deliberately syntactic: no type inference, no cross-file
 analysis. Where syntax alone over-approximates, the escape hatches are an
@@ -475,6 +478,49 @@ class EncoderImportBoundaryRule(Rule):
                 )
 
 
+class ServeInternalBoundaryRule(Rule):
+    """REP010: only ``repro.serve`` may import ``serve._internal``."""
+
+    id = "REP010"
+    title = "serve._internal import outside repro.serve"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def applies(self, ctx: FileContext) -> bool:
+        return (
+            ctx.package is not None
+            and ctx.package != "serve"
+            and not ctx.is_test
+            and not ctx.is_benchmark
+        )
+
+    @staticmethod
+    def _is_internal(module: str | None) -> bool:
+        if not module:
+            return False
+        parts = module.split(".")
+        # matches repro.serve._internal[.x], serve._internal[.x] — and the
+        # relative spellings, whose module text starts at "serve" too.
+        for i, part in enumerate(parts):
+            if part == "_internal" and i >= 1 and parts[i - 1] == "serve":
+                return True
+        return False
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        if isinstance(node, ast.Import):
+            modules = [alias.name for alias in node.names]
+        else:
+            modules = [node.module]
+        for module in modules:
+            if self._is_internal(module):
+                yield (
+                    node.lineno,
+                    "import of serve._internal outside repro.serve — the "
+                    "admission/batcher/warm-pool machinery is private; go "
+                    "through the repro.serve public surface (Env2VecService "
+                    "/ ServeClient) so its shape can change freely",
+                )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     UnseededRNGRule,
     WallClockRule,
@@ -485,6 +531,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SwallowedExceptionRule,
     SnapshotMutationRule,
     EncoderImportBoundaryRule,
+    ServeInternalBoundaryRule,
 )
 
 

@@ -16,6 +16,7 @@ Usage::
     python -m repro calibration       # §3.2 Gaussian-error assumption check
     python -m repro all               # everything above, in order
     python -m repro analyze src       # repro.analysis lint engine (REP rules)
+    python -m repro serve             # always-on serving demo (repro.serve)
 
 Options: ``--full`` uses the paper-scale training protocol (slower);
 ``--seed N`` reseeds the synthetic corpora; ``--chains N`` resizes the
@@ -229,6 +230,111 @@ def _run_calibration(args) -> str:
     return "§3.2 Gaussian-error assumption check\n" + report.table()
 
 
+def _serve_main(argv: list[str]) -> int:
+    """``repro serve``: load-generate against a live Env2VecService.
+
+    Trains a quick model over a small telecom corpus, starts the serving
+    layer, replays a seeded bursty predict workload through the
+    :class:`~repro.serve.ServeClient` facade, and prints both the
+    client-side latency report and the service's own dogfooded metrics
+    (PromQL quantiles over the exported ``repro_serve_*`` histograms).
+    """
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description="always-on serving layer demo + load generator"
+    )
+    parser.add_argument("--chains", type=int, default=24, help="telecom corpus size")
+    parser.add_argument("--requests", type=int, default=200, help="predict requests to replay")
+    parser.add_argument("--seed", type=int, default=7, help="corpus + arrival seed")
+    parser.add_argument("--max-batch", type=int, default=32, help="micro-batch size cap")
+    parser.add_argument(
+        "--max-wait", type=float, default=0.002, help="micro-batch linger seconds"
+    )
+    parser.add_argument("--depth", type=int, default=256, help="admission queue depth bound")
+    parser.add_argument(
+        "--burst", type=float, default=16.0, help="mean requests per arrival burst"
+    )
+    parser.add_argument(
+        "--gap", type=float, default=0.005, help="mean seconds between bursts"
+    )
+    args = parser.parse_args(argv)
+
+    from .serve import (
+        Env2VecService,
+        LoadProfile,
+        PredictRequest,
+        ServeConfig,
+        arrival_offsets,
+        run_load,
+    )
+    from .workflow import ModelStore, TrainingPipeline, promql_query
+
+    n_focus = min(11, max(2, args.chains // 4))
+    dataset = generate_telecom(
+        TelecomConfig(n_chains=args.chains, n_focus=n_focus, seed=args.seed)
+    )
+    store = ModelStore()
+    TrainingPipeline(
+        store, n_lags=3, model_params={"max_epochs": 10, "batch_size": 256}, seed=args.seed
+    ).train(dataset.history_training_series())
+
+    executions = [chain.current for chain in dataset.chains]
+    requests = [
+        PredictRequest(execution=executions[i % len(executions)], request_id=str(i))
+        for i in range(args.requests)
+    ]
+    profile = LoadProfile(
+        n_requests=args.requests,
+        burst_size=args.burst,
+        burst_gap=args.gap,
+        seed=args.seed,
+    )
+    config = ServeConfig(
+        max_batch=args.max_batch, max_wait=args.max_wait, max_queue_depth=args.depth
+    )
+
+    async def scenario():
+        service = Env2VecService(store, config=config, self_monitor=True)
+        async with service:
+            report = await run_load(
+                service.client(), requests, arrival_offsets(profile)
+            )
+        return service, report
+
+    service, report = asyncio.run(scenario())
+    summary = report.summary()
+    print(f"### serve — {args.requests} requests over {args.chains} chains")
+    print(
+        f"throughput {summary['throughput_rps']:.1f} req/s over "
+        f"{summary['makespan_seconds']:.2f}s; "
+        f"{summary['n_completed']} ok, {summary['n_rejected']} rejected, "
+        f"{summary['n_failed']} failed"
+    )
+    print(
+        f"client latency p50/p95/p99: {summary['p50_seconds'] * 1e3:.2f} / "
+        f"{summary['p95_seconds'] * 1e3:.2f} / {summary['p99_seconds'] * 1e3:.2f} ms"
+    )
+    alarms = service.alarm_store.fetch()
+    print(f"alarms raised while serving: {len(alarms)}")
+
+    at = service.exporter.last_scrape
+    tsdb = service.exporter.tsdb
+    print("dogfooded metrics (PromQL over the serve observability TSDB):")
+    for quantile in (0.5, 0.95, 0.99):
+        samples = promql_query(
+            tsdb,
+            f'histogram_quantile({quantile}, repro_serve_request_seconds_bucket{{kind="predict"}})',
+            at,
+        )
+        for sample in samples:
+            print(f"  p{int(quantile * 100):<2} repro_serve_request_seconds: {sample.value * 1e3:.2f} ms")
+    for expr in ("repro_serve_batches_total", "repro_serve_rejected_total"):
+        for sample in promql_query(tsdb, expr, at):
+            print(f"  {expr}: {sample.value:.0f}")
+    return 0
+
+
 _RUNNERS = {
     "table4": _run_table4,
     "figure1": _run_figure1,
@@ -278,6 +384,10 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis import main as analysis_main
 
         return analysis_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Same pattern: the serving demo owns its own knobs (--requests,
+        # --max-batch, ...), so dispatch before the experiment parser.
+        return _serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

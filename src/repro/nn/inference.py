@@ -247,12 +247,23 @@ def register_compiler(cls: type):
 
 
 class InferenceModel:
-    """A compiled, tape-free forward for a fitted module."""
+    """A compiled, tape-free forward for a fitted module.
+
+    Every kernel in the compiled plan is row-wise: predictions for a row
+    do not depend on which other rows share the batch. Callers that
+    coalesce traffic (``predict_many``, the ``repro.serve``
+    micro-batcher) rely on this to keep batched results bitwise equal to
+    per-request ones.
+    """
 
     def __init__(self, forward_fn: Callable[..., np.ndarray], source, dtype: np.dtype):
         self._forward = forward_fn
         self._source = source
         self.dtype = dtype
+        #: free-form tags owners attach to a compiled engine — the serve
+        #: warm pool stamps the model-store version it was compiled for,
+        #: so operators can tell resident engines apart in diagnostics.
+        self.meta: dict = {}
         #: the Env2Vec engine's embedding-row cache, if the plan has one
         self.env_cache: EmbeddingRowCache | None = getattr(forward_fn, "env_cache", None)
         # The row cache counts its own hits/misses as plain ints (the per-

@@ -397,6 +397,17 @@ class CircuitBreaker:
                     f"({self.consecutive_failures} consecutive failures)"
                 )
 
+    def retry_after(self) -> float:
+        """Seconds (on the breaker's clock) until the next half-open trial.
+
+        ``0.0`` whenever the breaker is not open — callers can always use
+        this to stamp a hint onto fail-fast responses without inspecting
+        :attr:`state` first.
+        """
+        if self.state != BREAKER_OPEN:
+            return 0.0
+        return max(0.0, self.recovery_time - (self.clock.now() - self._opened_at))
+
     def record_success(self) -> None:
         self.consecutive_failures = 0
         self._transition(BREAKER_CLOSED)

@@ -1,0 +1,53 @@
+"""Always-on serving layer: campaign-as-a-service over the workflow.
+
+The batch workflow monitors executions a day at a time; this package
+keeps the same pipelines resident behind a unified request API, the way
+a production deployment of the paper's system would actually run:
+
+- :class:`Env2VecService` — the service: bounded admission with explicit
+  backpressure, cross-chain micro-batching, a per-version warm model
+  pool fed by publish hooks, and a circuit breaker on the TSDB boundary.
+- :class:`ServeClient` — the single client facade (``predict`` /
+  ``predict_many`` / ``scrape`` / ``alarms``), all typed requests in,
+  typed responses out.
+- :mod:`~repro.serve.loadgen` — seeded bursty load generation for the
+  serving benchmarks and the ``repro serve`` CLI demo.
+
+Serve responses are byte-identical to batch
+:meth:`~repro.workflow.PredictionPipeline.execute` on the same model
+version: every compiled kernel is row-wise, so micro-batch composition
+(a timing artifact) cannot leak into the numbers.
+
+Everything under ``repro.serve._internal`` is private; the REP010 lint
+rule keeps outside imports out.
+"""
+
+from .api import (
+    AlarmQuery,
+    AlarmQueryResponse,
+    PredictRequest,
+    PredictResponse,
+    ScrapeRequest,
+    ScrapeResponse,
+    ServeConfig,
+    ServiceOverloaded,
+)
+from .loadgen import LoadProfile, LoadReport, arrival_offsets, run_load
+from .service import Env2VecService, ServeClient
+
+__all__ = [
+    "Env2VecService",
+    "ServeClient",
+    "ServeConfig",
+    "PredictRequest",
+    "PredictResponse",
+    "ScrapeRequest",
+    "ScrapeResponse",
+    "AlarmQuery",
+    "AlarmQueryResponse",
+    "ServiceOverloaded",
+    "LoadProfile",
+    "LoadReport",
+    "arrival_offsets",
+    "run_load",
+]

@@ -1,0 +1,134 @@
+"""Bounded request admission with explicit backpressure.
+
+The admission controller is the only component that decides whether a
+request enters the service at all. It keeps a FIFO of pending predict
+requests with a hard depth bound: past ``max_depth`` the submit raises
+:class:`~repro.serve.api.ServiceOverloaded` *synchronously* — the caller
+learns immediately, nothing is silently dropped, and the queue can never
+grow without bound. ``retry_after`` on the rejection is the current
+depth times an EWMA of measured per-request service time, i.e. the
+service's own estimate of when the backlog will have drained.
+
+Depth checks and enqueues happen synchronously on the event loop, so
+admission order equals submit order — the property the byte-identity
+tests lean on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+
+from ...obs import get_observability
+from ..api import PredictRequest, ServiceOverloaded
+
+__all__ = ["AdmissionController", "PendingRequest"]
+
+_OBS = get_observability()
+_M_REJECTED = _OBS.counter(
+    "repro_serve_rejected_total",
+    "Predict requests rejected by admission (queue depth exceeded)",
+)
+_G_DEPTH = _OBS.gauge(
+    "repro_serve_queue_depth",
+    "Predict requests currently queued ahead of the micro-batcher",
+)
+
+
+@dataclass
+class PendingRequest:
+    """One admitted predict request waiting for a micro-batch slot."""
+
+    request: PredictRequest
+    future: asyncio.Future
+    enqueued_at: float
+    #: filled in by the batcher when the request joins a coalesced forward.
+    batch_size: int = field(default=1, compare=False)
+
+
+class AdmissionController:
+    """FIFO admission queue with a depth bound and drain estimation."""
+
+    def __init__(self, max_depth: int, default_service_seconds: float):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = int(max_depth)
+        self._queue: deque[PendingRequest] = deque()
+        self._nonempty = asyncio.Event()
+        # EWMA of per-request service time, seeded with the configured
+        # default so the very first rejection still quotes a finite wait.
+        self._service_seconds = float(default_service_seconds)
+        self.rejected = 0
+        self.admitted = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def retry_after(self) -> float:
+        """Estimated seconds until the current backlog has drained."""
+        return max(1, len(self._queue)) * self._service_seconds
+
+    def submit(self, request: PredictRequest, *, now: float) -> asyncio.Future:
+        """Admit ``request`` or raise :class:`ServiceOverloaded`.
+
+        Must be called from the event loop thread; the depth check and
+        enqueue are atomic with respect to other coroutines.
+        """
+        if len(self._queue) >= self.max_depth:
+            self.rejected += 1
+            _M_REJECTED.inc()
+            raise ServiceOverloaded(
+                f"admission queue is full ({self.max_depth} pending)",
+                retry_after=self.retry_after(),
+            )
+        loop = asyncio.get_running_loop()
+        pending = PendingRequest(request=request, future=loop.create_future(), enqueued_at=now)
+        self._queue.append(pending)
+        self.admitted += 1
+        _G_DEPTH.set(len(self._queue))
+        self._nonempty.set()
+        return pending.future
+
+    def evict(self, futures: list[asyncio.Future]) -> int:
+        """Remove still-queued requests whose future is in ``futures``.
+
+        Lets ``predict_many`` withdraw its partial submissions when a
+        later submit in the same call is rejected, so an all-or-nothing
+        batch submit never leaves orphaned work behind. Requests already
+        drained into a batch are past the point of no return and are left
+        to complete. Returns the number evicted.
+        """
+        targets = {id(f) for f in futures}
+        kept = [p for p in self._queue if id(p.future) not in targets]
+        evicted = len(self._queue) - len(kept)
+        if evicted:
+            self._queue.clear()
+            self._queue.extend(kept)
+            _G_DEPTH.set(len(self._queue))
+            if not self._queue:
+                self._nonempty.clear()
+        return evicted
+
+    async def wait_nonempty(self) -> None:
+        """Block until at least one request is queued."""
+        while not self._queue:
+            self._nonempty.clear()
+            await self._nonempty.wait()
+
+    def drain(self, limit: int) -> list[PendingRequest]:
+        """Dequeue up to ``limit`` requests in admission order."""
+        batch: list[PendingRequest] = []
+        while self._queue and len(batch) < limit:
+            batch.append(self._queue.popleft())
+        _G_DEPTH.set(len(self._queue))
+        if not self._queue:
+            self._nonempty.clear()
+        return batch
+
+    def record_service_time(self, per_request_seconds: float) -> None:
+        """Fold a measured per-request service time into the EWMA."""
+        if per_request_seconds <= 0:
+            return
+        self._service_seconds = 0.8 * self._service_seconds + 0.2 * per_request_seconds

@@ -1,0 +1,119 @@
+"""Cross-chain micro-batching over the admission queue.
+
+The batcher is a single background task that repeatedly (1) waits for
+the admission queue to become non-empty, (2) greedily drains whatever is
+already queued up to ``max_batch``, (3) lingers up to ``max_wait``
+seconds topping the batch up as more requests arrive, then (4) hands the
+batch to the service's execute callback, which runs the coalesced
+forward and resolves each request's future in admission order.
+
+Because every compiled kernel in the model is row-wise, the *numbers* a
+request gets back are independent of which batch it landed in — batch
+composition affects throughput and latency only. That is what makes the
+timing-dependent coalescing safe to combine with byte-identity tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+from ...obs import get_observability
+from .admission import AdmissionController, PendingRequest
+
+__all__ = ["MicroBatcher"]
+
+_OBS = get_observability()
+_M_BATCHES = _OBS.counter(
+    "repro_serve_batches_total",
+    "Coalesced forwards executed by the micro-batcher",
+)
+_H_BATCH_SIZE = _OBS.histogram(
+    "repro_serve_batch_size",
+    "Requests coalesced per micro-batch",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+)
+
+
+class MicroBatcher:
+    """Background drain loop: admission queue -> coalesced executes."""
+
+    def __init__(
+        self,
+        admission: AdmissionController,
+        *,
+        max_batch: int,
+        max_wait: float,
+        execute: Callable[[list[PendingRequest]], None],
+    ):
+        self._admission = admission
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self._execute = execute
+        self._task: asyncio.Task | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError("micro-batcher is already running")
+        self._task = asyncio.get_running_loop().create_task(self._run(), name="serve-batcher")
+
+    async def stop(self) -> None:
+        """Stop the drain loop, failing any still-queued requests."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        for pending in self._admission.drain(self._admission.max_depth):
+            if not pending.future.done():
+                pending.future.set_exception(
+                    RuntimeError("service stopped before the request was batched")
+                )
+
+    async def _collect(self) -> list[PendingRequest]:
+        """Assemble one batch: greedy drain, then linger up to max_wait."""
+        await self._admission.wait_nonempty()
+        batch = self._admission.drain(self.max_batch)
+        if self.max_wait > 0 and len(batch) < self.max_batch:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.max_wait
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    await asyncio.wait_for(self._admission.wait_nonempty(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                batch.extend(self._admission.drain(self.max_batch - len(batch)))
+        return batch
+
+    async def _run(self) -> None:
+        while True:
+            batch = await self._collect()
+            if not batch:
+                continue
+            for pending in batch:
+                pending.batch_size = len(batch)
+            _M_BATCHES.inc()
+            _H_BATCH_SIZE.observe(len(batch))
+            # The forward runs synchronously on the loop: numpy releases
+            # the GIL only inside kernels and the model is not re-entrant,
+            # so there is nothing to gain from a thread hop — and staying
+            # on the loop keeps execution order deterministic.
+            try:
+                self._execute(batch)
+            except Exception as exc:  # noqa: BLE001 - fail the batch, not the loop
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+            # Yield once per batch so resolved waiters run before the
+            # next drain, letting closed-loop clients re-submit and form
+            # the next coalesced batch.
+            await asyncio.sleep(0)

@@ -1,0 +1,140 @@
+"""Per-model-version warm pool: retrains swap in without cold compiles.
+
+The pool subscribes to :meth:`~repro.workflow.ModelStore.publish` and
+deserializes + compiles each new version *at publish time*, off the
+request path. :meth:`latest` then answers from the pool in O(1): the
+first request after a retrain gets the already-compiled new engine
+instead of paying npz parsing plus autograd tracing inline. A bounded
+number of versions stays resident (``capacity``, evicting oldest) so an
+in-flight request pinned to an older version keeps its engine while the
+next retrain lands.
+
+Corrupt publishes degrade instead of failing: the pool keeps serving its
+newest good version (the store's last-good contract) and counts the
+fallback. The cold-compile path in :meth:`latest` remains as a safety
+net for versions published while the pool was detached — it is counted
+separately (``repro_serve_cold_compiles_total``) precisely so tests can
+assert it stays at zero during normal serve traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ...core.model import Env2VecRegressor
+from ...obs import get_observability
+from ...workflow.model_store import CorruptModelError, ModelStore
+
+__all__ = ["WarmModelPool"]
+
+_OBS = get_observability()
+_M_WARM = _OBS.counter(
+    "repro_serve_warm_compiles_total",
+    "Model versions compiled off the request path (publish-time warmup)",
+)
+_M_COLD = _OBS.counter(
+    "repro_serve_cold_compiles_total",
+    "Model versions compiled inline on the request path (pool miss)",
+)
+_M_FALLBACKS = _OBS.counter(
+    "repro_serve_model_fallbacks_total",
+    "Corrupt publishes served by falling back to the newest good version",
+)
+_G_RESIDENT = _OBS.gauge(
+    "repro_serve_warm_models",
+    "Compiled model versions currently resident in the warm pool",
+)
+
+
+class WarmModelPool:
+    """Keeps the latest published models deserialized and compiled."""
+
+    def __init__(self, store: ModelStore, *, capacity: int = 2):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._store = store
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._models: OrderedDict[int, Env2VecRegressor] = OrderedDict()
+        self._unsubscribe = store.subscribe(self._on_publish)
+        if store.latest_version:
+            try:
+                self._warm(store.latest_version)
+                _M_WARM.inc()
+            except CorruptModelError:
+                # Nothing good to fall back to yet; the first request will
+                # surface the error through the pipeline's own handling.
+                _M_FALLBACKS.inc()
+
+    def close(self) -> None:
+        """Detach from the store; resident engines stay usable."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    @property
+    def resident_versions(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(sorted(self._models))
+
+    def _admit(self, version: int, model: Env2VecRegressor) -> None:
+        with self._lock:
+            self._models[version] = model
+            while len(self._models) > self.capacity:
+                oldest = min(self._models)
+                del self._models[oldest]
+            _G_RESIDENT.set(len(self._models))
+
+    def _warm(self, version: int) -> Env2VecRegressor:
+        """Deserialize + compile ``version`` and make it resident."""
+        blob, _record = self._store.fetch(version)
+        model = Env2VecRegressor.from_bytes(blob)
+        engine = model.compile()
+        engine.meta["model_store_version"] = version
+        self._admit(version, model)
+        return model
+
+    def _on_publish(self, record) -> None:
+        """Publish hook: compile the new version before traffic needs it.
+
+        A corrupt blob is absorbed here — the pool keeps answering with
+        its newest good version rather than propagating the failure into
+        the publisher (the store's own checksum already told it).
+        """
+        try:
+            self._warm(record.version)
+            _M_WARM.inc()
+        except CorruptModelError:
+            _M_FALLBACKS.inc()
+
+    def latest(self) -> tuple[Env2VecRegressor, int]:
+        """The newest resident model ``(engine, version)``.
+
+        When the store's latest version is resident (the steady state —
+        every publish warms it), this is a dict lookup. A missing version
+        (published while detached) is compiled inline and counted cold; a
+        corrupt one falls back to the newest resident good version.
+        """
+        target = self._store.latest_version
+        if not target:
+            raise LookupError("no model has been published yet")
+        with self._lock:
+            model = self._models.get(target)
+        if model is not None:
+            return model, target
+        try:
+            model = self._warm(target)
+            _M_COLD.inc()
+            return model, target
+        except CorruptModelError:
+            with self._lock:
+                if not self._models:
+                    raise
+                _M_FALLBACKS.inc()
+                newest = max(self._models)
+                return self._models[newest], newest

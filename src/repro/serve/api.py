@@ -1,0 +1,212 @@
+"""Typed request/response surface of the always-on serving layer.
+
+Every piece of traffic a live deployment fields maps to one request type:
+
+- :class:`PredictRequest` — monitor one test execution (inline arrays or a
+  ``record_id`` referencing telemetry previously scraped into the TSDB);
+  answered with a :class:`PredictResponse` wrapping the canonical
+  :class:`~repro.workflow.PipelineRun`.
+- :class:`ScrapeRequest` — ingest one execution's telemetry through the
+  collector into the workload TSDB; answered with a
+  :class:`ScrapeResponse` carrying the EM ``record_id``.
+- :class:`AlarmQuery` — the testing engineer's read path over the alarm
+  store; answered with an :class:`AlarmQueryResponse`.
+
+Requests are immutable and carry a caller-chosen ``request_id`` tag that
+is echoed back verbatim, so concurrent clients can correlate responses
+without relying on ordering. :class:`ServiceOverloaded` is the admission
+layer's explicit backpressure signal: it subclasses
+:class:`~repro.resilience.TransientError`, so a standard
+:class:`~repro.resilience.Retry` policy on the client side backs off and
+re-submits — ``retry_after`` is the service's own estimate of when queue
+depth will have drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.anomaly import GaussianErrorModel
+from ..data.chains import TestExecution
+from ..data.environment import Environment
+from ..resilience import TransientError
+from ..workflow.alarms import AlarmRecord
+from ..workflow.prediction_pipeline import PipelineRun, SkippedExecution
+
+__all__ = [
+    "PredictRequest",
+    "PredictResponse",
+    "ScrapeRequest",
+    "ScrapeResponse",
+    "AlarmQuery",
+    "AlarmQueryResponse",
+    "ServeConfig",
+    "ServiceOverloaded",
+]
+
+
+class ServiceOverloaded(TransientError):
+    """Admission rejected the request: queue depth exceeded the bound.
+
+    ``retry_after`` (seconds) estimates when the queue will have drained
+    enough to admit new work; a client-side retry policy should back off
+    at least that long before re-submitting.
+    """
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """The service's operating knobs (admission, batching, resilience).
+
+    ``max_batch``/``max_wait`` trade latency for throughput: the
+    micro-batcher coalesces up to ``max_batch`` queued predictions into
+    one :meth:`~repro.nn.inference.InferenceModel.predict_many`-shaped
+    forward, lingering at most ``max_wait`` seconds for the batch to fill
+    (``0`` coalesces only what is already queued). ``max_queue_depth``
+    bounds admission; past it, requests are rejected with
+    :class:`ServiceOverloaded` instead of growing the queue without bound.
+    """
+
+    max_batch: int = 32
+    max_wait: float = 0.002
+    max_queue_depth: int = 1024
+    #: warm model pool: how many compiled versions to keep resident.
+    pool_capacity: int = 2
+    #: consecutive scrape failures before the TSDB breaker opens, and the
+    #: (simulated) seconds it stays open before a half-open trial.
+    breaker_failures: int = 5
+    breaker_recovery: float = 300.0
+    #: fallback per-request service-time estimate (seconds) used for
+    #: ``retry_after`` before the first batch has been measured.
+    default_service_seconds: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.pool_capacity < 1:
+            raise ValueError("pool_capacity must be >= 1")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if self.breaker_recovery <= 0:
+            raise ValueError("breaker_recovery must be positive")
+        if self.default_service_seconds <= 0:
+            raise ValueError("default_service_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """Monitor one execution: inline telemetry or a scraped ``record_id``.
+
+    Exactly one of ``execution``/``record_id`` must be set; a
+    ``record_id`` request must also name the ``environment`` the scraped
+    telemetry came from (the TSDB stores series, not EM tuples). With
+    ``error_model=None`` the §4.3 self-calibrated mode is used.
+    """
+
+    execution: TestExecution | None = None
+    record_id: str | None = None
+    environment: Environment | None = None
+    error_model: GaussianErrorModel | None = None
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.execution is None) == (self.record_id is None):
+            raise ValueError(
+                "exactly one of execution/record_id must be set on a PredictRequest"
+            )
+        if self.record_id is not None and self.environment is None:
+            raise ValueError("a record_id request must carry its environment")
+
+    def __repr__(self) -> str:
+        # Compact by design: the default repr would stringify the inline
+        # execution's telemetry arrays every time a queue/future holding
+        # the request is repr'd (asyncio does this on the hot path).
+        target = (
+            f"record_id={self.record_id!r}"
+            if self.record_id is not None
+            else f"execution=<{len(self.execution.cpu)} timesteps>"
+        )
+        return f"PredictRequest({target}, request_id={self.request_id!r})"
+
+
+@dataclass(frozen=True)
+class PredictResponse:
+    """One prediction outcome; ``run`` is byte-identical to batch mode.
+
+    ``status`` is ``"ok"`` (``run`` set) or ``"skipped"`` (``skipped``
+    names why the referenced telemetry could not be monitored — missing
+    series, quarantine, TSDB circuit open). ``batch_size`` records how
+    many requests shared this response's coalesced forward, and
+    ``queued_seconds`` how long the request waited for it; neither
+    influences the numbers in ``run``.
+    """
+
+    request_id: str
+    status: str
+    model_version: int
+    run: PipelineRun | None = None
+    skipped: SkippedExecution | None = None
+    batch_size: int = 1
+    queued_seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        # PipelineRun's own repr is compact; keep the response repr flat
+        # so asyncio future reprs stay O(1) regardless of payload size.
+        body = repr(self.run) if self.run is not None else repr(self.skipped)
+        return (
+            f"PredictResponse(request_id={self.request_id!r}, "
+            f"status={self.status!r}, model_version={self.model_version}, "
+            f"batch_size={self.batch_size}, {body})"
+        )
+
+
+@dataclass(frozen=True)
+class ScrapeRequest:
+    """Ingest one execution's telemetry through the collector."""
+
+    execution: TestExecution
+    start_time: float = 0.0
+    request_id: str = ""
+
+
+@dataclass(frozen=True)
+class ScrapeResponse:
+    """Outcome of a scrape: the EM ``record_id``, or why it failed.
+
+    ``status`` is ``"ok"``, ``"unavailable"`` (the TSDB write path failed
+    past its retry budget) or ``"circuit_open"`` (the TSDB breaker is
+    failing fast; ``retry_after`` estimates when the next trial runs).
+    """
+
+    request_id: str
+    status: str
+    record_id: str | None = None
+    detail: str = ""
+    retry_after: float = 0.0
+
+
+@dataclass(frozen=True)
+class AlarmQuery:
+    """Query the alarm store (step 4's engineer-facing read path)."""
+
+    environment: object | None = None
+    testbed: str | None = None
+    build: str | None = None
+    unacknowledged_only: bool = False
+    request_id: str = ""
+
+
+@dataclass(frozen=True)
+class AlarmQueryResponse:
+    """Matching alarms, in id order."""
+
+    request_id: str
+    alarms: tuple[AlarmRecord, ...] = field(default_factory=tuple)

@@ -1,0 +1,145 @@
+"""Seeded load generation against a :class:`~repro.serve.ServeClient`.
+
+Real VNF test traffic is bursty — a CI trigger lands a wave of chain
+executions at once, then the testbed idles. :func:`arrival_offsets`
+draws that shape deterministically from a seed: burst sizes are
+geometric, inter-burst gaps exponential, and requests inside a burst
+arrive back-to-back. :func:`run_load` replays any request list on that
+arrival schedule through a client (open-loop), retrying explicit
+:class:`~repro.serve.ServiceOverloaded` rejections after the service's
+own ``retry_after`` hint, and folds the outcome into a
+:class:`LoadReport` with the latency percentiles the serving benchmarks
+(and the CLI demo) print.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from .api import PredictResponse, ServiceOverloaded
+
+__all__ = ["LoadProfile", "LoadReport", "arrival_offsets", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of a bursty open-loop arrival process (all times seconds)."""
+
+    n_requests: int
+    #: mean requests per burst (geometric; every burst has >= 1).
+    burst_size: float = 8.0
+    #: mean idle gap between bursts (exponential).
+    burst_gap: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        if self.burst_gap < 0:
+            raise ValueError("burst_gap must be >= 0")
+
+
+def arrival_offsets(profile: LoadProfile) -> np.ndarray:
+    """Deterministic arrival times (seconds from start), one per request."""
+    rng = np.random.default_rng(profile.seed)
+    offsets: list[float] = []
+    now = 0.0
+    while len(offsets) < profile.n_requests:
+        burst = 1 + rng.geometric(min(1.0, 1.0 / profile.burst_size))
+        burst = min(burst, profile.n_requests - len(offsets))
+        offsets.extend([now] * int(burst))
+        now += float(rng.exponential(profile.burst_gap))
+    return np.asarray(offsets[: profile.n_requests], dtype=np.float64)
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one :func:`run_load` replay."""
+
+    latencies: np.ndarray  # per-completed-request seconds, arrival order
+    responses: list[PredictResponse]
+    n_rejected: int  # ServiceOverloaded raised (counting retries)
+    n_failed: int  # requests that never completed (retry budget spent)
+    makespan: float  # first submit to last response, seconds
+
+    def __repr__(self) -> str:
+        # Compact: the default repr would stringify the full latency
+        # array and every response (asyncio reprs task results).
+        return (
+            f"LoadReport(n_completed={len(self.responses)}, "
+            f"n_rejected={self.n_rejected}, n_failed={self.n_failed}, "
+            f"throughput={self.throughput:.1f} rps)"
+        )
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second over the makespan."""
+        if self.makespan <= 0:
+            return float("inf")
+        return len(self.responses) / self.makespan
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100] over completed requests."""
+        if len(self.latencies) == 0:
+            return float("nan")
+        return float(np.percentile(self.latencies, q))
+
+    def summary(self) -> dict:
+        return {
+            "n_completed": len(self.responses),
+            "n_rejected": self.n_rejected,
+            "n_failed": self.n_failed,
+            "makespan_seconds": self.makespan,
+            "throughput_rps": self.throughput,
+            "p50_seconds": self.percentile(50),
+            "p95_seconds": self.percentile(95),
+            "p99_seconds": self.percentile(99),
+        }
+
+
+async def run_load(client, requests, offsets, *, max_retries: int = 3) -> LoadReport:
+    """Replay ``requests`` open-loop on the ``offsets`` arrival schedule.
+
+    Each request is submitted at its offset regardless of earlier
+    responses (open loop — backpressure must come from admission, not
+    from the generator slowing down). A rejected submit sleeps the
+    service's ``retry_after`` hint and retries up to ``max_retries``
+    times; requests that exhaust the budget count as failed.
+    """
+    offsets = np.asarray(offsets, dtype=np.float64)
+    if len(offsets) != len(requests):
+        raise ValueError(f"{len(requests)} requests but {len(offsets)} offsets")
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    rejected = 0
+
+    async def one(request, offset: float):
+        nonlocal rejected
+        await asyncio.sleep(max(0.0, start + offset - loop.time()))
+        submitted = loop.time()
+        for _attempt in range(1 + max_retries):
+            try:
+                response = await client.predict(request)
+            except ServiceOverloaded as exc:
+                rejected += 1
+                await asyncio.sleep(exc.retry_after)
+                continue
+            return loop.time() - submitted, response
+        return None
+
+    outcomes = await asyncio.gather(
+        *(one(request, offset) for request, offset in zip(requests, offsets))
+    )
+    completed = [outcome for outcome in outcomes if outcome is not None]
+    return LoadReport(
+        latencies=np.asarray([latency for latency, _ in completed], dtype=np.float64),
+        responses=[response for _, response in completed],
+        n_rejected=rejected,
+        n_failed=len(outcomes) - len(completed),
+        makespan=loop.time() - start,
+    )

@@ -1,0 +1,387 @@
+"""The always-on serving layer: campaign-as-a-service.
+
+:class:`Env2VecService` turns the batch workflow (scrape → predict →
+alarm) into a long-running asyncio service with one typed request API:
+
+- **admission** — a bounded FIFO; past ``max_queue_depth`` submits are
+  rejected synchronously with :class:`~repro.serve.ServiceOverloaded`
+  (explicit backpressure, never an unbounded queue),
+- **micro-batching** — a background drain loop coalesces queued predict
+  requests across chains into one batched forward (``max_batch`` /
+  ``max_wait`` knobs), which is safe because every compiled kernel is
+  row-wise: the numbers are byte-identical to batch
+  :meth:`~repro.workflow.PredictionPipeline.execute` no matter how
+  traffic happens to batch,
+- **warm model pool** — publishes compile off the request path, so a
+  retrain swaps in atomically without a cold-compile latency spike,
+- **resilience at the boundary** — a :class:`~repro.resilience.CircuitBreaker`
+  around the TSDB scrape path fails fast during outages, and rejections
+  carry ``retry_after`` hints sized from measured service time.
+
+All request-path metrics (`repro_serve_*`) are ordinary
+:mod:`repro.obs` instruments; with ``self_monitor=True`` the service
+dogfoods them into an in-repo TSDB via :class:`~repro.obs.TSDBExporter`,
+so p50/p95/p99 and queue depth are answerable with the repo's own
+PromQL (``histogram_quantile(0.95, repro_serve_request_seconds_bucket)``).
+
+Clients never touch the service object directly: :meth:`Env2VecService.client`
+hands out the :class:`ServeClient` facade, the single sanctioned entry
+point for predictions, scrapes, and alarm queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..obs import LATENCY_BUCKETS, get_observability
+from ..resilience import (
+    CircuitBreaker,
+    CircuitOpen,
+    ExecutionQuarantined,
+    RetryExhausted,
+    TransientError,
+)
+from ..workflow.alarms import AlarmStore
+from ..workflow.model_store import ModelStore
+from ..workflow.prediction_pipeline import (
+    PipelineRun,
+    PredictBatch,
+    PredictionPipeline,
+    SkippedExecution,
+)
+from ..workflow.tsdb import AmbiguousSeries, SeriesNotFound, TimeSeriesDB
+from ._internal.admission import AdmissionController, PendingRequest
+from ._internal.batcher import MicroBatcher
+from ._internal.warm_pool import WarmModelPool
+from .api import (
+    AlarmQuery,
+    AlarmQueryResponse,
+    PredictRequest,
+    PredictResponse,
+    ScrapeRequest,
+    ScrapeResponse,
+    ServeConfig,
+)
+
+__all__ = ["Env2VecService", "ServeClient"]
+
+_OBS = get_observability()
+_M_REQUESTS = _OBS.counter(
+    "repro_serve_requests_total",
+    "Requests answered by the serving layer",
+    labels=("kind", "status"),
+)
+_H_LATENCY = _OBS.histogram(
+    "repro_serve_request_seconds",
+    "End-to-end request latency (admission to response)",
+    labels=("kind",),
+    buckets=LATENCY_BUCKETS,
+)
+# The predict path touches these once per request; resolve the label
+# children up front instead of re-hashing label tuples on the hot path.
+_M_PREDICT_OK = _M_REQUESTS.labels(kind="predict", status="ok")
+_M_PREDICT_SKIPPED = _M_REQUESTS.labels(kind="predict", status="skipped")
+_H_PREDICT_LATENCY = _H_LATENCY.labels(kind="predict")
+
+
+class Env2VecService:
+    """Always-on serving front end over the workflow pipelines."""
+
+    def __init__(
+        self,
+        model_store: ModelStore,
+        alarm_store: AlarmStore | None = None,
+        collector=None,
+        *,
+        config: ServeConfig | None = None,
+        gamma: float = 2.0,
+        abs_threshold: float = 5.0,
+        termination_threshold: int | None = None,
+        breaker_clock=None,
+        self_monitor: bool = False,
+        scrape_interval: float = 15.0,
+    ):
+        self.config = config if config is not None else ServeConfig()
+        self.model_store = model_store
+        self.alarm_store = alarm_store if alarm_store is not None else AlarmStore()
+        self.collector = collector
+        self.pipeline = PredictionPipeline(
+            model_store,
+            self.alarm_store,
+            gamma=gamma,
+            abs_threshold=abs_threshold,
+            termination_threshold=termination_threshold,
+        )
+        self.pool = WarmModelPool(model_store, capacity=self.config.pool_capacity)
+        self.admission = AdmissionController(
+            self.config.max_queue_depth, self.config.default_service_seconds
+        )
+        self.tsdb_breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failures,
+            recovery_time=self.config.breaker_recovery,
+            clock=breaker_clock,
+            name="serve-tsdb",
+        )
+        self._batcher = MicroBatcher(
+            self.admission,
+            max_batch=self.config.max_batch,
+            max_wait=self.config.max_wait,
+            execute=self._execute_batch,
+        )
+        self.exporter = None
+        if self_monitor:
+            from ..obs import TSDBExporter
+
+            self.exporter = TSDBExporter(
+                _OBS.registry,
+                tsdb=TimeSeriesDB(name="serve-observability"),
+                interval=scrape_interval,
+            )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Start the micro-batcher (requires a running event loop)."""
+        self._batcher.start()
+
+    async def stop(self) -> None:
+        """Stop draining; queued-but-unbatched requests fail explicitly."""
+        await self._batcher.stop()
+        self.pool.close()
+        if self.exporter is not None:
+            self.exporter.tick()
+
+    async def __aenter__(self) -> "Env2VecService":
+        self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    def client(self) -> "ServeClient":
+        return ServeClient(self)
+
+    def export_metrics(self) -> float:
+        """Dogfood one metrics snapshot into the service's own TSDB."""
+        if self.exporter is None:
+            raise RuntimeError("service was built with self_monitor=False")
+        return self.exporter.tick()
+
+    # -- predict path --------------------------------------------------
+
+    def submit_predict(self, request: PredictRequest) -> asyncio.Future:
+        """Admit a predict request; the future resolves to a PredictResponse."""
+        if not isinstance(request, PredictRequest):
+            raise TypeError(f"expected PredictRequest, got {type(request).__name__}")
+        return self.admission.submit(request, now=asyncio.get_running_loop().time())
+
+    def _resolve_execution(self, request: PredictRequest):
+        """Inline execution, or the TSDB read-back behind a record_id.
+
+        Returns ``(execution, skipped)`` — exactly one is set. Degraded
+        telemetry becomes a typed skip (mirroring
+        :meth:`~repro.workflow.PredictionPipeline.run_from_tsdb`); a TSDB
+        outage trips the scrape breaker's failure counter too, since both
+        paths share the backend.
+        """
+        if request.execution is not None:
+            return request.execution, None
+        if self.collector is None:
+            return None, SkippedExecution(
+                reason="no_collector",
+                detail="service has no MetricCollector; record_id requests unsupported",
+            )
+        try:
+            self.tsdb_breaker.allow()
+        except CircuitOpen as exc:
+            return None, SkippedExecution(reason="tsdb_circuit_open", detail=str(exc))
+        try:
+            features, cpu = self.collector.read_back(request.record_id)
+        except (SeriesNotFound, AmbiguousSeries) as exc:
+            return None, SkippedExecution(reason="series_missing", detail=str(exc))
+        except ExecutionQuarantined as exc:
+            return None, SkippedExecution(reason=exc.reason, detail=exc.detail)
+        except (RetryExhausted, TransientError) as exc:
+            self.tsdb_breaker.record_failure()
+            return None, SkippedExecution(reason="tsdb_unavailable", detail=str(exc))
+        self.tsdb_breaker.record_success()
+        from ..data.chains import TestExecution
+
+        return (
+            TestExecution(environment=request.environment, features=features, cpu=cpu),
+            None,
+        )
+
+    def _execute_batch(self, batch: list[PendingRequest]) -> None:
+        """Run one coalesced forward and resolve futures in admission order."""
+        loop = asyncio.get_running_loop()
+        try:
+            model, version = self.pool.latest()
+        except LookupError as exc:
+            for pending in batch:
+                pending.future.set_exception(LookupError(str(exc)))
+            return
+
+        ready: list[tuple[PendingRequest, object, object]] = []
+        for pending in batch:
+            request = pending.request
+            execution, skipped = self._resolve_execution(request)
+            if skipped is not None:
+                self._respond(pending, self._skip_response(pending, version, skipped), loop)
+                continue
+            if len(execution.cpu) <= model.n_lags + 1:
+                pending.future.set_exception(
+                    ValueError(
+                        f"execution has {len(execution.cpu)} timesteps; "
+                        f"need more than n_lags + 1 = {model.n_lags + 1} to window"
+                    )
+                )
+                continue
+            ready.append((pending, execution, request.error_model))
+
+        if not ready:
+            return
+        started = loop.time()
+        runs = self.pipeline.execute(
+            PredictBatch(
+                tuple(execution for _, execution, _ in ready),
+                tuple(error_model for _, _, error_model in ready),
+            ),
+            model=model,
+            model_version=version,
+        )
+        self.admission.record_service_time((loop.time() - started) / len(ready))
+        for (pending, _, _), run in zip(ready, runs):
+            self._respond(pending, self._ok_response(pending, version, run), loop)
+
+    def _skip_response(
+        self, pending: PendingRequest, version: int, skipped: SkippedExecution
+    ) -> PredictResponse:
+        return PredictResponse(
+            request_id=pending.request.request_id,
+            status="skipped",
+            model_version=version,
+            skipped=skipped,
+            batch_size=pending.batch_size,
+        )
+
+    def _ok_response(
+        self, pending: PendingRequest, version: int, run: PipelineRun
+    ) -> PredictResponse:
+        return PredictResponse(
+            request_id=pending.request.request_id,
+            status="ok",
+            model_version=version,
+            run=run,
+            batch_size=pending.batch_size,
+        )
+
+    def _respond(self, pending: PendingRequest, response: PredictResponse, loop) -> None:
+        now = loop.time()
+        response = PredictResponse(
+            request_id=response.request_id,
+            status=response.status,
+            model_version=response.model_version,
+            run=response.run,
+            skipped=response.skipped,
+            batch_size=response.batch_size,
+            queued_seconds=now - pending.enqueued_at,
+        )
+        (_M_PREDICT_OK if response.status == "ok" else _M_PREDICT_SKIPPED).inc()
+        _H_PREDICT_LATENCY.observe(now - pending.enqueued_at)
+        if not pending.future.done():
+            pending.future.set_result(response)
+
+    # -- scrape path ---------------------------------------------------
+
+    def scrape(self, request: ScrapeRequest) -> ScrapeResponse:
+        """Ingest telemetry through the collector, breaker-gated."""
+        if self.collector is None:
+            raise RuntimeError("service has no MetricCollector; cannot scrape")
+        with _H_LATENCY.labels(kind="scrape").time():
+            try:
+                self.tsdb_breaker.allow()
+            except CircuitOpen as exc:
+                _M_REQUESTS.labels(kind="scrape", status="circuit_open").inc()
+                return ScrapeResponse(
+                    request_id=request.request_id,
+                    status="circuit_open",
+                    detail=str(exc),
+                    retry_after=self.tsdb_breaker.retry_after(),
+                )
+            try:
+                record_id = self.collector.collect(
+                    request.execution, start_time=request.start_time
+                )
+            except (RetryExhausted, TransientError) as exc:
+                self.tsdb_breaker.record_failure()
+                _M_REQUESTS.labels(kind="scrape", status="unavailable").inc()
+                return ScrapeResponse(
+                    request_id=request.request_id,
+                    status="unavailable",
+                    detail=str(exc),
+                    retry_after=self.tsdb_breaker.retry_after(),
+                )
+            self.tsdb_breaker.record_success()
+            _M_REQUESTS.labels(kind="scrape", status="ok").inc()
+            return ScrapeResponse(
+                request_id=request.request_id, status="ok", record_id=record_id
+            )
+
+    # -- alarm path ----------------------------------------------------
+
+    def query_alarms(self, query: AlarmQuery) -> AlarmQueryResponse:
+        """Engineer-facing read path over the alarm store (step 4)."""
+        with _H_LATENCY.labels(kind="alarms").time():
+            records = self.alarm_store.fetch(
+                testbed=query.testbed,
+                build=query.build,
+                environment=query.environment,
+                unacknowledged_only=query.unacknowledged_only,
+            )
+            _M_REQUESTS.labels(kind="alarms", status="ok").inc()
+            return AlarmQueryResponse(request_id=query.request_id, alarms=tuple(records))
+
+
+class ServeClient:
+    """The one public handle for traffic against an :class:`Env2VecService`.
+
+    Every method is a coroutine; submits happen synchronously inside the
+    calling coroutine, so concurrent clients that are started in a fixed
+    order are admitted in that order (what makes serve traffic replayable
+    against batch mode).
+    """
+
+    def __init__(self, service: Env2VecService):
+        self._service = service
+
+    async def predict(self, request: PredictRequest) -> PredictResponse:
+        """Monitor one execution; may coalesce with concurrent requests."""
+        return await self._service.submit_predict(request)
+
+    async def predict_many(self, requests) -> list[PredictResponse]:
+        """Submit a group atomically: all admitted, or none stay queued.
+
+        On overload mid-group, submissions still waiting in the admission
+        queue are withdrawn before :class:`ServiceOverloaded` propagates,
+        so a rejected group never leaves orphaned work behind.
+        """
+        futures: list[asyncio.Future] = []
+        try:
+            for request in requests:
+                futures.append(self._service.submit_predict(request))
+        except Exception:
+            self._service.admission.evict(futures)
+            for future in futures:
+                if not future.done():
+                    future.cancel()
+            raise
+        return list(await asyncio.gather(*futures))
+
+    async def scrape(self, request: ScrapeRequest) -> ScrapeResponse:
+        """Ingest one execution's telemetry (breaker-gated)."""
+        return self._service.scrape(request)
+
+    async def alarms(self, query: AlarmQuery) -> AlarmQueryResponse:
+        """Query raised alarms."""
+        return self._service.query_alarms(query)

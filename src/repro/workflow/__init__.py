@@ -34,6 +34,7 @@ from .promql import (
 )
 from .prediction_pipeline import (
     PipelineRun,
+    PredictBatch,
     PredictionPipeline,
     SkippedExecution,
     build_prediction_frame,
@@ -78,6 +79,7 @@ __all__ = [
     "TrainingPipeline",
     "TrainingResult",
     "PredictionPipeline",
+    "PredictBatch",
     "PipelineRun",
     "SkippedExecution",
     "build_prediction_frame",

@@ -14,6 +14,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 __all__ = ["CorruptModelError", "ModelVersion", "ModelStore"]
 
@@ -46,6 +47,7 @@ class ModelStore:
         self._blobs: dict[int, bytes] = {}
         self._versions: dict[int, ModelVersion] = {}
         self._latest = 0
+        self._subscribers: list[Callable[[ModelVersion], None]] = []
         if self.path is not None:
             self.path.mkdir(parents=True, exist_ok=True)
             self._load_existing()
@@ -105,7 +107,33 @@ class ModelStore:
                     }
                 )
             )
+        # Publish hooks fire after the blob is durably stored, so a
+        # subscriber that immediately fetches the version always succeeds.
+        # The serve layer's warm model pool uses this to compile the new
+        # version *at publish time* — the request path never pays a cold
+        # compile after a retrain. Subscriber exceptions propagate to the
+        # publisher (a failed warm compile is the trainer's problem, not a
+        # condition to hide from it); subscribers that prefer last-good
+        # semantics catch their own errors.
+        for callback in tuple(self._subscribers):
+            callback(record)
         return record
+
+    def subscribe(self, callback: Callable[[ModelVersion], None]) -> Callable[[], None]:
+        """Invoke ``callback(record)`` after every successful publish.
+
+        Returns an idempotent unsubscribe function. Callbacks run
+        synchronously on the publisher's thread, in subscription order.
+        """
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass  # already unsubscribed
+
+        return unsubscribe
 
     def _verify(self, blob: bytes, record: ModelVersion) -> None:
         """Reject truncated or bit-rotted blobs before they deserialize.

@@ -246,6 +246,29 @@ class TestingCampaign:
                 window_cache=WindowCache(self.n_lags),
             )
 
+    def service(self, **kwargs):
+        """Campaign-as-a-service: an always-on front end over this campaign.
+
+        Builds a :class:`repro.serve.Env2VecService` wired to the
+        campaign's own model store, alarm store, collector, and detector
+        thresholds, so live traffic is monitored by exactly the model the
+        day loop would use and alarms land in the same store the day loop
+        reads. Keyword arguments (``config=ServeConfig(...)``,
+        ``breaker_clock=...``, ...) pass through to the service.
+        """
+        # Imported lazily: repro.serve imports this package's pipelines,
+        # so a module-level import here would cycle.
+        from ..serve import Env2VecService
+
+        kwargs.setdefault("gamma", self.gamma)
+        kwargs.setdefault("abs_threshold", self.abs_threshold)
+        return Env2VecService(
+            self.model_store,
+            self.alarm_store,
+            self._collector,
+            **kwargs,
+        )
+
     # -- internals --------------------------------------------------------
     def _predict(self, execution: TestExecution) -> tuple[np.ndarray, np.ndarray]:
         X, history, y = build_windows(execution.features, execution.cpu, self.n_lags)

@@ -10,6 +10,7 @@ push alarms — testbed, interval, peak deviation — into the alarm store.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +27,13 @@ from .alarms import AlarmStore
 from .model_store import CorruptModelError, ModelStore
 from .tsdb import AmbiguousSeries, SeriesNotFound
 
-__all__ = ["PredictionPipeline", "PipelineRun", "SkippedExecution", "build_prediction_frame"]
+__all__ = [
+    "PredictionPipeline",
+    "PredictBatch",
+    "PipelineRun",
+    "SkippedExecution",
+    "build_prediction_frame",
+]
 
 _OBS = get_observability()
 _H_RUN = _OBS.histogram(
@@ -85,7 +92,43 @@ def build_prediction_frame(
     return frame
 
 
-@dataclass
+@dataclass(frozen=True)
+class PredictBatch:
+    """The one prediction request shape every entry point consumes.
+
+    ``PredictionPipeline.run`` (one execution), ``run_many`` (a fleet) and
+    the ``repro.serve`` request path all used to carry their own argument
+    conventions; they now converge on this type and
+    :meth:`PredictionPipeline.execute`. ``error_models`` aligns one
+    :class:`~repro.core.anomaly.GaussianErrorModel` (or ``None`` for the
+    §4.3 self-calibrated mode) with each execution; ``None`` means
+    self-calibrated throughout.
+    """
+
+    executions: tuple[TestExecution, ...]
+    error_models: tuple | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "executions", tuple(self.executions))
+        if self.error_models is not None:
+            object.__setattr__(self, "error_models", tuple(self.error_models))
+            if len(self.error_models) != len(self.executions):
+                raise ValueError(
+                    f"error_models must align with executions: got "
+                    f"{len(self.error_models)} for {len(self.executions)}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+    def aligned_error_models(self) -> tuple:
+        """One entry per execution, ``None``-filled when omitted."""
+        if self.error_models is None:
+            return (None,) * len(self.executions)
+        return self.error_models
+
+
+@dataclass(repr=False)
 class PipelineRun:
     """Everything one pipeline execution produced."""
 
@@ -95,6 +138,16 @@ class PipelineRun:
     model_version: int
     alarm_ids: list[int]
     terminated_early: bool
+
+    def __repr__(self) -> str:
+        # Deliberately compact: the default dataclass repr stringifies the
+        # full prediction arrays, which asyncio's future/task reprs then
+        # render per request — measurably dominating the serve hot path.
+        return (
+            f"PipelineRun(model_version={self.model_version}, "
+            f"windows={len(self.observations)}, alarm_ids={self.alarm_ids}, "
+            f"terminated_early={self.terminated_early})"
+        )
 
 
 @dataclass(frozen=True)
@@ -174,50 +227,19 @@ class PredictionPipeline:
         execution: TestExecution,
         error_model: GaussianErrorModel | None = None,
     ) -> PipelineRun:
-        """Monitor one test execution; push alarms for detected anomalies.
+        """Deprecated alias: monitor one test execution.
 
-        With ``error_model=None`` the §4.3 self-calibrated mode is used
-        (for unseen environments without history).
+        Build a single-execution :class:`PredictBatch` and call
+        :meth:`execute` instead. Results are byte-identical to the
+        canonical call; only the request shape changed.
         """
-        with _H_RUN.time(), _OBS.span("predict.run"):
-            model, version = self._fetch_model()
-            with _OBS.span("predict.forward"):
-                predicted, observed = self._predict_execution(model, execution)
-            with _OBS.span("predict.detect"):
-                if error_model is None:
-                    report = self.detector.detect_self_calibrated(predicted, observed)
-                else:
-                    report = self.detector.detect(predicted, observed, error_model)
-
-            alarm_ids = []
-            offset = model.n_lags  # report indices are relative to windowed rows
-            for alarm in report.alarms:
-                alarm_ids.append(
-                    self.alarms.push(
-                        environment=execution.environment,
-                        start_step=alarm.start + offset,
-                        end_step=alarm.end + offset,
-                        peak_deviation=alarm.peak_deviation,
-                        gamma=report.gamma,
-                    )
-                )
-            terminated = (
-                self.termination_threshold is not None
-                and self.alarms.should_terminate(
-                    execution.environment, threshold=self.termination_threshold
-                )
-            )
-        _M_RUNS.inc()
-        _M_WINDOWS.inc(len(observed))
-        _M_ALARMS.inc(len(alarm_ids))
-        return PipelineRun(
-            report=report,
-            predictions=predicted,
-            observations=observed,
-            model_version=version,
-            alarm_ids=alarm_ids,
-            terminated_early=terminated,
+        warnings.warn(
+            "PredictionPipeline.run is deprecated; wrap the execution in a "
+            "PredictBatch and call execute() (or go through repro.serve)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self.execute(PredictBatch((execution,), (error_model,)))[0]
 
     def run_many(
         self,
@@ -226,36 +248,67 @@ class PredictionPipeline:
         n_workers: int = 1,
         worker_kind: str = "threads",
     ) -> list[PipelineRun]:
-        """Monitor a fleet of executions sharing the latest model version.
+        """Deprecated alias: monitor a fleet of executions.
 
-        The fan-out/fan-in counterpart of calling :meth:`run` in a loop,
-        built for campaign-scale batches: the model is fetched once,
-        window construction and forwards are coalesced into batched
-        predict calls per worker (bitwise identical to per-execution
-        predicts — every kernel is row-wise), and detection fans out over
-        a :class:`~repro.parallel.WorkerPool`. Side effects merge back
-        deterministically: alarms are pushed serially in input order, so
-        alarm ids, store contents, and every returned
-        :class:`PipelineRun` are byte-identical to the serial loop.
+        Build a :class:`PredictBatch` and call :meth:`execute` instead.
+        Results are byte-identical to the canonical call; only the
+        request shape changed.
+        """
+        warnings.warn(
+            "PredictionPipeline.run_many is deprecated; wrap the executions "
+            "in a PredictBatch and call execute() (or go through repro.serve)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        batch = PredictBatch(
+            tuple(executions),
+            tuple(error_models) if error_models is not None else None,
+        )
+        return self.execute(batch, n_workers=n_workers, worker_kind=worker_kind)
 
-        ``error_models`` aligns one
-        :class:`~repro.core.anomaly.GaussianErrorModel` (or None for the
-        §4.3 self-calibrated mode) with each execution; omitted means
-        self-calibrated throughout. Executions must be long enough to
-        window — the same contract as :meth:`run`.
+    def execute(
+        self,
+        batch: PredictBatch,
+        *,
+        n_workers: int = 1,
+        worker_kind: str = "threads",
+        model: Env2VecRegressor | None = None,
+        model_version: int | None = None,
+    ) -> list[PipelineRun]:
+        """Monitor a :class:`PredictBatch` sharing one model version.
+
+        The single canonical prediction entry point (the legacy ``run`` /
+        ``run_many`` signatures are thin aliases over it): the model is
+        fetched once, window construction and forwards are coalesced into
+        batched predict calls per worker (bitwise identical to
+        per-execution predicts — every kernel is row-wise), and detection
+        fans out over a :class:`~repro.parallel.WorkerPool`. Side effects
+        merge back deterministically: alarms are pushed serially in input
+        order, so alarm ids, store contents, and every returned
+        :class:`PipelineRun` are byte-identical to the serial loop — and
+        independent of how callers slice a workload into batches, which is
+        what lets the ``repro.serve`` micro-batcher coalesce concurrent
+        requests freely.
+
+        ``model``/``model_version`` inject an already-fetched model (the
+        serve layer's warm pool); by default the latest published version
+        is fetched through the version-keyed cache. Executions must be
+        long enough to window (``n_timesteps > n_lags + 1``).
         """
         from ..parallel import WorkerPool, split_round_robin
 
-        if error_models is None:
-            error_models = [None] * len(executions)
-        if len(error_models) != len(executions):
-            raise ValueError("error_models must align with executions")
+        executions = list(batch.executions)
+        error_models = list(batch.aligned_error_models())
         if not executions:
             return []
+        if model is not None and model_version is None:
+            raise ValueError("model_version must accompany an injected model")
         # One latency observation for the whole batch (a per-execution
         # observation would misrepresent the coalesced forwards).
-        with _H_RUN.time(), _OBS.span("predict.run_many"):
-            model, version = self._fetch_model()
+        with _H_RUN.time(), _OBS.span("predict.execute"):
+            if model is None:
+                model, model_version = self._fetch_model()
+            version = model_version
             model.ensure_compiled()
             indexed = list(enumerate(executions))
 
@@ -272,17 +325,22 @@ class PredictionPipeline:
                     np.concatenate([X for X, _, _ in windows], axis=0),
                     np.concatenate([h for _, h, _ in windows], axis=0),
                 )
-                out, start = [], 0
-                for (index, _), (_, _, observed) in zip(chunk, windows):
-                    pred = predicted[start : start + len(observed)]
+                predicted_rows, observed_rows, start = [], [], 0
+                for _, _, observed in windows:
+                    predicted_rows.append(predicted[start : start + len(observed)])
+                    observed_rows.append(observed)
                     start += len(observed)
-                    error_model = error_models[index]
-                    if error_model is None:
-                        report = self.detector.detect_self_calibrated(pred, observed)
-                    else:
-                        report = self.detector.detect(pred, observed, error_model)
-                    out.append((index, report, pred, observed))
-                return out
+                reports = self.detector.detect_many(
+                    predicted_rows,
+                    observed_rows,
+                    [error_models[index] for index, _ in chunk],
+                )
+                return [
+                    (index, report, pred, observed)
+                    for (index, _), report, pred, observed in zip(
+                        chunk, reports, predicted_rows, observed_rows
+                    )
+                ]
 
             with WorkerPool(n_workers, kind=worker_kind) as pool:
                 chunk_results = pool.map(
@@ -357,7 +415,7 @@ class PredictionPipeline:
             _M_SKIPS.labels(reason=exc.reason).inc()
             return SkippedExecution(reason=exc.reason, detail=exc.detail)
         execution = TestExecution(environment=environment, features=features, cpu=cpu)
-        return self.run(execution, error_model=error_model)
+        return self.execute(PredictBatch((execution,), (error_model,)))[0]
 
     def report(self, execution: TestExecution, run: PipelineRun, width: int = 72) -> str:
         """Render the engineer-facing report for a completed run (step 4)."""

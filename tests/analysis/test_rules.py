@@ -1,4 +1,4 @@
-"""Per-rule positive/negative snippets for the REP001-REP008 catalog.
+"""Per-rule positive/negative snippets for the REP001-REP010 catalog.
 
 Each rule gets at least one snippet it must flag and one it must not.
 Snippets are scanned under fake repo-relative paths so the package/test
@@ -504,5 +504,41 @@ def test_rep009_silent_inside_nn_tests_and_benchmarks():
     source = """
         from repro.nn import GRU, AdditiveAttention
         """
+    assert scan(source, path=TESTS) == []
+    assert scan(source, path="benchmarks/bench_mod.py") == []
+
+
+# -- REP010: serve._internal import boundary --------------------------------
+
+def test_rep010_flags_internal_imports_outside_serve():
+    findings = scan(
+        """
+        from repro.serve._internal.admission import AdmissionController
+        from ..serve._internal.warm_pool import WarmModelPool
+        import repro.serve._internal.batcher
+        """,
+        path=WORKFLOW,
+    )
+    assert [f.rule for f in findings] == ["REP010", "REP010", "REP010"]
+
+
+def test_rep010_allows_public_serve_surface():
+    findings = scan(
+        """
+        from repro.serve import Env2VecService, ServeClient
+        from ..serve import PredictRequest
+        import repro.serve
+        """,
+        path=WORKFLOW,
+    )
+    assert findings == []
+
+
+def test_rep010_silent_inside_serve_tests_and_benchmarks():
+    source = """
+        from ._internal.admission import AdmissionController
+        from repro.serve._internal.batcher import MicroBatcher
+        """
+    assert scan(source, path="src/repro/serve/mod.py") == []
     assert scan(source, path=TESTS) == []
     assert scan(source, path="benchmarks/bench_mod.py") == []

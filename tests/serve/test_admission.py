@@ -1,0 +1,98 @@
+"""Admission control: bounded queue, explicit rejection, FIFO drain."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import PredictRequest, ServiceOverloaded
+from repro.serve._internal.admission import AdmissionController
+from repro.serve._internal.admission import _M_REJECTED
+
+
+def _request(i: int) -> PredictRequest:
+    import numpy as np
+
+    from repro.data import Environment, TestExecution
+
+    env = Environment("Testbed_1", "SUT_DB", "Testcase_Reg", "Build_1")
+    features = np.zeros((10, 3))
+    cpu = np.zeros(10)
+    return PredictRequest(
+        execution=TestExecution(environment=env, features=features, cpu=cpu),
+        request_id=str(i),
+    )
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAdmission:
+    def test_rejects_past_depth_bound_and_counts(self):
+        async def scenario():
+            admission = AdmissionController(max_depth=3, default_service_seconds=0.01)
+            before = _M_REJECTED.value
+            loop = asyncio.get_running_loop()
+            for i in range(3):
+                admission.submit(_request(i), now=loop.time())
+            assert admission.depth == 3
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                admission.submit(_request(3), now=loop.time())
+            assert excinfo.value.retry_after == pytest.approx(3 * 0.01)
+            assert admission.rejected == 1
+            assert _M_REJECTED.value == before + 1
+
+        run(scenario())
+
+    def test_drain_preserves_fifo_order(self):
+        async def scenario():
+            admission = AdmissionController(max_depth=10, default_service_seconds=0.01)
+            loop = asyncio.get_running_loop()
+            for i in range(5):
+                admission.submit(_request(i), now=loop.time())
+            first = admission.drain(3)
+            rest = admission.drain(10)
+            assert [p.request.request_id for p in first] == ["0", "1", "2"]
+            assert [p.request.request_id for p in rest] == ["3", "4"]
+            assert admission.depth == 0
+
+        run(scenario())
+
+    def test_evict_withdraws_only_named_futures(self):
+        async def scenario():
+            admission = AdmissionController(max_depth=10, default_service_seconds=0.01)
+            loop = asyncio.get_running_loop()
+            futures = [admission.submit(_request(i), now=loop.time()) for i in range(4)]
+            assert admission.evict([futures[1], futures[3]]) == 2
+            remaining = admission.drain(10)
+            assert [p.request.request_id for p in remaining] == ["0", "2"]
+
+        run(scenario())
+
+    def test_service_time_ewma_moves_retry_after(self):
+        async def scenario():
+            admission = AdmissionController(max_depth=8, default_service_seconds=0.01)
+            loop = asyncio.get_running_loop()
+            for i in range(8):
+                admission.submit(_request(i), now=loop.time())
+            hint_before = admission.retry_after()
+            admission.record_service_time(1.0)
+            assert admission.retry_after() > hint_before
+
+        run(scenario())
+
+    def test_wait_nonempty_wakes_on_submit(self):
+        async def scenario():
+            admission = AdmissionController(max_depth=4, default_service_seconds=0.01)
+            loop = asyncio.get_running_loop()
+
+            async def producer():
+                await asyncio.sleep(0)
+                admission.submit(_request(0), now=loop.time())
+
+            task = loop.create_task(producer())
+            await asyncio.wait_for(admission.wait_nonempty(), timeout=1.0)
+            await task
+            assert admission.depth == 1
+
+        run(scenario())

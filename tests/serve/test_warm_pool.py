@@ -1,0 +1,119 @@
+"""Warm model pool: publish-time compiles, eviction, last-good fallback."""
+
+import pytest
+
+from repro.data import TelecomConfig, generate_telecom
+from repro.workflow import ModelStore, TrainingPipeline
+from repro.serve._internal.warm_pool import (
+    WarmModelPool,
+    _M_COLD,
+    _M_FALLBACKS,
+    _M_WARM,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    dataset = generate_telecom(
+        TelecomConfig(
+            n_chains=4,
+            n_testbeds=2,
+            builds_per_chain=(3, 3),
+            timesteps_per_build=(60, 70),
+            n_focus=1,
+            include_rare_testbed=False,
+            seed=7,
+        )
+    )
+    return dataset.history_training_series()
+
+
+def _trainer(store: ModelStore) -> TrainingPipeline:
+    return TrainingPipeline(
+        store,
+        n_lags=3,
+        model_params={"max_epochs": 2, "batch_size": 256, "dropout": 0.0},
+        seed=0,
+    )
+
+
+class TestWarmModelPool:
+    def test_publish_compiles_off_the_request_path(self, corpus):
+        store = ModelStore()
+        trainer = _trainer(store)
+        pool = WarmModelPool(store, capacity=2)
+        warm_before, cold_before = _M_WARM.value, _M_COLD.value
+        trainer.train(corpus)
+        assert _M_WARM.value == warm_before + 1
+        # The request path finds the engine already resident: no cold compile.
+        model, version = pool.latest()
+        assert version == store.latest_version == 1
+        assert model._engine is not None
+        assert model._engine.meta["model_store_version"] == 1
+        assert _M_COLD.value == cold_before
+        pool.close()
+
+    def test_retrain_swaps_version_without_cold_compile(self, corpus):
+        store = ModelStore()
+        trainer = _trainer(store)
+        trainer.train(corpus)
+        pool = WarmModelPool(store, capacity=2)
+        cold_before = _M_COLD.value
+        _, v1 = pool.latest()
+        trainer.train(corpus)  # the retrain lands mid-traffic
+        model, v2 = pool.latest()
+        assert (v1, v2) == (1, 2)
+        assert model._engine is not None
+        assert _M_COLD.value == cold_before
+        assert pool.resident_versions == (1, 2)
+        pool.close()
+
+    def test_capacity_evicts_oldest_version(self, corpus):
+        store = ModelStore()
+        trainer = _trainer(store)
+        pool = WarmModelPool(store, capacity=2)
+        for _ in range(3):
+            trainer.train(corpus)
+        assert pool.resident_versions == (2, 3)
+        pool.close()
+
+    def test_detached_pool_pays_cold_compile_once(self, corpus):
+        store = ModelStore()
+        trainer = _trainer(store)
+        trainer.train(corpus)
+        pool = WarmModelPool(store, capacity=2)
+        pool.close()  # detached: the next publish is not warmed
+        trainer.train(corpus)
+        cold_before = _M_COLD.value
+        _, version = pool.latest()
+        assert version == 2
+        assert _M_COLD.value == cold_before + 1
+
+    def test_corrupt_publish_falls_back_to_last_good(self, corpus):
+        store = ModelStore()
+        trainer = _trainer(store)
+        trainer.train(corpus)
+        pool = WarmModelPool(store, capacity=2)
+        pool.close()  # publish v2 without warming, then corrupt it
+        record = trainer.train(corpus).version
+        store._blobs[record.version] = store._blobs[record.version][:-64]
+        fallbacks_before = _M_FALLBACKS.value
+        model, version = pool.latest()
+        assert version == 1  # newest *good* resident version
+        assert model._engine is not None
+        assert _M_FALLBACKS.value == fallbacks_before + 1
+
+    def test_corrupt_publish_hook_keeps_serving(self, corpus):
+        store = ModelStore()
+        trainer = _trainer(store)
+        trainer.train(corpus)
+        pool = WarmModelPool(store, capacity=2)
+        record = trainer.train(corpus).version
+        store._blobs[record.version] = b"z" * 128
+        fallbacks_before = _M_FALLBACKS.value
+        pool._on_publish(record)  # replay the hook against the corrupt blob
+        assert _M_FALLBACKS.value == fallbacks_before + 1
+        # v2 was warmed by the real publish before corruption; the replayed
+        # hook must not evict it or crash the publisher.
+        assert pool.resident_versions == (1, 2)
+        pool.close()

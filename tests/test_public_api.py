@@ -8,6 +8,7 @@ require touching this test, which is the point.
 import repro.obs
 import repro.parallel
 import repro.resilience
+import repro.serve
 import repro.workflow
 
 WORKFLOW_API = {
@@ -32,8 +33,18 @@ WORKFLOW_API = {
     # drift
     "DriftMonitor", "PageHinkley", "DriftDecision",
     # pipelines
-    "TrainingPipeline", "TrainingResult", "PredictionPipeline", "PipelineRun",
-    "SkippedExecution", "build_prediction_frame",
+    "TrainingPipeline", "TrainingResult", "PredictionPipeline", "PredictBatch",
+    "PipelineRun", "SkippedExecution", "build_prediction_frame",
+}
+
+SERVE_API = {
+    # service + facade
+    "Env2VecService", "ServeClient", "ServeConfig",
+    # request/response types
+    "PredictRequest", "PredictResponse", "ScrapeRequest", "ScrapeResponse",
+    "AlarmQuery", "AlarmQueryResponse", "ServiceOverloaded",
+    # load generation
+    "LoadProfile", "LoadReport", "arrival_offsets", "run_load",
 }
 
 RESILIENCE_API = {
@@ -97,6 +108,20 @@ def test_resilience_public_api():
 
 def test_parallel_public_api():
     _check_surface(repro.parallel, PARALLEL_API)
+
+
+def test_serve_public_api():
+    _check_surface(repro.serve, SERVE_API)
+
+
+def test_serve_internal_stays_private():
+    """Nothing from serve._internal may leak into the public surface."""
+    for name in repro.serve.__all__:
+        obj = getattr(repro.serve, name)
+        module = getattr(obj, "__module__", "")
+        assert "._internal" not in module, (
+            f"repro.serve.{name} resolves to private module {module}"
+        )
 
 
 def test_parallel_importable_first():

@@ -1,0 +1,94 @@
+"""PredictBatch: the shared request type, and the deprecated aliases.
+
+Satellite contract of the serve PR: ``run``/``run_many`` survive as thin
+aliases over :meth:`PredictionPipeline.execute` — they must warn, and
+their results must be byte-identical to the canonical call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import TelecomConfig, generate_telecom
+from repro.workflow import (
+    AlarmStore,
+    ModelStore,
+    PredictBatch,
+    PredictionPipeline,
+    TrainingPipeline,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset = generate_telecom(
+        TelecomConfig(
+            n_chains=6,
+            n_testbeds=3,
+            builds_per_chain=(3, 4),
+            timesteps_per_build=(60, 80),
+            n_focus=2,
+            include_rare_testbed=False,
+            seed=11,
+        )
+    )
+    store = ModelStore()
+    TrainingPipeline(
+        store,
+        n_lags=3,
+        model_params={"max_epochs": 5, "batch_size": 256, "dropout": 0.0},
+        seed=0,
+    ).train(dataset.history_training_series())
+    return store, [chain.current for chain in dataset.chains]
+
+
+def _runs_equal(a, b):
+    assert a.predictions.tobytes() == b.predictions.tobytes()
+    assert a.observations.tobytes() == b.observations.tobytes()
+    assert a.model_version == b.model_version
+    assert a.terminated_early == b.terminated_early
+    assert len(a.report.alarms) == len(b.report.alarms)
+    np.testing.assert_array_equal(a.report.flags, b.report.flags)
+
+
+class TestPredictBatch:
+    def test_alignment_validated(self, trained):
+        _, executions = trained
+        with pytest.raises(ValueError, match="error_models"):
+            PredictBatch(tuple(executions), (None,))
+
+    def test_aligned_error_models_fill(self, trained):
+        _, executions = trained
+        batch = PredictBatch(tuple(executions))
+        assert batch.aligned_error_models() == (None,) * len(executions)
+        assert len(batch) == len(executions)
+
+    def test_executions_coerced_to_tuple(self, trained):
+        _, executions = trained
+        batch = PredictBatch(executions)
+        assert isinstance(batch.executions, tuple)
+
+
+class TestDeprecatedAliases:
+    def test_run_warns_and_matches_execute(self, trained):
+        store, executions = trained
+        canonical = PredictionPipeline(store, AlarmStore()).execute(
+            PredictBatch((executions[0],))
+        )[0]
+        legacy_pipeline = PredictionPipeline(store, AlarmStore())
+        with pytest.warns(DeprecationWarning, match="PredictionPipeline.run is deprecated"):
+            legacy = legacy_pipeline.run(executions[0])
+        _runs_equal(legacy, canonical)
+        assert legacy.alarm_ids == canonical.alarm_ids
+
+    def test_run_many_warns_and_matches_execute(self, trained):
+        store, executions = trained
+        canonical = PredictionPipeline(store, AlarmStore()).execute(
+            PredictBatch(tuple(executions))
+        )
+        legacy_pipeline = PredictionPipeline(store, AlarmStore())
+        with pytest.warns(DeprecationWarning, match="run_many is deprecated"):
+            legacy = legacy_pipeline.run_many(list(executions))
+        assert len(legacy) == len(canonical)
+        for a, b in zip(legacy, canonical):
+            _runs_equal(a, b)
+            assert a.alarm_ids == b.alarm_ids
