@@ -1,0 +1,331 @@
+"""Benchmark — chaos-hardened serving: recovery SLOs under injected faults.
+
+The supervised serving tier (``ServeConfig(n_workers=N)``) claims three
+things that only hold up under fire: no acknowledged request is ever
+lost when workers die mid-batch, recovery from a kill is fast enough
+that the tail barely notices, and an out-of-band TSDB outage degrades
+record_id traffic to last-good replays instead of failing it. This
+benchmark replays the same 1000-chain streaming workload as
+``bench_serving`` three ways and holds the tier to its SLOs:
+
+1. **Byte-identity gate (chaos off).** Multi-process responses must be
+   byte-identical to the single-loop service and to one batch
+   ``execute`` — the process boundary is not allowed to change a byte.
+2. **Steady run.** The supervised fleet with no chaos; its p50 sets the
+   recovery SLO denominator.
+3. **Chaos run.** Seeded worker kills + stalls under the full load, then
+   a total TSDB outage taken through the breaker. Acceptance: zero lost
+   requests (every submitted request resolves), restarts actually
+   happened, worker-recovery p99 ≤ 5x the steady-state request p50, and
+   the outage segment is answered degraded, not failed.
+
+Results go to ``benchmarks/results/BENCH_serving_chaos.json``.
+"""
+
+import asyncio
+import json
+from pathlib import Path
+
+import numpy as np
+
+from conftest import emit
+from repro.data import FEATURE_NAMES, TelecomConfig, generate_telecom
+from repro.data.chains import TestExecution
+from repro.resilience import BREAKER_OPEN, ChaosProfile
+from repro.serve import (
+    Env2VecService,
+    LoadProfile,
+    PredictRequest,
+    ScrapeRequest,
+    ServeConfig,
+    arrival_offsets,
+    run_load,
+)
+from repro.workflow import (
+    AlarmStore,
+    EMRegistry,
+    MetricCollector,
+    ModelStore,
+    PredictBatch,
+    PredictionPipeline,
+    TimeSeriesDB,
+    TrainingPipeline,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Worker-recovery p99 may not exceed this multiple of steady-state p50.
+MAX_RECOVERY_P99_OVER_STEADY_P50 = 5.0
+#: The seeded chaos profile must actually fire at least this often.
+MIN_RESTARTS = 3
+
+N_CHAINS = 1000
+TAIL_TIMESTEPS = 8
+N_LAGS = 3
+N_WORKERS = 2
+#: record_id requests replayed degraded during the TSDB outage segment.
+N_OUTAGE_REQUESTS = 32
+
+CHAOS = dict(seed=5, worker_kill_rate=0.08, worker_stall_rate=0.02)
+SERVE = dict(
+    max_batch=64,
+    max_wait=0.001,
+    max_queue_depth=4096,
+    n_workers=N_WORKERS,
+    heartbeat_interval=0.02,
+    worker_stall_timeout=0.5,
+    breaker_failures=3,
+    breaker_recovery=300.0,
+    # Every chain's environment must still be resident when the outage
+    # segment replays from last-good (the workload serves N_CHAINS of them).
+    last_good_capacity=2048,
+)
+
+
+def _workload():
+    """(store, requests, offsets): 1000 live chains on a bursty schedule."""
+    dataset = generate_telecom(
+        TelecomConfig(
+            n_chains=N_CHAINS,
+            n_testbeds=30,
+            builds_per_chain=(2, 3),
+            timesteps_per_build=(40, 50),
+            n_focus=4,
+            include_rare_testbed=False,
+            seed=7,
+        )
+    )
+    store = ModelStore()
+    corpus = [
+        (e.environment, e.features, e.cpu)
+        for chain in dataset.chains[:100]
+        for e in chain.history
+    ]
+    TrainingPipeline(
+        store,
+        n_lags=N_LAGS,
+        model_params={"max_epochs": 4, "batch_size": 512, "dropout": 0.0},
+        seed=0,
+    ).train(corpus)
+
+    def tail(execution: TestExecution) -> TestExecution:
+        return TestExecution(
+            environment=execution.environment,
+            features=execution.features[-TAIL_TIMESTEPS:],
+            cpu=execution.cpu[-TAIL_TIMESTEPS:],
+        )
+
+    requests = [
+        PredictRequest(execution=tail(chain.current), request_id=str(i))
+        for i, chain in enumerate(dataset.chains)
+    ]
+    offsets = arrival_offsets(
+        LoadProfile(n_requests=N_CHAINS, burst_size=32.0, burst_gap=0.0005, seed=7)
+    )
+    return store, requests, offsets
+
+
+def _assert_multiprocess_byte_identical(store, requests) -> None:
+    """Single-loop vs supervised fleet (chaos off) vs batch execute."""
+    executions = [request.execution for request in requests]
+    reference = PredictionPipeline(store, AlarmStore()).execute(
+        PredictBatch(tuple(executions))
+    )
+
+    def serve(n_workers: int):
+        async def scenario():
+            service = Env2VecService(
+                store,
+                alarm_store=AlarmStore(),
+                config=ServeConfig(**{**SERVE, "n_workers": n_workers}),
+            )
+            async with service:
+                return await service.client().predict_many(requests)
+
+        return asyncio.run(scenario())
+
+    single = serve(0)
+    multi = serve(N_WORKERS)
+    for response_s, response_m, run in zip(single, multi, reference):
+        for response in (response_s, response_m):
+            assert response.status == "ok"
+            assert response.run.predictions.tobytes() == run.predictions.tobytes()
+            assert response.run.observations.tobytes() == run.observations.tobytes()
+            assert response.run.alarm_ids == run.alarm_ids
+
+
+def _steady_run(store, requests, offsets) -> dict:
+    async def scenario():
+        service = Env2VecService(
+            store, alarm_store=AlarmStore(), config=ServeConfig(**SERVE)
+        )
+        async with service:
+            client = service.client()
+            await run_load(client, requests[:64], offsets[:64], max_retries=0)
+            return await run_load(client, requests, offsets, max_retries=0)
+
+    report = asyncio.run(scenario())
+    assert report.n_failed == 0 and report.n_rejected == 0
+    return report.summary()
+
+
+def _chaos_run(store, requests, offsets) -> dict:
+    """Full load under seeded kills/stalls, then a TSDB outage segment."""
+    chaos = ChaosProfile(**CHAOS)
+    collector = MetricCollector(
+        TimeSeriesDB(name="bench-chaos-serving"),
+        EMRegistry(),
+        feature_names=FEATURE_NAMES,
+        chaos=ChaosProfile(seed=11, tsdb_failure_rate=1.0),
+    )
+
+    async def scenario():
+        service = Env2VecService(
+            store,
+            alarm_store=AlarmStore(),
+            collector=collector,
+            config=ServeConfig(**SERVE),
+            chaos=chaos,
+        )
+        async with service:
+            client = service.client()
+            report = await run_load(client, requests, offsets, max_retries=0)
+
+            # One total TSDB outage: trip the breaker, then take record_id
+            # traffic for already-served environments through the ladder.
+            for _ in range(SERVE["breaker_failures"]):
+                await client.scrape(ScrapeRequest(execution=requests[0].execution))
+            assert service.tsdb_breaker.state == BREAKER_OPEN
+            outage = await client.predict_many(
+                [
+                    PredictRequest(
+                        record_id=f"em-outage-{i}",
+                        environment=requests[i].execution.environment,
+                        request_id=f"outage-{i}",
+                    )
+                    for i in range(N_OUTAGE_REQUESTS)
+                ]
+            )
+            supervisor = service.supervisor
+            stats = {
+                "restarts": supervisor.restarts,
+                "restart_reasons": sorted(
+                    {reason for _, _, reason in supervisor.restart_log}
+                ),
+                "reenqueued_batches": supervisor.reenqueued,
+                "recovery_seconds": list(supervisor.recovery_seconds),
+                "deadline_shed": service.admission.shed,
+                "dead_lettered": len(service.dead_letters),
+            }
+        return report, outage, stats
+
+    report, outage, stats = asyncio.run(scenario())
+    recovery = np.asarray(stats.pop("recovery_seconds"), dtype=np.float64)
+    return {
+        **report.summary(),
+        **stats,
+        "n_outage_requests": len(outage),
+        "n_outage_degraded": sum(1 for r in outage if r.degraded),
+        "n_outage_failed": sum(1 for r in outage if r.status != "ok"),
+        "recovery_p50_seconds": float(np.percentile(recovery, 50)) if recovery.size else None,
+        "recovery_p99_seconds": float(np.percentile(recovery, 99)) if recovery.size else None,
+    }
+
+
+def run_chaos_bench() -> dict:
+    store, requests, offsets = _workload()
+    _assert_multiprocess_byte_identical(store, requests)
+    steady = _steady_run(store, requests, offsets)
+    chaos = _chaos_run(store, requests, offsets)
+    return {
+        "workload": {
+            "n_chains": N_CHAINS,
+            "n_requests": len(requests),
+            "tail_timesteps": TAIL_TIMESTEPS,
+            "n_workers": N_WORKERS,
+            "chaos": CHAOS,
+            "n_outage_requests": N_OUTAGE_REQUESTS,
+        },
+        "byte_identical_multiprocess": True,
+        "steady": steady,
+        "chaos": chaos,
+        "acceptance": {
+            "min_restarts": MIN_RESTARTS,
+            "max_recovery_p99_over_steady_p50": MAX_RECOVERY_P99_OVER_STEADY_P50,
+        },
+    }
+
+
+def _render(results: dict) -> str:
+    steady, chaos = results["steady"], results["chaos"]
+    workload = results["workload"]
+    return "\n".join(
+        [
+            "Chaos-hardened serving — supervised fleet under injected faults "
+            f"({workload['n_requests']} streaming requests, "
+            f"{workload['n_workers']} workers, kill_rate="
+            f"{workload['chaos']['worker_kill_rate']}, stall_rate="
+            f"{workload['chaos']['worker_stall_rate']})",
+            f"  steady: {steady['throughput_rps']:8.1f} req/s  "
+            f"p50 {steady['p50_seconds'] * 1e3:6.1f}  "
+            f"p99 {steady['p99_seconds'] * 1e3:6.1f} ms",
+            f"  chaos:  {chaos['throughput_rps']:8.1f} req/s  "
+            f"p50 {chaos['p50_seconds'] * 1e3:6.1f}  "
+            f"p99 {chaos['p99_seconds'] * 1e3:6.1f} ms  "
+            f"({chaos['restarts']} restarts {chaos['restart_reasons']}, "
+            f"{chaos['reenqueued_batches']} batches re-enqueued)",
+            f"  recovery: p50 {chaos['recovery_p50_seconds'] * 1e3:6.1f}  "
+            f"p99 {chaos['recovery_p99_seconds'] * 1e3:6.1f} ms  "
+            f"(SLO: p99 <= {results['acceptance']['max_recovery_p99_over_steady_p50']:.0f}x "
+            f"steady p50 = {MAX_RECOVERY_P99_OVER_STEADY_P50 * steady['p50_seconds'] * 1e3:.1f} ms)",
+            f"  outage segment: {chaos['n_outage_degraded']}/{chaos['n_outage_requests']} "
+            f"answered degraded from last-good, {chaos['n_outage_failed']} failed; "
+            f"multi-process byte-identity: {results['byte_identical_multiprocess']}",
+        ]
+    )
+
+
+def _assert_acceptance(results: dict) -> None:
+    steady, chaos = results["steady"], results["chaos"]
+    assert results["byte_identical_multiprocess"]
+    # Zero lost acknowledged requests, under kills and stalls.
+    assert chaos["n_failed"] == 0 and chaos["n_rejected"] == 0, (
+        f"chaos run lost requests: {chaos['n_failed']} failed, "
+        f"{chaos['n_rejected']} rejected"
+    )
+    assert chaos["n_completed"] == results["workload"]["n_requests"]
+    # The injections actually fired — a green run with no faults proves nothing.
+    assert chaos["restarts"] >= MIN_RESTARTS, (
+        f"only {chaos['restarts']} worker restarts; the seeded profile should "
+        f"have produced at least {MIN_RESTARTS}"
+    )
+    assert chaos["reenqueued_batches"] > 0
+    # Recovery SLO: a worker outage costs the tail at most 5x a steady p50.
+    slo = MAX_RECOVERY_P99_OVER_STEADY_P50 * steady["p50_seconds"]
+    assert chaos["recovery_p99_seconds"] <= slo, (
+        f"recovery p99 {chaos['recovery_p99_seconds'] * 1e3:.1f} ms exceeds "
+        f"SLO {slo * 1e3:.1f} ms (5x steady p50)"
+    )
+    # The TSDB outage degraded, it did not fail.
+    assert chaos["n_outage_failed"] == 0
+    assert chaos["n_outage_degraded"] == results["workload"]["n_outage_requests"]
+
+
+def test_bench_serving_chaos(benchmark):
+    results = benchmark.pedantic(run_chaos_bench, rounds=1, iterations=1)
+    emit("serving_chaos", _render(results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serving_chaos.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    _assert_acceptance(results)
+
+
+if __name__ == "__main__":
+    bench_results = run_chaos_bench()
+    print(_render(bench_results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serving_chaos.json").write_text(
+        json.dumps(bench_results, indent=2) + "\n"
+    )
+    _assert_acceptance(bench_results)

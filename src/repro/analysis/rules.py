@@ -1,4 +1,4 @@
-"""The project rule catalog: ten checks distilled from real bugs.
+"""The project rule catalog: eleven checks distilled from real bugs.
 
 Every rule here encodes an invariant this repo has already paid for once:
 
@@ -24,7 +24,11 @@ Every rule here encodes an invariant this repo has already paid for once:
   registry, its compile dispatch, and its serialization schema);
 - REP010 — the serve boundary (``repro.serve._internal`` holds the
   admission/batcher/warm-pool machinery; outside imports would freeze a
-  surface that is deliberately free to change).
+  surface that is deliberately free to change);
+- REP011 — the process-management boundary (``os.kill``/``signal``
+  handlers/raw ``multiprocessing.Process`` wiring belong only to
+  ``serve._internal.supervisor``, whose epoch bookkeeping and restart
+  guarantees they would otherwise bypass).
 
 Rules are deliberately syntactic: no type inference, no cross-file
 analysis. Where syntax alone over-approximates, the escape hatches are an
@@ -35,6 +39,7 @@ entry with a written justification.
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Iterator
 
 from .engine import FileContext, Rule, RuleRegistry
@@ -521,6 +526,73 @@ class ServeInternalBoundaryRule(Rule):
                 )
 
 
+#: os/signal process-management calls that belong only in the supervisor.
+_PROCESS_OS_CALLS = frozenset(
+    {"kill", "fork", "_exit", "waitpid", "killpg", "abort"}
+)
+_PROCESS_SIGNAL_CALLS = frozenset(
+    {"signal", "alarm", "setitimer", "pthread_kill", "raise_signal"}
+)
+#: multiprocessing primitives that spawn or wire up raw processes.
+#: (ProcessPoolExecutor is deliberately NOT here — the parallel pool's
+#: managed executor is the sanctioned non-supervisor process user.)
+_PROCESS_MP_NAMES = frozenset({"Process", "Pipe", "get_context"})
+
+
+class ProcessManagementBoundaryRule(Rule):
+    """REP011: raw process management lives only in the serve supervisor.
+
+    Killing processes, installing signal handlers, and hand-rolled
+    ``multiprocessing.Process``/``Pipe`` wiring are exactly the APIs that
+    break determinism and liveness when scattered: an ``os.kill`` outside
+    the supervisor bypasses epoch bookkeeping (stale-message storms), a
+    stray signal handler races the heartbeat loop, and an unsupervised
+    ``Process`` is a worker nobody restarts. One file owns them:
+    ``serve/_internal/supervisor.py``.
+    """
+
+    id = "REP011"
+    title = "process-management API outside the serve supervisor"
+    node_types = (ast.Call, ast.ImportFrom)
+
+    _SANCTIONED_SUFFIX = ("serve", "_internal", "supervisor.py")
+
+    def applies(self, ctx: FileContext) -> bool:
+        if ctx.is_test or ctx.is_benchmark:
+            return False
+        return Path(ctx.path).parts[-3:] != self._SANCTIONED_SUFFIX
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "multiprocessing":
+                for alias in node.names:
+                    if alias.name in _PROCESS_MP_NAMES:
+                        yield (
+                            node.lineno,
+                            f"import of multiprocessing.{alias.name} outside "
+                            "serve._internal.supervisor — raw worker processes "
+                            "must be supervised (heartbeats, restart, re-enqueue); "
+                            "use WorkerPool or go through the supervisor",
+                        )
+            return
+        chain = _attr_chain(node.func)
+        if len(chain) < 2:
+            return
+        root, attr = chain[0], chain[-1]
+        flagged = (
+            (root == "os" and attr in _PROCESS_OS_CALLS)
+            or (root == "signal" and attr in _PROCESS_SIGNAL_CALLS)
+            or (root == "multiprocessing" and attr in _PROCESS_MP_NAMES)
+        )
+        if flagged:
+            yield (
+                node.lineno,
+                f"{root}.{attr}() outside serve._internal.supervisor — process "
+                "lifecycle (kill/fork/signal/Pipe) is the supervisor's job; "
+                "scattering it breaks epoch bookkeeping and restart guarantees",
+            )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     UnseededRNGRule,
     WallClockRule,
@@ -532,6 +604,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SnapshotMutationRule,
     EncoderImportBoundaryRule,
     ServeInternalBoundaryRule,
+    ProcessManagementBoundaryRule,
 )
 
 

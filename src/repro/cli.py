@@ -258,6 +258,30 @@ def _serve_main(argv: list[str]) -> int:
     parser.add_argument(
         "--gap", type=float, default=0.005, help="mean seconds between bursts"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="supervised worker processes (0 = execute on the event loop)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline budget in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--kill-rate",
+        type=float,
+        default=0.0,
+        help="seeded chaos: probability a worker dies mid-batch",
+    )
+    parser.add_argument(
+        "--stall-rate",
+        type=float,
+        default=0.0,
+        help="seeded chaos: probability a worker hangs past its heartbeat",
+    )
     args = parser.parse_args(argv)
 
     from .serve import (
@@ -281,7 +305,11 @@ def _serve_main(argv: list[str]) -> int:
 
     executions = [chain.current for chain in dataset.chains]
     requests = [
-        PredictRequest(execution=executions[i % len(executions)], request_id=str(i))
+        PredictRequest(
+            execution=executions[i % len(executions)],
+            request_id=str(i),
+            deadline_seconds=args.deadline,
+        )
         for i in range(args.requests)
     ]
     profile = LoadProfile(
@@ -291,18 +319,31 @@ def _serve_main(argv: list[str]) -> int:
         seed=args.seed,
     )
     config = ServeConfig(
-        max_batch=args.max_batch, max_wait=args.max_wait, max_queue_depth=args.depth
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        max_queue_depth=args.depth,
+        n_workers=args.workers,
     )
+    chaos = None
+    if args.kill_rate or args.stall_rate:
+        from .resilience import ChaosProfile
+
+        chaos = ChaosProfile(
+            seed=args.seed,
+            worker_kill_rate=args.kill_rate,
+            worker_stall_rate=args.stall_rate,
+        )
 
     async def scenario():
-        service = Env2VecService(store, config=config, self_monitor=True)
+        service = Env2VecService(store, config=config, self_monitor=True, chaos=chaos)
         async with service:
             report = await run_load(
                 service.client(), requests, arrival_offsets(profile)
             )
-        return service, report
+            health = service.health()
+        return service, report, health
 
-    service, report = asyncio.run(scenario())
+    service, report, health = asyncio.run(scenario())
     summary = report.summary()
     print(f"### serve — {args.requests} requests over {args.chains} chains")
     print(
@@ -317,6 +358,19 @@ def _serve_main(argv: list[str]) -> int:
     )
     alarms = service.alarm_store.fetch()
     print(f"alarms raised while serving: {len(alarms)}")
+    print(
+        f"health: live={health.live} ready={health.ready} "
+        f"degraded={health.degraded} breaker={health.breaker_state} "
+        f"workers={health.workers_ready}/{health.n_workers}"
+    )
+    if service.supervisor is not None:
+        supervisor = service.supervisor
+        print(
+            f"supervisor: {supervisor.restarts} restarts, "
+            f"{supervisor.reenqueued} in-flight batches re-enqueued, "
+            f"{service.admission.shed} deadline-shed, "
+            f"{len(service.dead_letters)} dead-lettered"
+        )
 
     at = service.exporter.last_scrape
     tsdb = service.exporter.tsdb

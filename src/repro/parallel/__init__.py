@@ -27,13 +27,14 @@ during fan-in.
 """
 
 from .executor import CampaignScorer, ExecutionScore, WindowCache
-from .pool import WorkerPool, split_round_robin
+from .pool import SequencedMerger, WorkerPool, split_round_robin
 from .sharding import ReadOnlyTSDBError, TSDBShards, TSDBSnapshot, shard_index, snapshot_shards
 
 __all__ = [
     "CampaignScorer",
     "ExecutionScore",
     "ReadOnlyTSDBError",
+    "SequencedMerger",
     "TSDBShards",
     "TSDBSnapshot",
     "WindowCache",

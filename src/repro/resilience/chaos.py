@@ -13,7 +13,13 @@ the telemetry path itself misbehaving the way live testbeds do. A
 - ``outage_rate`` — an entire execution's scrape window is lost
   (collector outage → dead-letter);
 - ``training_divergence_rate`` — a day's training run receives poisoned
-  targets and diverges.
+  targets and diverges;
+- ``worker_kill_rate`` / ``worker_stall_rate`` — a serving worker
+  process dies mid-batch (``os._exit``) or hangs past the supervisor's
+  heartbeat timeout. These are drawn per dispatched batch id, so a
+  re-dispatched batch (which gets a fresh id) rolls new dice — exactly
+  the property that lets the supervisor guarantee forward progress
+  under a fixed seed.
 
 Every decision is drawn from an RNG derived via SHA-256 from
 ``(profile.seed, *key)``, so a given (profile, record/day) pair always
@@ -55,6 +61,8 @@ class ChaosProfile:
     tsdb_failure_rate: float = 0.0
     outage_rate: float = 0.0
     training_divergence_rate: float = 0.0
+    worker_kill_rate: float = 0.0
+    worker_stall_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for spec in fields(self):
@@ -143,6 +151,32 @@ class ChaosProfile:
         )
         if hit:
             _M_INJECTED.labels(kind="training_divergence").inc()
+        return hit
+
+    def worker_kill(self, key: object) -> bool:
+        """Should the worker serving this dispatch die mid-batch?
+
+        Keyed by the supervisor's batch id: deterministic for a given
+        (seed, id), independent across ids. Counted on the *drawing*
+        process — when the worker itself draws, the increment dies with
+        it, so the supervisor counts restarts separately.
+        """
+        hit = bool(
+            self.worker_kill_rate
+            and self.rng("worker_kill", key).random() < self.worker_kill_rate
+        )
+        if hit:
+            _M_INJECTED.labels(kind="worker_kill").inc()
+        return hit
+
+    def worker_stall(self, key: object) -> bool:
+        """Should the worker serving this dispatch hang past its heartbeat?"""
+        hit = bool(
+            self.worker_stall_rate
+            and self.rng("worker_stall", key).random() < self.worker_stall_rate
+        )
+        if hit:
+            _M_INJECTED.labels(kind="worker_stall").inc()
         return hit
 
     def flaky(self, tsdb):

@@ -5,11 +5,14 @@ keeps the same pipelines resident behind a unified request API, the way
 a production deployment of the paper's system would actually run:
 
 - :class:`Env2VecService` — the service: bounded admission with explicit
-  backpressure, cross-chain micro-batching, a per-version warm model
-  pool fed by publish hooks, and a circuit breaker on the TSDB boundary.
+  backpressure and deadline shedding, cross-chain micro-batching, a
+  per-version warm model pool fed by publish hooks, a circuit breaker on
+  the TSDB boundary, and (with ``n_workers > 0``) a supervised
+  multi-process scoring tier with heartbeat crash/stall detection,
+  deterministic in-flight re-dispatch, and rolling model rollouts.
 - :class:`ServeClient` — the single client facade (``predict`` /
-  ``predict_many`` / ``scrape`` / ``alarms``), all typed requests in,
-  typed responses out.
+  ``predict_many`` / ``scrape`` / ``alarms`` / ``health``), all typed
+  requests in, typed responses out.
 - :mod:`~repro.serve.loadgen` — seeded bursty load generation for the
   serving benchmarks and the ``repro serve`` CLI demo.
 
@@ -25,18 +28,21 @@ rule keeps outside imports out.
 from .api import (
     AlarmQuery,
     AlarmQueryResponse,
+    HealthReport,
     PredictRequest,
     PredictResponse,
     ScrapeRequest,
     ScrapeResponse,
     ServeConfig,
     ServiceOverloaded,
+    WorkerState,
 )
 from .loadgen import LoadProfile, LoadReport, arrival_offsets, run_load
 from .service import Env2VecService, ServeClient
 
 __all__ = [
     "Env2VecService",
+    "HealthReport",
     "ServeClient",
     "ServeConfig",
     "PredictRequest",
@@ -46,6 +52,7 @@ __all__ = [
     "AlarmQuery",
     "AlarmQueryResponse",
     "ServiceOverloaded",
+    "WorkerState",
     "LoadProfile",
     "LoadReport",
     "arrival_offsets",

@@ -2,10 +2,20 @@
 
 The batcher is a single background task that repeatedly (1) waits for
 the admission queue to become non-empty, (2) greedily drains whatever is
-already queued up to ``max_batch``, (3) lingers up to ``max_wait``
-seconds topping the batch up as more requests arrive, then (4) hands the
-batch to the service's execute callback, which runs the coalesced
-forward and resolves each request's future in admission order.
+already queued up to ``max_batch`` — shedding any request whose deadline
+already expired, (3) lingers up to ``max_wait`` seconds topping the
+batch up as more requests arrive (clamped so lingering never outlives
+the earliest queued deadline), then (4) hands the batch to the service's
+execute callback, which runs the coalesced forward and resolves each
+request's future in admission order.
+
+The execute callback comes in two shapes. A plain callable runs
+synchronously on the loop (the single-process service). A coroutine
+function is scheduled as a task and the batcher immediately collects the
+next batch, keeping up to ``max_inflight`` batches in flight — that is
+how the supervised service keeps N worker processes busy from one drain
+loop while batch *composition* stays a deterministic function of arrival
+order.
 
 Because every compiled kernel in the model is row-wise, the *numbers* a
 request gets back are independent of which batch it landed in — batch
@@ -16,6 +26,7 @@ timing-dependent coalescing safe to combine with byte-identity tests.
 from __future__ import annotations
 
 import asyncio
+import inspect
 from typing import Callable
 
 from ...obs import get_observability
@@ -44,12 +55,18 @@ class MicroBatcher:
         *,
         max_batch: int,
         max_wait: float,
-        execute: Callable[[list[PendingRequest]], None],
+        execute: Callable[[list[PendingRequest]], object],
+        max_inflight: int = 1,
     ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self._admission = admission
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
         self._execute = execute
+        self._async_execute = inspect.iscoroutinefunction(execute)
+        self.max_inflight = int(max_inflight)
+        self._inflight: set[asyncio.Task] = set()
         self._task: asyncio.Task | None = None
 
     @property
@@ -61,15 +78,48 @@ class MicroBatcher:
             raise RuntimeError("micro-batcher is already running")
         self._task = asyncio.get_running_loop().create_task(self._run(), name="serve-batcher")
 
-    async def stop(self) -> None:
-        """Stop the drain loop, failing any still-queued requests."""
-        if self._task is not None:
-            self._task.cancel()
-            try:
-                await self._task
-            except asyncio.CancelledError:
-                pass
-            self._task = None
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the drain loop.
+
+        If the loop was running and ``drain`` is true, this is a
+        *graceful drain*: expired queued requests are shed with
+        ``DeadlineExceeded``, live queued requests are batched and
+        completed, and in-flight async batches are awaited — an
+        acknowledged live request is never dropped by a clean shutdown.
+        With ``drain=False`` (a simulated crash), or if the loop never
+        started, queued futures can never complete, so they are failed
+        loudly instead.
+        """
+        if self._task is None:
+            self._fail_queued()
+            return
+        was_running = self.running
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+        if not was_running or not drain:
+            for task in list(self._inflight):
+                task.cancel()
+            if self._inflight:
+                await asyncio.gather(*self._inflight, return_exceptions=True)
+                self._inflight.clear()
+            self._fail_queued()
+            return
+        loop = asyncio.get_running_loop()
+        self._admission.shed_expired(now=loop.time())
+        while True:
+            batch = self._admission.drain(self.max_batch, now=loop.time())
+            if not batch:
+                break
+            await self._dispatch(batch)
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+            self._inflight.clear()
+
+    def _fail_queued(self) -> None:
         for pending in self._admission.drain(self._admission.max_depth):
             if not pending.future.done():
                 pending.future.set_exception(
@@ -79,10 +129,16 @@ class MicroBatcher:
     async def _collect(self) -> list[PendingRequest]:
         """Assemble one batch: greedy drain, then linger up to max_wait."""
         await self._admission.wait_nonempty()
-        batch = self._admission.drain(self.max_batch)
+        loop = asyncio.get_running_loop()
+        batch = self._admission.drain(self.max_batch, now=loop.time())
         if self.max_wait > 0 and len(batch) < self.max_batch:
-            loop = asyncio.get_running_loop()
             deadline = loop.time() + self.max_wait
+            # Lingering for a fuller batch must not expire what we hold:
+            # cap the linger at the earliest deadline in hand or queued.
+            held = [p.deadline for p in batch if p.deadline is not None]
+            queued = self._admission.earliest_deadline()
+            for bound in (*held, *(() if queued is None else (queued,))):
+                deadline = min(deadline, bound)
             while len(batch) < self.max_batch:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
@@ -91,18 +147,18 @@ class MicroBatcher:
                     await asyncio.wait_for(self._admission.wait_nonempty(), remaining)
                 except asyncio.TimeoutError:
                     break
-                batch.extend(self._admission.drain(self.max_batch - len(batch)))
+                batch.extend(
+                    self._admission.drain(self.max_batch - len(batch), now=loop.time())
+                )
         return batch
 
-    async def _run(self) -> None:
-        while True:
-            batch = await self._collect()
-            if not batch:
-                continue
-            for pending in batch:
-                pending.batch_size = len(batch)
-            _M_BATCHES.inc()
-            _H_BATCH_SIZE.observe(len(batch))
+    async def _dispatch(self, batch: list[PendingRequest]) -> None:
+        """Run one batch through the execute callback (sync or async)."""
+        for pending in batch:
+            pending.batch_size = len(batch)
+        _M_BATCHES.inc()
+        _H_BATCH_SIZE.observe(len(batch))
+        if not self._async_execute:
             # The forward runs synchronously on the loop: numpy releases
             # the GIL only inside kernels and the model is not re-entrant,
             # so there is nothing to gain from a thread hop — and staying
@@ -113,6 +169,32 @@ class MicroBatcher:
                 for pending in batch:
                     if not pending.future.done():
                         pending.future.set_exception(exc)
+            return
+        while len(self._inflight) >= self.max_inflight:
+            done, self._inflight = await asyncio.wait(
+                self._inflight, return_when=asyncio.FIRST_COMPLETED
+            )
+            del done  # task exceptions are handled inside _guarded
+        task = asyncio.get_running_loop().create_task(
+            self._guarded(batch), name="serve-batch-exec"
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _guarded(self, batch: list[PendingRequest]) -> None:
+        try:
+            await self._execute(batch)
+        except Exception as exc:  # noqa: BLE001 - fail the batch, not the loop
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+
+    async def _run(self) -> None:
+        while True:
+            batch = await self._collect()
+            if not batch:
+                continue
+            await self._dispatch(batch)
             # Yield once per batch so resolved waiters run before the
             # next drain, letting closed-loop clients re-submit and form
             # the next coalesced batch.

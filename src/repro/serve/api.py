@@ -34,6 +34,7 @@ from ..workflow.alarms import AlarmRecord
 from ..workflow.prediction_pipeline import PipelineRun, SkippedExecution
 
 __all__ = [
+    "HealthReport",
     "PredictRequest",
     "PredictResponse",
     "ScrapeRequest",
@@ -42,6 +43,7 @@ __all__ = [
     "AlarmQueryResponse",
     "ServeConfig",
     "ServiceOverloaded",
+    "WorkerState",
 ]
 
 
@@ -81,8 +83,33 @@ class ServeConfig:
     breaker_failures: int = 5
     breaker_recovery: float = 300.0
     #: fallback per-request service-time estimate (seconds) used for
-    #: ``retry_after`` before the first batch has been measured.
+    #: ``retry_after`` before the first batch has been measured — it seeds
+    #: the EWMA, so the cold-start estimate is this value, not zero.
     default_service_seconds: float = 0.005
+    #: EWMA decay for the measured service time: ``estimate = decay * old
+    #: + (1 - decay) * sample``. Higher values smooth harder.
+    service_time_decay: float = 0.8
+    #: worker processes behind the supervisor; ``0`` executes batches on
+    #: the event loop exactly as the single-loop service always has.
+    n_workers: int = 0
+    #: multiprocessing start method for supervised workers ("fork" is
+    #: cheap on Linux; workers are rehydrated from ModelStore blobs either
+    #: way, so the code is spawn-safe).
+    worker_start_method: str = "fork"
+    #: supervisor tick interval (seconds, wall clock) between liveness
+    #: checks, and how long a worker may sit on one dispatched batch (or
+    #: fail to answer pings while idle) before it is declared hung.
+    heartbeat_interval: float = 0.05
+    worker_stall_timeout: float = 2.0
+    #: how long a spawned worker may take to report ready.
+    worker_start_timeout: float = 30.0
+    #: dispatch attempts per batch before its requests are failed (each
+    #: worker crash/stall consumes one attempt for the batch it carried).
+    max_dispatch_attempts: int = 5
+    #: degradation ladder: per-environment last-good answers kept for
+    #: serving (stamped ``degraded=True``) while the TSDB breaker is open
+    #: or every worker is restarting. ``0`` disables the ladder.
+    last_good_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -99,6 +126,24 @@ class ServeConfig:
             raise ValueError("breaker_recovery must be positive")
         if self.default_service_seconds <= 0:
             raise ValueError("default_service_seconds must be positive")
+        if not 0.0 < self.service_time_decay < 1.0:
+            raise ValueError("service_time_decay must be in (0, 1)")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        if self.worker_start_method not in ("fork", "spawn", "forkserver"):
+            raise ValueError(
+                "worker_start_method must be one of 'fork', 'spawn', 'forkserver'"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.worker_stall_timeout <= 0:
+            raise ValueError("worker_stall_timeout must be positive")
+        if self.worker_start_timeout <= 0:
+            raise ValueError("worker_start_timeout must be positive")
+        if self.max_dispatch_attempts < 1:
+            raise ValueError("max_dispatch_attempts must be >= 1")
+        if self.last_good_capacity < 0:
+            raise ValueError("last_good_capacity must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -109,12 +154,19 @@ class PredictRequest:
     ``record_id`` request must also name the ``environment`` the scraped
     telemetry came from (the TSDB stores series, not EM tuples). With
     ``error_model=None`` the §4.3 self-calibrated mode is used.
+
+    ``deadline_seconds`` is the caller's latency budget, relative to
+    admission: once it elapses, the caller has given up, so the service
+    sheds the request (:class:`~repro.resilience.DeadlineExceeded`)
+    instead of spending a batch slot on an answer nobody will read.
+    ``None`` means the caller waits forever.
     """
 
     execution: TestExecution | None = None
     record_id: str | None = None
     environment: Environment | None = None
     error_model: GaussianErrorModel | None = None
+    deadline_seconds: float | None = None
     request_id: str = ""
 
     def __post_init__(self) -> None:
@@ -124,6 +176,8 @@ class PredictRequest:
             )
         if self.record_id is not None and self.environment is None:
             raise ValueError("a record_id request must carry its environment")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive when set")
 
     def __repr__(self) -> str:
         # Compact by design: the default repr would stringify the inline
@@ -146,7 +200,10 @@ class PredictResponse:
     series, quarantine, TSDB circuit open). ``batch_size`` records how
     many requests shared this response's coalesced forward, and
     ``queued_seconds`` how long the request waited for it; neither
-    influences the numbers in ``run``.
+    influences the numbers in ``run``. ``degraded=True`` marks a
+    last-good answer replayed from cache while the fresh path was down
+    (TSDB breaker open, or every worker mid-restart) — the numbers are
+    real but stale, and callers should treat them accordingly.
     """
 
     request_id: str
@@ -156,16 +213,59 @@ class PredictResponse:
     skipped: SkippedExecution | None = None
     batch_size: int = 1
     queued_seconds: float = 0.0
+    degraded: bool = False
 
     def __repr__(self) -> str:
         # PipelineRun's own repr is compact; keep the response repr flat
         # so asyncio future reprs stay O(1) regardless of payload size.
         body = repr(self.run) if self.run is not None else repr(self.skipped)
+        degraded = ", degraded=True" if self.degraded else ""
         return (
             f"PredictResponse(request_id={self.request_id!r}, "
             f"status={self.status!r}, model_version={self.model_version}, "
-            f"batch_size={self.batch_size}, {body})"
+            f"batch_size={self.batch_size}{degraded}, {body})"
         )
+
+
+@dataclass(frozen=True)
+class WorkerState:
+    """One supervised worker's liveness snapshot, as ``health()`` saw it.
+
+    ``phase`` is ``"ready"`` (idle, answering pings), ``"busy"`` (a batch
+    dispatched, inside its stall budget), ``"starting"`` (spawned, not
+    yet reported ready — includes rolling-publish rehydration) or
+    ``"dead"`` (process gone, restart pending). ``epoch`` counts spawns:
+    it starts at 1 and each restart increments it, so ``epoch - 1`` is
+    the worker's lifetime restart count.
+    """
+
+    worker_id: int
+    phase: str
+    epoch: int
+    model_version: int
+    inflight_batch: int | None = None
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """``/health``-style readiness + liveness for the whole service.
+
+    ``live`` — the service can make progress (event loop up, and in
+    supervised mode at least the supervisor is running); ``ready`` — a
+    request admitted now will be served fresh (some worker ready, TSDB
+    breaker not open, not draining). ``degraded`` mirrors the response
+    stamp: the service is answering from last-good cache.
+    """
+
+    live: bool
+    ready: bool
+    degraded: bool
+    n_workers: int
+    workers_ready: int
+    queue_depth: int
+    breaker_state: str
+    model_version: int
+    workers: tuple[WorkerState, ...] = field(default_factory=tuple)
 
 
 @dataclass(frozen=True)

@@ -5,18 +5,32 @@ alarm) into a long-running asyncio service with one typed request API:
 
 - **admission** — a bounded FIFO; past ``max_queue_depth`` submits are
   rejected synchronously with :class:`~repro.serve.ServiceOverloaded`
-  (explicit backpressure, never an unbounded queue),
+  (explicit backpressure, never an unbounded queue); requests carrying a
+  ``deadline_seconds`` budget are shed with
+  :class:`~repro.resilience.DeadlineExceeded` once it lapses in queue,
 - **micro-batching** — a background drain loop coalesces queued predict
   requests across chains into one batched forward (``max_batch`` /
   ``max_wait`` knobs), which is safe because every compiled kernel is
   row-wise: the numbers are byte-identical to batch
   :meth:`~repro.workflow.PredictionPipeline.execute` no matter how
   traffic happens to batch,
-- **warm model pool** — publishes compile off the request path, so a
-  retrain swaps in atomically without a cold-compile latency spike,
+- **execution** — on the event loop (``n_workers=0``), or sharded across
+  N supervised worker processes
+  (:class:`~repro.serve._internal.supervisor.WorkerSupervisor`): workers
+  run the pure scoring half only; alarm fan-in happens here, in dispatch
+  order through a :class:`~repro.parallel.SequencedMerger`, so both
+  modes are byte-identical to batch mode and to each other,
+- **warm models** — publishes compile off the request path (the warm
+  pool on the loop; rolling one-worker-at-a-time rollouts under the
+  supervisor), so a retrain swaps in without a cold-compile spike,
 - **resilience at the boundary** — a :class:`~repro.resilience.CircuitBreaker`
-  around the TSDB scrape path fails fast during outages, and rejections
-  carry ``retry_after`` hints sized from measured service time.
+  around the TSDB scrape path fails fast during outages; rejections
+  carry ``retry_after`` hints sized from measured service time; a
+  per-row scoring failure dead-letters that request
+  (:class:`~repro.resilience.DeadLetterStore`) without failing its
+  batchmates; and a degradation ladder replays per-environment last-good
+  answers (stamped ``degraded=True``) while the breaker is open or every
+  worker is mid-restart.
 
 All request-path metrics (`repro_serve_*`) are ordinary
 :mod:`repro.obs` instruments; with ``self_monitor=True`` the service
@@ -26,17 +40,21 @@ PromQL (``histogram_quantile(0.95, repro_serve_request_seconds_bucket)``).
 
 Clients never touch the service object directly: :meth:`Env2VecService.client`
 hands out the :class:`ServeClient` facade, the single sanctioned entry
-point for predictions, scrapes, and alarm queries.
+point for predictions, scrapes, alarm queries, and health probes.
 """
 
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 
 from ..obs import LATENCY_BUCKETS, get_observability
+from ..parallel import SequencedMerger
 from ..resilience import (
+    BREAKER_OPEN,
     CircuitBreaker,
     CircuitOpen,
+    DeadLetterStore,
     ExecutionQuarantined,
     RetryExhausted,
     TransientError,
@@ -45,17 +63,18 @@ from ..workflow.alarms import AlarmStore
 from ..workflow.model_store import ModelStore
 from ..workflow.prediction_pipeline import (
     PipelineRun,
-    PredictBatch,
     PredictionPipeline,
     SkippedExecution,
 )
 from ..workflow.tsdb import AmbiguousSeries, SeriesNotFound, TimeSeriesDB
 from ._internal.admission import AdmissionController, PendingRequest
 from ._internal.batcher import MicroBatcher
+from ._internal.supervisor import WorkerSupervisor
 from ._internal.warm_pool import WarmModelPool
 from .api import (
     AlarmQuery,
     AlarmQueryResponse,
+    HealthReport,
     PredictRequest,
     PredictResponse,
     ScrapeRequest,
@@ -77,11 +96,51 @@ _H_LATENCY = _OBS.histogram(
     labels=("kind",),
     buckets=LATENCY_BUCKETS,
 )
+_M_DEGRADED = _OBS.counter(
+    "repro_serve_degraded_total",
+    "Responses replayed from the last-good cache while the fresh path was down",
+)
+_M_DEAD_LETTERED = _OBS.counter(
+    "repro_serve_dead_lettered_total",
+    "Predict requests dead-lettered after failing scoring in isolation",
+)
 # The predict path touches these once per request; resolve the label
 # children up front instead of re-hashing label tuples on the hot path.
 _M_PREDICT_OK = _M_REQUESTS.labels(kind="predict", status="ok")
 _M_PREDICT_SKIPPED = _M_REQUESTS.labels(kind="predict", status="skipped")
 _H_PREDICT_LATENCY = _H_LATENCY.labels(kind="predict")
+
+#: skip reasons the degradation ladder may answer from last-good cache.
+_DEGRADABLE_SKIPS = frozenset({"tsdb_circuit_open", "tsdb_unavailable"})
+
+
+class _LastGoodCache:
+    """Per-environment cache of the newest successful answer.
+
+    The bottom rung of the degradation ladder: when the fresh path is
+    down (TSDB breaker open for a record_id request, or every supervised
+    worker mid-restart), the service replays the environment's last good
+    run stamped ``degraded=True`` instead of going dark. Bounded LRU;
+    ``capacity=0`` disables the ladder entirely.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[object, tuple[int, PipelineRun]] = OrderedDict()
+
+    def remember(self, environment, version: int, run: PipelineRun) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[environment] = (version, run)
+        self._entries.move_to_end(environment)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def get(self, environment) -> tuple[int, PipelineRun] | None:
+        return self._entries.get(environment)
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class Env2VecService:
@@ -100,6 +159,7 @@ class Env2VecService:
         breaker_clock=None,
         self_monitor: bool = False,
         scrape_interval: float = 15.0,
+        chaos=None,
     ):
         self.config = config if config is not None else ServeConfig()
         self.model_store = model_store
@@ -112,9 +172,10 @@ class Env2VecService:
             abs_threshold=abs_threshold,
             termination_threshold=termination_threshold,
         )
-        self.pool = WarmModelPool(model_store, capacity=self.config.pool_capacity)
         self.admission = AdmissionController(
-            self.config.max_queue_depth, self.config.default_service_seconds
+            self.config.max_queue_depth,
+            self.config.default_service_seconds,
+            decay=self.config.service_time_decay,
         )
         self.tsdb_breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_failures,
@@ -122,11 +183,36 @@ class Env2VecService:
             clock=breaker_clock,
             name="serve-tsdb",
         )
+        self.dead_letters = DeadLetterStore()
+        self.last_good = _LastGoodCache(self.config.last_good_capacity)
+        self.supervisor: WorkerSupervisor | None = None
+        self.pool: WarmModelPool | None = None
+        self._unsubscribe = None
+        if self.config.n_workers > 0:
+            self.supervisor = WorkerSupervisor(
+                model_store,
+                self.config,
+                gamma=gamma,
+                abs_threshold=abs_threshold,
+                chaos=chaos,
+            )
+            self._unsubscribe = model_store.subscribe(
+                lambda record: self.supervisor.schedule_publish(record.version)
+            )
+            execute = self._dispatch_supervised
+            max_inflight = self.config.n_workers
+        else:
+            self.pool = WarmModelPool(model_store, capacity=self.config.pool_capacity)
+            execute = self._execute_batch
+            max_inflight = 1
+        self._merger = SequencedMerger()
+        self._commit_seq = 0
         self._batcher = MicroBatcher(
             self.admission,
             max_batch=self.config.max_batch,
             max_wait=self.config.max_wait,
-            execute=self._execute_batch,
+            execute=execute,
+            max_inflight=max_inflight,
         )
         self.exporter = None
         if self_monitor:
@@ -141,18 +227,46 @@ class Env2VecService:
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> None:
-        """Start the micro-batcher (requires a running event loop)."""
+        """Start the micro-batcher (requires a running event loop).
+
+        A supervised service (``n_workers > 0``) must be entered with
+        ``async with service:`` instead, so worker processes can be
+        spawned and awaited ready before traffic flows.
+        """
+        if self.supervisor is not None:
+            raise RuntimeError(
+                "a supervised service (n_workers > 0) must be started with "
+                "'async with service:' so its workers can be spawned"
+            )
         self._batcher.start()
 
-    async def stop(self) -> None:
-        """Stop draining; queued-but-unbatched requests fail explicitly."""
-        await self._batcher.stop()
-        self.pool.close()
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        ``drain=True`` (the default) is the graceful path: queued
+        requests whose deadline expired are shed, live queued requests
+        are batched and completed, in-flight batches finish. With
+        ``drain=False`` the loop is torn down immediately and queued
+        requests fail loudly — the programmatic equivalent of a crash,
+        used by kill/restart tests.
+        """
+        await self._batcher.stop(drain=drain)
+        if self.supervisor is not None:
+            await self.supervisor.stop()
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        if self.pool is not None:
+            self.pool.close()
         if self.exporter is not None:
             self.exporter.tick()
 
     async def __aenter__(self) -> "Env2VecService":
-        self.start()
+        if self.supervisor is not None:
+            await self.supervisor.start()
+            self._batcher.start()
+        else:
+            self.start()
         return self
 
     async def __aexit__(self, exc_type, exc, tb) -> None:
@@ -166,6 +280,44 @@ class Env2VecService:
         if self.exporter is None:
             raise RuntimeError("service was built with self_monitor=False")
         return self.exporter.tick()
+
+    # -- health --------------------------------------------------------
+
+    def health(self) -> HealthReport:
+        """Readiness + liveness, the ``/health`` endpoint's payload.
+
+        *Live* means the drain loop can make progress; *ready* means a
+        request admitted right now would be served fresh (a worker free
+        or the loop executing inline, breaker not open). ``degraded``
+        says answers are currently coming from the last-good cache.
+        """
+        live = self._batcher.running
+        breaker_open = self.tsdb_breaker.state == BREAKER_OPEN
+        if self.supervisor is not None:
+            workers = self.supervisor.worker_states()
+            available = self.supervisor.available_count
+            n_workers = self.config.n_workers
+            version = self.supervisor.latest_version
+            ready = live and available > 0
+            degraded = breaker_open or available == 0
+        else:
+            workers = ()
+            available = 1 if live else 0
+            n_workers = 0
+            version = self.model_store.latest_version
+            ready = live and version > 0
+            degraded = breaker_open
+        return HealthReport(
+            live=live,
+            ready=ready,
+            degraded=degraded,
+            n_workers=n_workers,
+            workers_ready=available,
+            queue_depth=self.admission.depth,
+            breaker_state=self.tsdb_breaker.state,
+            model_version=version,
+            workers=workers,
+        )
 
     # -- predict path --------------------------------------------------
 
@@ -212,8 +364,97 @@ class Env2VecService:
             None,
         )
 
+    def _try_degraded(self, pending: PendingRequest, loop) -> bool:
+        """Answer from the last-good cache if the ladder allows; else False."""
+        request = pending.request
+        environment = (
+            request.execution.environment
+            if request.execution is not None
+            else request.environment
+        )
+        cached = self.last_good.get(environment)
+        if cached is None:
+            return False
+        version, run = cached
+        _M_DEGRADED.inc()
+        self._respond(
+            pending,
+            PredictResponse(
+                request_id=request.request_id,
+                status="ok",
+                model_version=version,
+                run=run,
+                batch_size=pending.batch_size,
+                degraded=True,
+            ),
+            loop,
+        )
+        return True
+
+    def _dead_letter(self, pending: PendingRequest, detail: str) -> None:
+        """Quarantine one bad request without failing its batchmates."""
+        request = pending.request
+        key = request.request_id or request.record_id or f"predict-{id(request):x}"
+        self.dead_letters.add(key=key, reason="serve_row_failure", detail=detail)
+        _M_DEAD_LETTERED.inc()
+        if not pending.future.done():
+            pending.future.set_exception(
+                RuntimeError(f"request failed scoring and was dead-lettered: {detail}")
+            )
+
+    def _screen_batch(self, batch, n_lags, loop):
+        """Resolve record_ids, apply skips/degradation, length pre-checks.
+
+        Shared front half of both execution modes. Returns the rows that
+        should be scored: ``[(pending, execution, error_model), ...]``.
+        """
+        ready = []
+        for pending in batch:
+            request = pending.request
+            execution, skipped = self._resolve_execution(request)
+            if skipped is not None:
+                if skipped.reason in _DEGRADABLE_SKIPS and self._try_degraded(
+                    pending, loop
+                ):
+                    continue
+                self._respond(
+                    pending, self._skip_response(pending, skipped), loop
+                )
+                continue
+            if len(execution.cpu) <= n_lags + 1:
+                pending.future.set_exception(
+                    ValueError(
+                        f"execution has {len(execution.cpu)} timesteps; "
+                        f"need more than n_lags + 1 = {n_lags + 1} to window"
+                    )
+                )
+                continue
+            ready.append((pending, execution, request.error_model))
+        return ready
+
+    def _commit_scored(self, ready, outcomes, version, n_lags, elapsed, loop) -> None:
+        """Ordered side-effect half: dead-letter errs, fan in oks, respond."""
+        ready_ok, scored_ok = [], []
+        for (pending, execution, _), outcome in zip(ready, outcomes):
+            if outcome[0] == "err":
+                self._dead_letter(pending, outcome[1])
+            else:
+                ready_ok.append((pending, execution))
+                scored_ok.append((outcome[1], outcome[2], outcome[3]))
+        runs = self.pipeline.fan_in(
+            [execution for _, execution in ready_ok],
+            scored_ok,
+            model_version=version,
+            n_lags=n_lags,
+        )
+        if ready:
+            self.admission.record_service_time(elapsed / len(ready))
+        for (pending, execution), run in zip(ready_ok, runs):
+            self.last_good.remember(execution.environment, version, run)
+            self._respond(pending, self._ok_response(pending, version, run), loop)
+
     def _execute_batch(self, batch: list[PendingRequest]) -> None:
-        """Run one coalesced forward and resolve futures in admission order."""
+        """Single-loop mode: one coalesced forward on the event loop."""
         loop = asyncio.get_running_loop()
         try:
             model, version = self.pool.latest()
@@ -221,42 +462,76 @@ class Env2VecService:
             for pending in batch:
                 pending.future.set_exception(LookupError(str(exc)))
             return
-
-        ready: list[tuple[PendingRequest, object, object]] = []
-        for pending in batch:
-            request = pending.request
-            execution, skipped = self._resolve_execution(request)
-            if skipped is not None:
-                self._respond(pending, self._skip_response(pending, version, skipped), loop)
-                continue
-            if len(execution.cpu) <= model.n_lags + 1:
-                pending.future.set_exception(
-                    ValueError(
-                        f"execution has {len(execution.cpu)} timesteps; "
-                        f"need more than n_lags + 1 = {model.n_lags + 1} to window"
-                    )
-                )
-                continue
-            ready.append((pending, execution, request.error_model))
-
+        ready = self._screen_batch(batch, model.n_lags, loop)
         if not ready:
             return
         started = loop.time()
-        runs = self.pipeline.execute(
-            PredictBatch(
-                tuple(execution for _, execution, _ in ready),
-                tuple(error_model for _, _, error_model in ready),
-            ),
-            model=model,
-            model_version=version,
+        model.ensure_compiled()
+        outcomes = self.pipeline.score_with_isolation(
+            model,
+            [execution for _, execution, _ in ready],
+            [error_model for _, _, error_model in ready],
         )
-        self.admission.record_service_time((loop.time() - started) / len(ready))
-        for (pending, _, _), run in zip(ready, runs):
-            self._respond(pending, self._ok_response(pending, version, run), loop)
+        self._commit_scored(
+            ready, outcomes, version, model.n_lags, loop.time() - started, loop
+        )
+
+    async def _dispatch_supervised(self, batch: list[PendingRequest]) -> None:
+        """Supervised mode: score on a worker, commit in dispatch order.
+
+        The commit sequence number is claimed in the first synchronous
+        segment (batch tasks start in creation order, and creation order
+        is batch composition order), so however the worker results race
+        back, :class:`SequencedMerger` applies fan-in — and therefore
+        alarm ids — exactly as the single-loop service would.
+        """
+        seq = self._commit_seq
+        self._commit_seq += 1
+        loop = asyncio.get_running_loop()
+        thunks: list = []
+        try:
+            thunks = await self._score_supervised(batch, loop)
+        finally:
+            for _, released in self._merger.put(seq, thunks):
+                for thunk in released:
+                    thunk()
+
+    async def _score_supervised(self, batch, loop) -> list:
+        supervisor = self.supervisor
+        if supervisor.latest_version == 0:
+            error = LookupError("no model has been published yet")
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(error)
+            return []
+        ready = self._screen_batch(batch, supervisor.n_lags, loop)
+        if ready and supervisor.available_count == 0:
+            # Every worker is mid-restart: serve what the ladder can,
+            # queue the rest behind recovery.
+            still_ready = []
+            for row in ready:
+                if not self._try_degraded(row[0], loop):
+                    still_ready.append(row)
+            ready = still_ready
+        if not ready:
+            return []
+        started = loop.time()
+        version, n_lags, outcomes = await supervisor.score(
+            [(execution, error_model) for _, execution, error_model in ready]
+        )
+        elapsed = loop.time() - started
+        return [
+            lambda: self._commit_scored(ready, outcomes, version, n_lags, elapsed, loop)
+        ]
 
     def _skip_response(
-        self, pending: PendingRequest, version: int, skipped: SkippedExecution
+        self, pending: PendingRequest, skipped: SkippedExecution
     ) -> PredictResponse:
+        version = (
+            self.supervisor.latest_version
+            if self.supervisor is not None
+            else self.model_store.latest_version
+        )
         return PredictResponse(
             request_id=pending.request.request_id,
             status="skipped",
@@ -286,6 +561,7 @@ class Env2VecService:
             skipped=response.skipped,
             batch_size=response.batch_size,
             queued_seconds=now - pending.enqueued_at,
+            degraded=response.degraded,
         )
         (_M_PREDICT_OK if response.status == "ok" else _M_PREDICT_SKIPPED).inc()
         _H_PREDICT_LATENCY.observe(now - pending.enqueued_at)
@@ -385,3 +661,7 @@ class ServeClient:
     async def alarms(self, query: AlarmQuery) -> AlarmQueryResponse:
         """Query raised alarms."""
         return self._service.query_alarms(query)
+
+    async def health(self) -> HealthReport:
+        """Readiness + liveness probe."""
+        return self._service.health()

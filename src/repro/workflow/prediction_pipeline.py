@@ -68,6 +68,10 @@ _M_FALLBACKS = _OBS.counter(
     "repro_resilience_model_fallbacks_total",
     "Fetches served by the cached last-good model after a corrupt blob.",
 )
+_M_ROW_FAILURES = _OBS.counter(
+    "repro_prediction_row_failures_total",
+    "Executions that failed scoring and were isolated from their batchmates.",
+)
 
 
 def build_prediction_frame(
@@ -313,33 +317,14 @@ class PredictionPipeline:
             indexed = list(enumerate(executions))
 
             def score_chunk(chunk: list[tuple[int, TestExecution]]):
-                windows = [
-                    build_windows(execution.features, execution.cpu, model.n_lags)
-                    for _, execution in chunk
-                ]
-                environments: list = []
-                for (_, execution), (_, _, y) in zip(chunk, windows):
-                    environments.extend([execution.environment] * len(y))
-                predicted = model.predict(
-                    environments,
-                    np.concatenate([X for X, _, _ in windows], axis=0),
-                    np.concatenate([h for _, h, _ in windows], axis=0),
-                )
-                predicted_rows, observed_rows, start = [], [], 0
-                for _, _, observed in windows:
-                    predicted_rows.append(predicted[start : start + len(observed)])
-                    observed_rows.append(observed)
-                    start += len(observed)
-                reports = self.detector.detect_many(
-                    predicted_rows,
-                    observed_rows,
+                results = self.score_executions(
+                    model,
+                    [execution for _, execution in chunk],
                     [error_models[index] for index, _ in chunk],
                 )
                 return [
                     (index, report, pred, observed)
-                    for (index, _), report, pred, observed in zip(
-                        chunk, reports, predicted_rows, observed_rows
-                    )
+                    for (index, _), (report, pred, observed) in zip(chunk, results)
                 ]
 
             with WorkerPool(n_workers, kind=worker_kind) as pool:
@@ -351,41 +336,133 @@ class PredictionPipeline:
             for chunk in chunk_results:
                 for index, report, pred, observed in chunk:
                     scored[index] = (report, pred, observed)
+            runs = self.fan_in(
+                executions, scored, model_version=version, n_lags=model.n_lags
+            )
+        return runs
 
-            # Serial fan-in, input order: alarm ids and termination checks
-            # come out exactly as a sequential run() loop would produce.
-            runs: list[PipelineRun] = []
-            offset = model.n_lags
-            for execution, (report, pred, observed) in zip(executions, scored):
-                alarm_ids = [
-                    self.alarms.push(
-                        environment=execution.environment,
-                        start_step=alarm.start + offset,
-                        end_step=alarm.end + offset,
-                        peak_deviation=alarm.peak_deviation,
-                        gamma=report.gamma,
-                    )
-                    for alarm in report.alarms
-                ]
-                terminated = (
-                    self.termination_threshold is not None
-                    and self.alarms.should_terminate(
-                        execution.environment, threshold=self.termination_threshold
-                    )
+    def score_executions(
+        self,
+        model: Env2VecRegressor,
+        executions: list[TestExecution],
+        error_models: list[GaussianErrorModel | None] | None = None,
+    ) -> list[tuple[AnomalyReport, np.ndarray, np.ndarray]]:
+        """Pure scoring: windows, one coalesced forward, grouped detection.
+
+        No side effects — no alarm pushes, no metrics, no store reads —
+        which is what lets the serve supervisor run it inside worker
+        processes and apply :meth:`fan_in` back on the parent in dispatch
+        order. Returns one ``(report, predictions, observations)`` triple
+        per execution, in input order. The coalesced forward is bitwise
+        identical to per-execution predicts because every compiled kernel
+        is row-wise.
+        """
+        if error_models is None:
+            error_models = [None] * len(executions)
+        windows = [
+            build_windows(execution.features, execution.cpu, model.n_lags)
+            for execution in executions
+        ]
+        environments: list = []
+        for execution, (_, _, y) in zip(executions, windows):
+            environments.extend([execution.environment] * len(y))
+        predicted = model.predict(
+            environments,
+            np.concatenate([X for X, _, _ in windows], axis=0),
+            np.concatenate([h for _, h, _ in windows], axis=0),
+        )
+        predicted_rows, observed_rows, start = [], [], 0
+        for _, _, observed in windows:
+            predicted_rows.append(predicted[start : start + len(observed)])
+            observed_rows.append(observed)
+            start += len(observed)
+        reports = self.detector.detect_many(predicted_rows, observed_rows, error_models)
+        return list(zip(reports, predicted_rows, observed_rows))
+
+    def score_with_isolation(
+        self,
+        model: Env2VecRegressor,
+        executions: list[TestExecution],
+        error_models: list[GaussianErrorModel | None] | None = None,
+    ) -> list[tuple]:
+        """Score a batch, isolating per-row failures from batchmates.
+
+        The fast path is one coalesced :meth:`score_executions`; if
+        anything in the batch raises, every row is rescored alone —
+        bitwise identical to the coalesced pass, since every kernel is
+        row-wise — so one malformed execution fails only itself. Returns
+        one outcome per execution, in order: ``("ok", report,
+        predictions, observations)`` or ``("err", message)``.
+        """
+        executions = list(executions)
+        if error_models is None:
+            error_models = [None] * len(executions)
+        try:
+            return [
+                ("ok", report, pred, observed)
+                for report, pred, observed in self.score_executions(
+                    model, executions, error_models
                 )
-                _M_RUNS.inc()
-                _M_WINDOWS.inc(len(observed))
-                _M_ALARMS.inc(len(alarm_ids))
-                runs.append(
-                    PipelineRun(
-                        report=report,
-                        predictions=pred,
-                        observations=observed,
-                        model_version=version,
-                        alarm_ids=alarm_ids,
-                        terminated_early=terminated,
-                    )
+            ]
+        except Exception:
+            outcomes: list[tuple] = []
+            for execution, error_model in zip(executions, error_models):
+                try:
+                    (triple,) = self.score_executions(model, [execution], [error_model])
+                    outcomes.append(("ok", *triple))
+                except Exception as error:
+                    _M_ROW_FAILURES.inc()
+                    outcomes.append(("err", f"{type(error).__name__}: {error}"))
+            return outcomes
+
+    def fan_in(
+        self,
+        executions: list[TestExecution],
+        scored: list[tuple[AnomalyReport, np.ndarray, np.ndarray]],
+        *,
+        model_version: int,
+        n_lags: int,
+    ) -> list[PipelineRun]:
+        """Apply a batch's side effects serially, in input order.
+
+        Alarm pushes, termination checks, and run metrics happen here and
+        only here, so alarm ids, store contents, and every returned
+        :class:`PipelineRun` come out exactly as a sequential loop would
+        produce them — regardless of which worker (thread or process)
+        scored which row, or in what order scoring finished.
+        """
+        runs: list[PipelineRun] = []
+        offset = n_lags
+        for execution, (report, pred, observed) in zip(executions, scored):
+            alarm_ids = [
+                self.alarms.push(
+                    environment=execution.environment,
+                    start_step=alarm.start + offset,
+                    end_step=alarm.end + offset,
+                    peak_deviation=alarm.peak_deviation,
+                    gamma=report.gamma,
                 )
+                for alarm in report.alarms
+            ]
+            terminated = (
+                self.termination_threshold is not None
+                and self.alarms.should_terminate(
+                    execution.environment, threshold=self.termination_threshold
+                )
+            )
+            _M_RUNS.inc()
+            _M_WINDOWS.inc(len(observed))
+            _M_ALARMS.inc(len(alarm_ids))
+            runs.append(
+                PipelineRun(
+                    report=report,
+                    predictions=pred,
+                    observations=observed,
+                    model_version=model_version,
+                    alarm_ids=alarm_ids,
+                    terminated_early=terminated,
+                )
+            )
         return runs
 
     def run_from_tsdb(

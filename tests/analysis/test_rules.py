@@ -542,3 +542,59 @@ def test_rep010_silent_inside_serve_tests_and_benchmarks():
     assert scan(source, path="src/repro/serve/mod.py") == []
     assert scan(source, path=TESTS) == []
     assert scan(source, path="benchmarks/bench_mod.py") == []
+
+
+# -- REP011: process-management boundary -------------------------------------
+
+def test_rep011_flags_process_calls_outside_supervisor():
+    findings = scan(
+        """
+        import os, signal, multiprocessing
+
+        def reap(pid):
+            os.kill(pid, 9)
+            signal.signal(signal.SIGTERM, lambda *a: None)
+            multiprocessing.Process(target=print).start()
+        """,
+        path=WORKFLOW,
+    )
+    assert [f.rule for f in findings] == ["REP011", "REP011", "REP011"]
+
+
+def test_rep011_flags_multiprocessing_primitive_imports():
+    findings = scan(
+        """
+        from multiprocessing import Process, Pipe
+        from multiprocessing.connection import Pipe
+        """,
+        path="src/repro/serve/service.py",
+    )
+    assert [f.rule for f in findings] == ["REP011", "REP011", "REP011"]
+
+
+def test_rep011_allows_benign_os_and_signal_use():
+    findings = scan(
+        """
+        import os
+        from multiprocessing import cpu_count
+
+        def where():
+            return os.getpid(), os.path.join("a", "b"), cpu_count()
+        """,
+        path=WORKFLOW,
+    )
+    assert findings == []
+
+
+def test_rep011_silent_in_supervisor_tests_and_benchmarks():
+    source = """
+        import multiprocessing
+        import os
+
+        def spawn(ctx):
+            process = multiprocessing.Process(target=print)
+            os.kill(process.pid, 9)
+        """
+    assert scan(source, path="src/repro/serve/_internal/supervisor.py") == []
+    assert scan(source, path=TESTS) == []
+    assert scan(source, path="benchmarks/bench_mod.py") == []

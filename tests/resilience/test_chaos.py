@@ -185,3 +185,33 @@ class TestDeadLetterStore:
         assert counter.labels(reason="outage").value == 1  # no double count
         assert size.value == 1
         assert restored.get("a") == store.get("a")
+
+
+class TestWorkerChaos:
+    def test_worker_rates_validated(self):
+        with pytest.raises(ValueError, match="worker_kill_rate"):
+            ChaosProfile(worker_kill_rate=1.5)
+        with pytest.raises(ValueError, match="worker_stall_rate"):
+            ChaosProfile(worker_stall_rate=-0.1)
+
+    def test_worker_draws_deterministic_per_key(self):
+        profile = ChaosProfile(seed=7, worker_kill_rate=0.3, worker_stall_rate=0.3)
+        replay = ChaosProfile(seed=7, worker_kill_rate=0.3, worker_stall_rate=0.3)
+        kills = [profile.worker_kill(batch_id) for batch_id in range(100)]
+        stalls = [profile.worker_stall(batch_id) for batch_id in range(100)]
+        assert kills == [replay.worker_kill(batch_id) for batch_id in range(100)]
+        assert stalls == [replay.worker_stall(batch_id) for batch_id in range(100)]
+        # Distinct streams: the kill draw for a key must not decide the
+        # stall draw for the same key.
+        assert kills != stalls
+        assert 10 < sum(kills) < 60
+
+    def test_zero_rates_never_fire(self):
+        profile = ChaosProfile(seed=7)
+        assert not any(profile.worker_kill(i) for i in range(50))
+        assert not any(profile.worker_stall(i) for i in range(50))
+
+    def test_rate_one_always_fires(self):
+        profile = ChaosProfile(seed=7, worker_kill_rate=1.0, worker_stall_rate=1.0)
+        assert all(profile.worker_kill(i) for i in range(10))
+        assert all(profile.worker_stall(i) for i in range(10))

@@ -9,7 +9,7 @@ from repro.serve._internal.admission import AdmissionController
 from repro.serve._internal.admission import _M_REJECTED
 
 
-def _request(i: int) -> PredictRequest:
+def _request(i: int, **kwargs) -> PredictRequest:
     import numpy as np
 
     from repro.data import Environment, TestExecution
@@ -20,6 +20,7 @@ def _request(i: int) -> PredictRequest:
     return PredictRequest(
         execution=TestExecution(environment=env, features=features, cpu=cpu),
         request_id=str(i),
+        **kwargs,
     )
 
 
@@ -96,3 +97,83 @@ class TestAdmission:
             assert admission.depth == 1
 
         run(scenario())
+
+
+class TestDeadlines:
+    def test_drain_sheds_expired_without_charging_the_limit(self):
+        async def scenario():
+            from repro.resilience import DeadlineExceeded
+
+            admission = AdmissionController(max_depth=10, default_service_seconds=0.01)
+            loop = asyncio.get_running_loop()
+            now = loop.time()
+            doomed = admission.submit(
+                _request(0, deadline_seconds=0.05), now=now - 1.0
+            )
+            live = [admission.submit(_request(i), now=now) for i in (1, 2)]
+            batch = admission.drain(2, now=now)
+            # The expired head did not consume a batch slot.
+            assert [p.request.request_id for p in batch] == ["1", "2"]
+            assert admission.shed == 1
+            with pytest.raises(DeadlineExceeded, match="0.05"):
+                await doomed
+            assert all(not f.done() for f in live)
+
+        run(scenario())
+
+    def test_shed_expired_sweeps_only_the_dead(self):
+        async def scenario():
+            admission = AdmissionController(max_depth=10, default_service_seconds=0.01)
+            loop = asyncio.get_running_loop()
+            now = loop.time()
+            admission.submit(_request(0, deadline_seconds=0.01), now=now - 1.0)
+            admission.submit(_request(1), now=now)
+            admission.submit(_request(2, deadline_seconds=60.0), now=now)
+            assert admission.shed_expired(now=now) == 1
+            assert admission.depth == 2
+            assert admission.earliest_deadline() == pytest.approx(now + 60.0)
+
+        run(scenario())
+
+    def test_drain_without_now_never_sheds(self):
+        async def scenario():
+            admission = AdmissionController(max_depth=10, default_service_seconds=0.01)
+            loop = asyncio.get_running_loop()
+            admission.submit(
+                _request(0, deadline_seconds=0.01), now=loop.time() - 1.0
+            )
+            batch = admission.drain(5)
+            assert len(batch) == 1 and admission.shed == 0
+
+        run(scenario())
+
+
+class TestServiceTimeDecay:
+    def test_decay_validated(self):
+        with pytest.raises(ValueError, match="decay"):
+            AdmissionController(max_depth=4, default_service_seconds=0.01, decay=0.0)
+        with pytest.raises(ValueError, match="decay"):
+            AdmissionController(max_depth=4, default_service_seconds=0.01, decay=1.0)
+
+    def test_decay_constant_controls_ewma_weight(self):
+        sluggish = AdmissionController(
+            max_depth=4, default_service_seconds=0.01, decay=0.9
+        )
+        nimble = AdmissionController(
+            max_depth=4, default_service_seconds=0.01, decay=0.1
+        )
+        for admission in (sluggish, nimble):
+            admission.record_service_time(1.0)
+        assert sluggish._service_seconds == pytest.approx(0.9 * 0.01 + 0.1 * 1.0)
+        assert nimble._service_seconds == pytest.approx(0.1 * 0.01 + 0.9 * 1.0)
+
+    def test_config_decay_reaches_admission(self):
+        from repro.serve import Env2VecService, ServeConfig
+        from repro.workflow import ModelStore
+
+        service = Env2VecService(
+            ModelStore(), config=ServeConfig(service_time_decay=0.5)
+        )
+        assert service.admission._decay == 0.5
+        with pytest.raises(ValueError, match="service_time_decay"):
+            ServeConfig(service_time_decay=1.0)

@@ -1,0 +1,365 @@
+"""Deadline propagation, graceful-drain shutdown, and the degradation ladder.
+
+A request's ``deadline_seconds`` budget must follow it through admission
+(absolute expiry stamped at submit), the batcher (linger clamped, expired
+requests shed at drain with :class:`DeadlineExceeded`), and shutdown
+(``stop(drain=True)`` sheds the dead, completes the live). And when the
+fresh path is down — TSDB breaker open for record_id traffic — the
+service climbs down the degradation ladder: per-environment last-good
+answers replayed with ``degraded=True`` instead of going dark.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.data import FEATURE_NAMES, TelecomConfig, generate_telecom
+from repro.resilience import BREAKER_OPEN, ChaosProfile, DeadlineExceeded
+from repro.serve import Env2VecService, PredictRequest, ScrapeRequest, ServeConfig
+from repro.workflow import (
+    AlarmStore,
+    EMRegistry,
+    MetricCollector,
+    ModelStore,
+    PredictBatch,
+    PredictionPipeline,
+    TimeSeriesDB,
+    TrainingPipeline,
+)
+
+pytestmark = pytest.mark.serving
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_telecom(
+        TelecomConfig(
+            n_chains=6,
+            n_testbeds=3,
+            builds_per_chain=(3, 4),
+            timesteps_per_build=(50, 60),
+            n_focus=2,
+            include_rare_testbed=False,
+            seed=29,
+        )
+    )
+
+
+def _train(store: ModelStore, dataset):
+    return TrainingPipeline(
+        store,
+        n_lags=3,
+        model_params={"max_epochs": 3, "batch_size": 256, "dropout": 0.0},
+        seed=0,
+    ).train(dataset.history_training_series())
+
+
+def _reference_runs(store, executions):
+    return PredictionPipeline(store, AlarmStore(), gamma=2.0).execute(
+        PredictBatch(tuple(executions))
+    )
+
+
+class TestDeadlineShedding:
+    def test_expired_queued_request_shed_live_one_served(self, dataset):
+        store = ModelStore()
+        _train(store, dataset)
+        executions = [chain.current for chain in dataset.chains]
+        reference = _reference_runs(store, [executions[1]])
+
+        async def scenario():
+            service = Env2VecService(
+                store, alarm_store=AlarmStore(), config=ServeConfig(max_batch=8)
+            )
+            shed_before = service.admission.shed
+            async with service:
+                # Submitted back-to-back, so both sit in the same drain:
+                # the first is already past its (absurd) budget when the
+                # batcher picks it up, the second has no deadline.
+                doomed = service.submit_predict(
+                    PredictRequest(
+                        execution=executions[0],
+                        request_id="doomed",
+                        deadline_seconds=1e-9,
+                    )
+                )
+                live = service.submit_predict(
+                    PredictRequest(execution=executions[1], request_id="live")
+                )
+                results = await asyncio.gather(doomed, live, return_exceptions=True)
+            return results, service.admission.shed - shed_before
+
+        results, shed = asyncio.run(scenario())
+        assert isinstance(results[0], DeadlineExceeded)
+        assert "doomed" in str(results[0])
+        assert shed == 1
+        response = results[1]
+        assert response.status == "ok" and not response.degraded
+        assert response.run.predictions.tobytes() == reference[0].predictions.tobytes()
+        assert response.run.alarm_ids == reference[0].alarm_ids
+
+    def test_generous_deadline_is_never_shed(self, dataset):
+        store = ModelStore()
+        _train(store, dataset)
+
+        async def scenario():
+            service = Env2VecService(store, alarm_store=AlarmStore())
+            async with service:
+                response = await service.client().predict(
+                    PredictRequest(
+                        execution=dataset.chains[0].current,
+                        request_id="r",
+                        deadline_seconds=60.0,
+                    )
+                )
+            return response, service.admission.shed
+
+        response, shed = asyncio.run(scenario())
+        assert response.status == "ok"
+        assert shed == 0
+
+    def test_deadline_must_be_positive(self, dataset):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            PredictRequest(
+                execution=dataset.chains[0].current, deadline_seconds=0.0
+            )
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            PredictRequest(
+                execution=dataset.chains[0].current, deadline_seconds=-1.0
+            )
+
+
+class TestStopMidDrain:
+    def test_stop_sheds_expired_and_completes_live(self, dataset):
+        """The graceful-drain contract, frozen mid-flight.
+
+        Five requests are queued when stop() begins: two already past
+        their deadline, three live. The shutdown drain must shed exactly
+        the dead pair with DeadlineExceeded and serve the live trio to
+        completion — byte-identical to a batch execute of just the trio.
+        """
+        store = ModelStore()
+        _train(store, dataset)
+        executions = [chain.current for chain in dataset.chains]
+        live_executions = [executions[2], executions[3], executions[4]]
+        reference = _reference_runs(store, live_executions)
+
+        async def scenario():
+            service = Env2VecService(
+                store, alarm_store=AlarmStore(), config=ServeConfig(max_batch=2)
+            )
+            service.start()
+            # No awaits between start/submit/stop: the batcher task never
+            # gets a slice, so all five are still queued when stop() runs.
+            expired = [
+                service.submit_predict(
+                    PredictRequest(
+                        execution=executions[i],
+                        request_id=f"expired-{i}",
+                        deadline_seconds=1e-9,
+                    )
+                )
+                for i in range(2)
+            ]
+            live = [
+                service.submit_predict(
+                    PredictRequest(execution=execution, request_id=f"live-{i}")
+                )
+                for i, execution in enumerate(live_executions)
+            ]
+            await service.stop(drain=True)
+            expired_results = await asyncio.gather(*expired, return_exceptions=True)
+            live_results = await asyncio.gather(*live)
+            return expired_results, live_results, service.admission.shed
+
+        expired_results, live_results, shed = asyncio.run(scenario())
+        assert shed == 2
+        for result in expired_results:
+            assert isinstance(result, DeadlineExceeded)
+        # max_batch=2 forces the drain to take several rounds; order and
+        # bytes must still match the uninterrupted serial reference.
+        for response, run in zip(live_results, reference):
+            assert response.status == "ok"
+            assert response.run.predictions.tobytes() == run.predictions.tobytes()
+            assert response.run.alarm_ids == run.alarm_ids
+
+    def test_kill_then_restart_resumes_byte_identical(self, dataset):
+        """A crash mid-backlog loses nothing once clients resubmit.
+
+        Service A (supervised, 2 workers) answers the first half, then is
+        killed with the second half still queued — those futures must
+        fail loudly, and their alarms must NOT have been pushed. A fresh
+        service over the same stores serves the resubmitted half; the
+        combined answers are byte-identical to one uninterrupted run.
+        """
+        store = ModelStore()
+        _train(store, dataset)
+        executions = [chain.current for chain in dataset.chains]
+        first, second = executions[:3], executions[3:]
+        reference = _reference_runs(store, executions)
+        config = ServeConfig(max_batch=4, n_workers=2)
+
+        async def phase_one(alarm_store):
+            service = Env2VecService(store, alarm_store=alarm_store, config=config)
+            async with service:
+                served = await service.client().predict_many(
+                    [
+                        PredictRequest(execution=execution, request_id=f"a{i}")
+                        for i, execution in enumerate(first)
+                    ]
+                )
+                # Queue the second half and kill the service before the
+                # batcher can touch it (no await in between).
+                doomed = [
+                    service.submit_predict(
+                        PredictRequest(execution=execution, request_id=f"b{i}")
+                    )
+                    for i, execution in enumerate(second)
+                ]
+                await service.stop(drain=False)
+                doomed_results = await asyncio.gather(
+                    *doomed, return_exceptions=True
+                )
+            return served, doomed_results
+
+        async def phase_two(alarm_store):
+            service = Env2VecService(store, alarm_store=alarm_store, config=config)
+            async with service:
+                return await service.client().predict_many(
+                    [
+                        PredictRequest(execution=execution, request_id=f"r{i}")
+                        for i, execution in enumerate(second)
+                    ]
+                )
+
+        alarm_store = AlarmStore()
+        served, doomed_results = asyncio.run(phase_one(alarm_store))
+        for result in doomed_results:
+            assert isinstance(result, RuntimeError)
+        resumed = asyncio.run(phase_two(alarm_store))
+
+        combined = served + resumed
+        assert len(combined) == len(reference)
+        for response, run in zip(combined, reference):
+            assert response.status == "ok"
+            assert response.run.predictions.tobytes() == run.predictions.tobytes()
+            assert response.run.observations.tobytes() == run.observations.tobytes()
+            # Alarm numbering continues exactly where the killed service
+            # left off — the crash neither lost nor duplicated a push.
+            assert response.run.alarm_ids == run.alarm_ids
+
+
+class TestDegradationLadder:
+    def _outage_service(self, store) -> Env2VecService:
+        collector = MetricCollector(
+            TimeSeriesDB(name="serve-deadline-outage"),
+            EMRegistry(),
+            feature_names=FEATURE_NAMES,
+            chaos=ChaosProfile(seed=3, tsdb_failure_rate=1.0),
+        )
+        return Env2VecService(
+            store,
+            alarm_store=AlarmStore(),
+            collector=collector,
+            config=ServeConfig(breaker_failures=3, breaker_recovery=300.0),
+        )
+
+    def test_breaker_open_replays_last_good_as_degraded(self, dataset):
+        store = ModelStore()
+        _train(store, dataset)
+        service = self._outage_service(store)
+        execution = dataset.chains[0].current
+
+        async def scenario():
+            async with service:
+                client = service.client()
+                # Warm the last-good cache through the inline path (which
+                # never touches the TSDB breaker).
+                fresh = await client.predict(
+                    PredictRequest(execution=execution, request_id="warm")
+                )
+                for _ in range(3):
+                    await client.scrape(ScrapeRequest(execution=execution))
+                assert service.tsdb_breaker.state == BREAKER_OPEN
+                degraded = await client.predict(
+                    PredictRequest(
+                        record_id="em-000001",
+                        environment=execution.environment,
+                        request_id="stale-ok",
+                    )
+                )
+                health = service.health()
+            return fresh, degraded, health
+
+        fresh, degraded, health = asyncio.run(scenario())
+        assert fresh.status == "ok" and not fresh.degraded
+        assert degraded.status == "ok" and degraded.degraded
+        # The replay is the cached answer, bit for bit.
+        assert (
+            degraded.run.predictions.tobytes() == fresh.run.predictions.tobytes()
+        )
+        assert degraded.model_version == fresh.model_version
+        assert health.degraded and health.breaker_state == BREAKER_OPEN
+
+    def test_ladder_bottoms_out_as_typed_skip_on_cache_miss(self, dataset):
+        store = ModelStore()
+        _train(store, dataset)
+        service = self._outage_service(store)
+        execution = dataset.chains[0].current
+        other_environment = dataset.chains[1].current.environment
+
+        async def scenario():
+            async with service:
+                client = service.client()
+                for _ in range(3):
+                    await client.scrape(ScrapeRequest(execution=execution))
+                # No last-good answer for this environment: the ladder has
+                # nothing to replay, so the typed skip surfaces instead.
+                return await client.predict(
+                    PredictRequest(
+                        record_id="em-000002", environment=other_environment
+                    )
+                )
+
+        response = asyncio.run(scenario())
+        assert response.status == "skipped"
+        assert response.skipped.reason == "tsdb_circuit_open"
+        assert not response.degraded
+
+    def test_capacity_zero_disables_the_ladder(self, dataset):
+        store = ModelStore()
+        _train(store, dataset)
+        collector = MetricCollector(
+            TimeSeriesDB(name="serve-deadline-outage-0"),
+            EMRegistry(),
+            feature_names=FEATURE_NAMES,
+            chaos=ChaosProfile(seed=3, tsdb_failure_rate=1.0),
+        )
+        service = Env2VecService(
+            store,
+            alarm_store=AlarmStore(),
+            collector=collector,
+            config=ServeConfig(
+                breaker_failures=3, breaker_recovery=300.0, last_good_capacity=0
+            ),
+        )
+        execution = dataset.chains[0].current
+
+        async def scenario():
+            async with service:
+                client = service.client()
+                await client.predict(
+                    PredictRequest(execution=execution, request_id="warm")
+                )
+                for _ in range(3):
+                    await client.scrape(ScrapeRequest(execution=execution))
+                return await client.predict(
+                    PredictRequest(
+                        record_id="em-000001", environment=execution.environment
+                    )
+                )
+
+        response = asyncio.run(scenario())
+        assert len(service.last_good) == 0
+        assert response.status == "skipped"
+        assert response.skipped.reason == "tsdb_circuit_open"

@@ -43,6 +43,8 @@ SERVE_API = {
     # request/response types
     "PredictRequest", "PredictResponse", "ScrapeRequest", "ScrapeResponse",
     "AlarmQuery", "AlarmQueryResponse", "ServiceOverloaded",
+    # health / supervision surface
+    "HealthReport", "WorkerState",
     # load generation
     "LoadProfile", "LoadReport", "arrival_offsets", "run_load",
 }
@@ -65,7 +67,7 @@ PARALLEL_API = {
     # executor
     "CampaignScorer", "ExecutionScore", "WindowCache",
     # pool
-    "WorkerPool", "split_round_robin",
+    "SequencedMerger", "WorkerPool", "split_round_robin",
     # sharding
     "ReadOnlyTSDBError", "TSDBShards", "TSDBSnapshot", "shard_index",
     "snapshot_shards",
