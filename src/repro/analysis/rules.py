@@ -1,4 +1,4 @@
-"""The project rule catalog: eleven checks distilled from real bugs.
+"""The project rule catalog: twelve checks distilled from real bugs.
 
 Every rule here encodes an invariant this repo has already paid for once:
 
@@ -28,7 +28,12 @@ Every rule here encodes an invariant this repo has already paid for once:
 - REP011 — the process-management boundary (``os.kill``/``signal``
   handlers/raw ``multiprocessing.Process`` wiring belong only to
   ``serve._internal.supervisor``, whose epoch bookkeeping and restart
-  guarantees they would otherwise bypass).
+  guarantees they would otherwise bypass);
+- REP012 — the PR 9 batch-inference regression (per-timestep
+  ``np.hstack`` and bare ``@`` matmuls inside the fused GRU/LSTM
+  timestep loops allocated fresh arrays every step, capping batch-256
+  speedup at 1.1×; sequence-runner hot loops must write into
+  preallocated workspace buffers via ``out=``).
 
 Rules are deliberately syntactic: no type inference, no cross-file
 analysis. Where syntax alone over-approximates, the escape hatches are an
@@ -593,6 +598,87 @@ class ProcessManagementBoundaryRule(Rule):
             )
 
 
+#: numpy calls that allocate a fresh array per invocation — fatal inside
+#: a per-timestep loop, where they turn O(hidden²) math into allocator
+#: churn (the exact shape of the PR 9 batch-256 regression).
+_HOT_LOOP_ALLOCATORS = frozenset({
+    "hstack", "vstack", "concatenate", "stack", "column_stack",
+    "empty", "zeros", "ones", "empty_like", "zeros_like", "ones_like",
+})
+
+
+class SequenceRunnerAllocationRule(Rule):
+    """REP012: sequence-runner hot loops must be allocation-free.
+
+    The fused GRU/LSTM runners in ``nn/ops.py`` execute their timestep
+    loop once per sequence step per forward; at batch 256 every fresh
+    array allocated there (``np.hstack`` of gate blocks, a bare ``@``
+    matmul materializing its result, ``np.zeros`` scratch) costs more
+    than the arithmetic it feeds and throttled the compiled engine to
+    1.1× autograd. The discipline the fix established: hoist buffers to
+    the per-thread workspace before the loop and write into them with
+    ``np.matmul(..., out=)`` / in-place activations. This rule pins that
+    discipline syntactically for every function whose name marks it as a
+    sequence runner (``*_sequence*``).
+    """
+
+    id = "REP012"
+    title = "allocating op in a sequence-runner hot loop"
+    node_types = (ast.Call, ast.BinOp)
+
+    _TARGET_SUFFIX = ("nn", "ops.py")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return Path(ctx.path).parts[-2:] == self._TARGET_SUFFIX
+
+    @staticmethod
+    def _in_runner_loop(ctx: FileContext) -> bool:
+        """True inside a for/while loop of a ``*_sequence*`` function."""
+        function = ctx.enclosing_function()
+        if function is None or "_sequence" not in function.name:
+            return False
+        inside_function = False
+        for ancestor in ctx.stack:
+            if ancestor is function:
+                inside_function = True
+            elif inside_function and isinstance(ancestor, (ast.For, ast.While)):
+                return True
+        return False
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[tuple[int, str]]:
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.MatMult) and self._in_runner_loop(ctx):
+                yield (
+                    node.lineno,
+                    "bare `@` matmul in a sequence-runner timestep loop — it "
+                    "allocates its result every step; write into a hoisted "
+                    "workspace buffer with np.matmul(..., out=)",
+                )
+            return
+        if not self._in_runner_loop(ctx):
+            return
+        chain = _attr_chain(node.func)
+        if len(chain) != 2 or chain[0] not in ("np", "numpy"):
+            return
+        attr = chain[1]
+        if attr in _HOT_LOOP_ALLOCATORS:
+            yield (
+                node.lineno,
+                f"np.{attr}() in a sequence-runner timestep loop — it "
+                "allocates a fresh array every timestep; hoist the buffer "
+                "out of the loop (per-thread workspace) and fill it in place",
+            )
+        elif attr == "matmul" and len(node.args) < 3 and not any(
+            keyword.arg == "out" for keyword in node.keywords
+        ):
+            yield (
+                node.lineno,
+                "np.matmul without out= in a sequence-runner timestep loop — "
+                "the result array is reallocated every step; pass a "
+                "preallocated workspace buffer via out=",
+            )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     UnseededRNGRule,
     WallClockRule,
@@ -605,6 +691,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     EncoderImportBoundaryRule,
     ServeInternalBoundaryRule,
     ProcessManagementBoundaryRule,
+    SequenceRunnerAllocationRule,
 )
 
 

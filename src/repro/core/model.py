@@ -33,7 +33,7 @@ import numpy as np
 from ..data.environment import EM_FIELDS, Environment
 from ..ml.base import Estimator
 from ..ml.preprocessing import StandardScaler
-from ..obs import get_observability
+from ..obs import active_profiler, get_observability
 from ..nn import init as initializers
 from ..nn import ops
 from ..nn.encoders import create_encoder, resolve_encoder_name
@@ -185,6 +185,9 @@ def _compile_env2vec(model: Env2VecModel, dtype: np.dtype):
             raise ValueError(f"expected {n_features} contextual features, got {cf.shape[1]}")
         if history.shape[1] != n_lags:
             raise ValueError(f"expected history window of {n_lags}, got {history.shape[1]}")
+        prof = active_profiler()
+        if prof is not None:
+            return _profiled_forward(prof, cf, history, env)
         v_fs = fnn(cf)
         v_ts = encoder(history[:, :, None])
         v_d = combine(np.concatenate([v_ts, v_fs], axis=1))
@@ -194,6 +197,23 @@ def _compile_env2vec(model: Env2VecModel, dtype: np.dtype):
         if head == "bilinear":
             return ops.bilinear_head(v_d, bilinear, c)[0]
         return head_out(head_hidden(np.concatenate([v_d, c], axis=1))).reshape(-1)
+
+    def _profiled_forward(prof, cf: np.ndarray, history: np.ndarray, env: np.ndarray) -> np.ndarray:
+        # Same ops, same order as the fast path — only timing added.
+        with prof.op("fnn"):
+            v_fs = fnn(cf)
+        with prof.op("encoder"):
+            v_ts = encoder(history[:, :, None])
+        with prof.op("combine"):
+            v_d = combine(np.concatenate([v_ts, v_fs], axis=1))
+        with prof.op("env_rows"):
+            c = env_cache.rows(env)
+        with prof.op("head"):
+            if head == "hadamard":
+                return ops.hadamard_head(v_d, c)
+            if head == "bilinear":
+                return ops.bilinear_head(v_d, bilinear, c)[0]
+            return head_out(head_hidden(np.concatenate([v_d, c], axis=1))).reshape(-1)
 
     forward.env_cache = env_cache
     return forward
@@ -348,12 +368,17 @@ class Env2VecRegressor(Estimator):
             self.compile()
         return self._engine
 
-    def ensure_compiled(self) -> InferenceModel:
+    def ensure_compiled(self, dtype=None) -> InferenceModel:
         """Compile on first use, else return the cached engine.
 
         The parallel campaign executor calls this once before fanning
         out so worker threads never race the lazy first-predict compile.
+        With ``dtype`` set, the cached engine is recompiled if it was
+        built at a different precision (serving callers pick float32 for
+        batch throughput; float64 remains the default everywhere).
         """
+        if dtype is not None and (self._engine is None or self._engine.dtype != np.dtype(dtype)):
+            return self.compile(dtype=dtype)
         return self._ensure_engine()
 
     def predict(

@@ -21,10 +21,13 @@ checks in ``tests/nn/``.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = [
     "activation",
+    "activation_inplace",
     "activation_delta",
     "dense_forward",
     "dense_backward",
@@ -38,6 +41,7 @@ __all__ = [
     "lstm_step_backward_h",
     "lstm_step_backward_c",
     "attention_forward",
+    "attention_pool",
     "attention_backward",
     "hadamard_head",
     "hadamard_head_backward",
@@ -54,11 +58,54 @@ ACTIVATION_NAMES = ("linear", "relu", "sigmoid", "tanh")
 
 
 try:  # scipy's expit is a single C ufunc (no temporaries for exp/add/divide)
-    from scipy.special import expit as _sigmoid
+    from scipy.special import expit as _expit
 except ImportError:  # pragma: no cover - scipy is a declared dependency
+    _expit = None
 
-    def _sigmoid(x: np.ndarray) -> np.ndarray:
-        return 1.0 / (1.0 + np.exp(-x))
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    if _expit is not None:
+        return _expit(x)
+    return 1.0 / (1.0 + np.exp(-x))  # pragma: no cover - scipy is declared
+
+
+if _expit is not None:
+
+    def _sigmoid64_inplace(x: np.ndarray) -> np.ndarray:
+        """In-place float64 sigmoid with the dtype dispatch pre-resolved.
+
+        The exact sequence runners know their buffers are float64, so
+        they skip :func:`_sigmoid_inplace`'s per-call dtype check and go
+        straight to the ``expit`` ufunc (same bits, one call).
+        """
+        return _expit(x, x)
+
+else:  # pragma: no cover - scipy is a declared dependency
+    def _sigmoid64_inplace(x: np.ndarray) -> np.ndarray:
+        return _sigmoid_inplace(x)
+
+
+def _sigmoid_inplace(x: np.ndarray) -> np.ndarray:
+    """In-place sigmoid for the inference hot loops.
+
+    ``float64`` stays on scipy's ``expit`` — the exact ufunc the training
+    kernels use, which is what keeps compiled float64 outputs bitwise
+    identical to the autograd math. ``float32`` composes numpy's
+    SIMD-vectorized ``exp`` instead (``1 / (1 + exp(-x))``): on this
+    path expit has no fast single-precision loop, and the composed form
+    is several times faster; the difference is absorbed by the float32
+    parity bound (:data:`repro.nn.inference.FLOAT32_ATOL`).
+    """
+    if _expit is not None and x.dtype == np.float64:
+        return _expit(x, out=x)
+    np.negative(x, out=x)
+    # exp may overflow to inf for saturated gates; 1/(1+inf) is the
+    # correct 0.0 tail, so the spurious warning is suppressed (expit
+    # handles the same saturation silently).
+    with np.errstate(over="ignore"):
+        np.exp(x, out=x)
+    x += 1.0
+    return np.reciprocal(x, out=x)
 
 
 def activation(name: str, pre: np.ndarray) -> np.ndarray:
@@ -71,6 +118,77 @@ def activation(name: str, pre: np.ndarray) -> np.ndarray:
         return _sigmoid(pre)
     if name == "tanh":
         return np.tanh(pre)
+    raise ValueError(f"unknown activation {name!r}; choose from {ACTIVATION_NAMES}")
+
+
+def activation_inplace(name: str, x: np.ndarray) -> np.ndarray:
+    """Apply a named activation *in place* (inference paths only).
+
+    The autograd kernels must keep their pre-activation arrays intact for
+    the backward pass, so they use :func:`activation`; the compiled
+    engine's buffers are throwaway, so it overwrites them instead of
+    allocating. Elementwise results are bitwise identical to
+    :func:`activation` for float64 (sigmoid routes through the same
+    ``expit`` ufunc); float32 sigmoid takes the fast composed-``exp``
+    path covered by the float32 parity bound.
+    """
+    if name == "linear":
+        return x
+    if name == "relu":
+        return np.maximum(x, 0.0, out=x)
+    if name == "sigmoid":
+        return _sigmoid_inplace(x)
+    if name == "tanh":
+        return np.tanh(x, out=x)
+    raise ValueError(f"unknown activation {name!r}; choose from {ACTIVATION_NAMES}")
+
+
+#: Hoisted in-place activation callables for the sequence runners: one
+#: dict lookup per *call* instead of a string-compare chain per
+#: *timestep*. ``linear`` maps to ``None`` (the loop skips the call).
+#: float64 bits match :func:`activation_inplace` exactly — same ufuncs.
+_INPLACE_ACT = {
+    "linear": None,
+    "relu": lambda x: np.maximum(x, 0.0, out=x),
+    "sigmoid": _sigmoid_inplace,
+    "tanh": lambda x: np.tanh(x, x),
+}
+
+
+def _resolve_act(act: str):
+    try:
+        return _INPLACE_ACT[act]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {act!r}; choose from {ACTIVATION_NAMES}"
+        ) from None
+
+
+def _sigmoid_into(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """``dst = sigmoid(src)`` without touching ``src`` (low-precision path).
+
+    Same composed-``exp`` form as :func:`_sigmoid_inplace`, but the first
+    pass reads straight from ``src`` — one fewer pass than copy-then-
+    activate when the source must stay intact. ``src`` and ``dst`` must
+    not alias.
+    """
+    np.negative(src, out=dst)
+    with np.errstate(over="ignore"):  # saturated gates: inf -> 0.0 tail
+        np.exp(dst, out=dst)
+    dst += 1.0
+    return np.reciprocal(dst, out=dst)
+
+
+def _activation_into(name: str, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """``dst = activation(src)`` without touching ``src`` (low-precision path)."""
+    if name == "linear":
+        return np.copyto(dst, src) or dst
+    if name == "relu":
+        return np.maximum(src, 0.0, out=dst)
+    if name == "sigmoid":
+        return _sigmoid_into(src, dst)
+    if name == "tanh":
+        return np.tanh(src, out=dst)
     raise ValueError(f"unknown activation {name!r}; choose from {ACTIVATION_NAMES}")
 
 
@@ -303,6 +421,25 @@ def attention_forward(
     return out, cache
 
 
+def attention_pool(
+    sequence: np.ndarray, projection: np.ndarray, context: np.ndarray
+) -> np.ndarray:
+    """:func:`attention_forward` without the training cache.
+
+    The inference compilers pool with this variant: same arithmetic, same
+    bitwise output, but no cache dict holding the full flattened sequence
+    and projection alive past the call.
+    """
+    batch, timesteps, hidden = sequence.shape
+    flat = sequence.reshape(batch * timesteps, hidden)
+    proj = np.tanh(flat @ projection)
+    scores = (proj @ context).reshape(batch, timesteps)
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    weights = exp / exp.sum(axis=1, keepdims=True)
+    return np.einsum("bt,bth->bh", weights, sequence)
+
+
 def attention_backward(grad: np.ndarray, cache: dict) -> tuple[np.ndarray, ...]:
     """Gradients aligned with ``(sequence, projection, context)``."""
     sequence, weights, proj = cache["sequence"], cache["weights"], cache["proj"]
@@ -350,6 +487,102 @@ def bilinear_head_backward(
 # ---------------------------------------------------------------------------
 # Fused sequence runners (inference engine fast path)
 # ---------------------------------------------------------------------------
+# ---------------------------------------------------------------------------
+# Per-thread scratch workspaces for the fused sequence runners
+# ---------------------------------------------------------------------------
+# At batch size 1 the runners are dispatch-bound: allocating and slicing
+# the gate/state buffers costs as much as several timesteps of math. The
+# buffers carry no state between calls (every element is written before
+# it is read), so they are cached per *thread*, keyed by shape and dtype.
+# Thread-locality is what keeps a compiled engine shareable: two worker
+# threads driving one engine never see each other's scratch. The one
+# aliasing rule this imposes: anything a runner *returns* must be a fresh
+# array (``states`` is allocated per call; final states are ``.copy()``d)
+# — otherwise a caller running two sequences back to back (e.g. the
+# bidirectional encoder) would watch its first result mutate.
+_SCRATCH = threading.local()
+
+
+def _workspace(key: tuple, builder):
+    spaces = getattr(_SCRATCH, "spaces", None)
+    if spaces is None:
+        spaces = _SCRATCH.spaces = {}
+    ws = spaces.get(key)
+    if ws is None:
+        ws = spaces[key] = builder()
+    return ws
+
+
+def _gru_buffers(batch: int, hidden: int, dtype) -> tuple:
+    """Gate/state scratch for one GRU shape, loop-invariant views included."""
+    hu = np.empty((batch, 3 * hidden), dtype=dtype)
+    zr = np.empty((batch, 2 * hidden), dtype=dtype)
+    return (
+        hu,
+        np.empty((batch, hidden), dtype=dtype),  # tmp
+        np.empty((batch, hidden), dtype=dtype),  # h
+        np.empty((batch, hidden), dtype=dtype),  # h_next
+        zr,
+        np.empty((batch, hidden), dtype=dtype),  # cand
+        zr[:, :hidden],  # z view
+        zr[:, hidden:],  # r view
+        hu[:, : 2 * hidden],  # hu_zr view
+        hu[:, 2 * hidden :],  # hu_h view
+    )
+
+
+def _lstm_buffers(batch: int, hidden: int, dtype) -> tuple:
+    """Gate/state scratch for one LSTM shape (fused ``gates`` layout)."""
+    hu = np.empty((batch, 4 * hidden), dtype=dtype)
+    gates = np.empty((batch, 4 * hidden), dtype=dtype)
+    return (
+        hu,
+        np.empty((batch, hidden), dtype=dtype),  # tmp
+        np.empty((batch, hidden), dtype=dtype),  # c
+        np.empty((batch, hidden), dtype=dtype),  # c_next
+        np.empty((batch, hidden), dtype=dtype),  # h
+        np.empty((batch, hidden), dtype=dtype),  # h_next
+        gates,
+        gates[:, : 3 * hidden],  # ifo view
+        gates[:, 3 * hidden :],  # g view
+        gates[:, :hidden],  # i view
+        gates[:, hidden : 2 * hidden],  # f view
+        gates[:, 2 * hidden : 3 * hidden],  # o view
+    )
+
+
+def _lstm_lowp_buffers(batch: int, hidden: int, dtype) -> tuple:
+    """LSTM scratch with *contiguous* ``ifo``/``g`` (low-precision path)."""
+    hu = np.empty((batch, 4 * hidden), dtype=dtype)
+    ifo = np.empty((batch, 3 * hidden), dtype=dtype)
+    return (
+        hu,
+        np.empty((batch, hidden), dtype=dtype),  # tmp
+        np.empty((batch, hidden), dtype=dtype),  # c
+        np.empty((batch, hidden), dtype=dtype),  # c_next
+        np.empty((batch, hidden), dtype=dtype),  # h
+        np.empty((batch, hidden), dtype=dtype),  # h_next
+        ifo,
+        np.empty((batch, hidden), dtype=dtype),  # g
+        ifo[:, :hidden],  # i view
+        ifo[:, hidden : 2 * hidden],  # f view
+        ifo[:, 2 * hidden :],  # o view
+        hu[:, : 3 * hidden],  # hu_ifo view
+        hu[:, 3 * hidden :],  # hu_g view
+    )
+
+
+def _projection_buffers(timesteps: int, batch: int, wide: int, narrow: int, dtype) -> tuple:
+    """GEMM output scratch for the split affine projections: 2-D matmul
+    targets plus their pre-sliced ``(timesteps, batch, ...)`` views."""
+    a = np.empty((timesteps * batch, wide), dtype=dtype)
+    b = np.empty((timesteps * batch, narrow), dtype=dtype)
+    return (
+        a, a.reshape(timesteps, batch, wide),
+        b, b.reshape(timesteps, batch, narrow),
+    )
+
+
 def fuse_gru_weights(
     w_z, u_z, b_z, w_r, u_r, b_r, w_h, u_h, b_h, dtype=np.float64
 ) -> dict[str, np.ndarray]:
@@ -360,74 +593,327 @@ def fuse_gru_weights(
     recurrent kernel because of the reset-gate Hadamard. Per timestep this
     is 3 matmuls instead of 6 — the dominant cost at batch size 1.
     """
+    hidden = u_h.shape[0]
+    w = np.ascontiguousarray(np.hstack([w_z, w_r, w_h]), dtype=dtype)
+    b = np.ascontiguousarray(np.concatenate([b_z, b_r, b_h]), dtype=dtype)
+    # Affine-projection matrices for the low-precision batch path: with a
+    # ones column appended to the input, ``[x | 1] @ [[W], [b]]`` computes
+    # ``x @ W + b`` in a single GEMM (see _augmented_input).
+    wb = np.vstack([w, b[None, :]])
     return {
-        "w": np.ascontiguousarray(np.hstack([w_z, w_r, w_h]), dtype=dtype),
-        "u_zr": np.ascontiguousarray(np.hstack([u_z, u_r]), dtype=dtype),
-        "u_h": np.ascontiguousarray(u_h, dtype=dtype),
+        "w": w,
+        # One recurrent matmul per step: [U_z | U_r | U_h]. Each output
+        # column is the same length-``hidden`` dot product as in separate
+        # per-gate matmuls, so fusing changes no bits.
+        "u": np.ascontiguousarray(np.hstack([u_z, u_r, u_h]), dtype=dtype),
         "b_zr": np.ascontiguousarray(np.concatenate([b_z, b_r]), dtype=dtype),
         "b_h": np.ascontiguousarray(b_h, dtype=dtype),
-        "hidden": u_h.shape[0],
+        "b": b,
+        "wb_zr": np.ascontiguousarray(wb[:, : 2 * hidden]),
+        "wb_h": np.ascontiguousarray(wb[:, 2 * hidden :]),
+        "hidden": hidden,
     }
+
+
+def _input_projection(
+    sequence: np.ndarray, w: np.ndarray, timesteps: int, batch: int, width: int
+) -> np.ndarray:
+    """All-timesteps input GEMM, ``(timesteps, batch, gates)`` layout.
+
+    With one input feature (the RU-history hot path) the GEMM degenerates
+    to K=1 — a scalar-row outer product that BLAS handles far slower than
+    a broadcast multiply, and the multiply broadcasts straight off the
+    transposed *view* (no contiguous copy, no reshapes). Each output
+    element is the same single product either way, so both layouts are
+    bitwise identical to the GEMM.
+    """
+    if sequence.shape[2] == 1:
+        return sequence.transpose(1, 0, 2) * w[0]
+    flat = np.ascontiguousarray(sequence.transpose(1, 0, 2)).reshape(timesteps * batch, -1)
+    return (flat @ w).reshape(timesteps, batch, width)
+
+
+def _augmented_input(
+    sequence: np.ndarray, timesteps: int, batch: int, dtype: np.dtype
+) -> np.ndarray:
+    """``[x | 1]`` input matrix for single-GEMM affine projections.
+
+    With a ones column appended, ``A @ [[W], [b]]`` computes
+    ``x @ W + b`` in one BLAS call. This sidesteps numpy's broadcast
+    machinery for the bias (and for the K=1 degenerate GEMM), whose
+    short 48-element inner loops over thousands of rows cost several
+    times the GEMM itself. Low-precision paths only: BLAS may fuse the
+    multiply-adds (FMA), which is not bitwise identical to
+    multiply-then-add — well within the float32 parity bound.
+    """
+    k = sequence.shape[2]
+    n = timesteps * batch
+
+    def build():
+        fresh = np.empty((n, k + 1), dtype=dtype)
+        fresh[:, k] = 1.0  # the ones column survives reuse untouched
+        return fresh
+
+    a = _workspace(("aug", n, k, dtype), build)
+    a[:, :k] = np.ascontiguousarray(sequence.transpose(1, 0, 2)).reshape(n, k)
+    return a
+
+
+def _gru_sequence_lowp(
+    sequence: np.ndarray, fused: dict[str, np.ndarray], act: str, return_sequences: bool
+) -> np.ndarray:
+    """Low-precision :func:`gru_sequence` batch path.
+
+    Same recurrence, restructured for throughput rather than bitwise
+    stability (float64 must never come through here): the input
+    projection and bias land in one GEMM per gate block via
+    :func:`_augmented_input` — split into contiguous ``zr``/``h`` arrays
+    so no per-step operand is strided — t=0 activations read straight
+    from the projection, and the state update uses the 3-op form
+    ``cand + z * (h - cand)``. Everything lands within the float32
+    parity bound (:data:`repro.nn.inference.FLOAT32_ATOL`).
+    """
+    batch, timesteps, _ = sequence.shape
+    hidden = fused["hidden"]
+    u = fused["u"]
+    dtype = u.dtype
+    act_fn = _resolve_act(act)
+    a = _augmented_input(sequence, timesteps, batch, dtype)
+    xw_zr_2d, xw_zr, xw_h_2d, xw_h = _workspace(
+        ("gru_xw", timesteps, batch, hidden, dtype),
+        lambda: _projection_buffers(timesteps, batch, 2 * hidden, hidden, dtype),
+    )
+    np.matmul(a, fused["wb_zr"], out=xw_zr_2d)
+    np.matmul(a, fused["wb_h"], out=xw_h_2d)
+    states = np.empty((batch, timesteps, hidden), dtype=dtype) if return_sequences else None
+    hu, tmp, h, h_next, zr, cand, z_view, r_view, hu_zr, hu_h = _workspace(
+        ("gru", batch, hidden, dtype), lambda: _gru_buffers(batch, hidden, dtype)
+    )
+
+    # t = 0: zero initial state — the recurrent matmul vanishes.
+    _sigmoid_into(xw_zr[0], zr)
+    _activation_into(act, xw_h[0], cand)
+    np.multiply(z_view, cand, out=h)
+    np.subtract(cand, h, out=h)  # h = (1 - z) * cand
+    if return_sequences:
+        states[:, 0, :] = h
+    for t in range(1, timesteps):
+        np.matmul(h, u, out=hu)
+        np.add(xw_zr[t], hu_zr, out=zr)
+        _sigmoid_inplace(zr)
+        np.multiply(r_view, hu_h, out=tmp)
+        np.add(xw_h[t], tmp, out=cand)
+        if act_fn is not None:
+            act_fn(cand)
+        # h = cand + z * (h - cand)
+        np.subtract(h, cand, out=tmp)
+        np.multiply(z_view, tmp, out=tmp)
+        np.add(cand, tmp, out=h_next)
+        h, h_next = h_next, h
+        if return_sequences:
+            states[:, t, :] = h
+    return states if return_sequences else h.copy()
 
 
 def gru_sequence(
     sequence: np.ndarray, fused: dict[str, np.ndarray], act: str, return_sequences: bool = False
 ) -> np.ndarray:
-    """Run a fused GRU over ``(batch, timesteps, input)`` without a tape."""
+    """Run a fused GRU over ``(batch, timesteps, input)`` without a tape.
+
+    Batch-path structure (see DESIGN.md §6): one precombined input GEMM
+    for *all* timesteps, laid out ``(timesteps, batch, 3*hidden)`` so each
+    per-step slice is contiguous, then an allocation-free recurrent loop —
+    gate/state buffers come from the per-thread :func:`_workspace` (every
+    element is written before read, so reuse carries no state; returned
+    arrays are always fresh) and every matmul/ufunc in the loop writes
+    into them via ``out=``. The scalar operation order matches the naive
+    form exactly, so float64 outputs are bitwise identical to the
+    pre-restructure runner.
+
+    Zero timesteps returns the zero initial state (what the autograd GRU
+    yields when its loop never runs): ``(batch, hidden)`` zeros, or the
+    empty ``(batch, 0, hidden)`` state sequence under
+    ``return_sequences``.
+    """
     batch, timesteps, _ = sequence.shape
     hidden = fused["hidden"]
-    u_zr, u_h, b_zr, b_h = fused["u_zr"], fused["u_h"], fused["b_zr"], fused["b_h"]
-    xw_all = sequence.reshape(batch * timesteps, -1) @ fused["w"]
-    xw_all = xw_all.reshape(batch, timesteps, 3 * hidden)
-    states = np.empty((batch, timesteps, hidden), dtype=xw_all.dtype) if return_sequences else None
-    h = None  # zero initial state: both recurrent matmuls vanish at t=0
-    for t in range(timesteps):
-        xw = xw_all[:, t, :]
-        if h is None:
-            zr = _sigmoid(xw[:, : 2 * hidden] + b_zr)
-            cand = activation(act, xw[:, 2 * hidden :] + b_h)
-            h = (1.0 - zr[:, :hidden]) * cand
-        else:
-            zr = _sigmoid(xw[:, : 2 * hidden] + h @ u_zr + b_zr)
-            z = zr[:, :hidden]
-            cand = activation(act, xw[:, 2 * hidden :] + zr[:, hidden:] * (h @ u_h) + b_h)
-            h = (1.0 - z) * cand + z * h
+    if timesteps == 0:
+        shape = (batch, 0, hidden) if return_sequences else (batch, hidden)
+        return np.zeros(shape, dtype=fused["w"].dtype)
+    # Short-circuit the common float64 case before paying np.result_type
+    # (~1us); a float64 sequence always promotes the pair to float64.
+    if sequence.dtype != np.float64 and (
+        np.result_type(sequence.dtype, fused["w"].dtype) != np.float64
+    ):
+        return _gru_sequence_lowp(sequence, fused, act, return_sequences)
+    act_fn = _resolve_act(act)
+    u, b_zr, b_h = fused["u"], fused["b_zr"], fused["b_h"]
+    xw = _input_projection(sequence, fused["w"], timesteps, batch, 3 * hidden)
+    states = np.empty((batch, timesteps, hidden), dtype=xw.dtype) if return_sequences else None
+    hu, tmp, h, h_next, zr, cand, z_view, r_view, hu_zr, hu_h = _workspace(
+        ("gru", batch, hidden, xw.dtype), lambda: _gru_buffers(batch, hidden, xw.dtype)
+    )
+    xw_zr, xw_h = xw[:, :, : 2 * hidden], xw[:, :, 2 * hidden :]
+
+    # t = 0: zero initial state — the recurrent matmul vanishes.
+    np.add(xw_zr[0], b_zr, out=zr)
+    _sigmoid64_inplace(zr)
+    np.add(xw_h[0], b_h, out=cand)
+    if act_fn is not None:
+        act_fn(cand)
+    np.subtract(1.0, z_view, out=h)
+    h *= cand
+    if return_sequences:
+        states[:, 0, :] = h
+    for t in range(1, timesteps):
+        # zr = sigmoid(xw_zr + h @ u_zr + b_zr)
+        np.matmul(h, u, out=hu)
+        np.add(xw_zr[t], hu_zr, out=zr)
+        zr += b_zr
+        _sigmoid64_inplace(zr)
+        # cand = act(xw_h + r * (h @ u_h) + b_h)
+        np.multiply(r_view, hu_h, out=tmp)
+        np.add(xw_h[t], tmp, out=cand)
+        cand += b_h
+        if act_fn is not None:
+            act_fn(cand)
+        # h = (1 - z) * cand + z * h  (ping-pong into the spare state buffer)
+        np.subtract(1.0, z_view, out=tmp)
+        np.multiply(tmp, cand, out=tmp)
+        np.multiply(z_view, h, out=h_next)
+        np.add(tmp, h_next, out=h_next)
+        h, h_next = h_next, h
         if return_sequences:
             states[:, t, :] = h
-    return states if return_sequences else h
+    return states if return_sequences else h.copy()
 
 
 def fuse_lstm_weights(
     w_i, u_i, b_i, w_f, u_f, b_f, w_o, u_o, b_o, w_g, u_g, b_g, dtype=np.float64
 ) -> dict[str, np.ndarray]:
     """Pack per-gate LSTM kernels into one input and one recurrent matrix."""
+    hidden = u_i.shape[0]
+    w = np.ascontiguousarray(np.hstack([w_i, w_f, w_o, w_g]), dtype=dtype)
+    b = np.ascontiguousarray(np.concatenate([b_i, b_f, b_o, b_g]), dtype=dtype)
+    wb = np.vstack([w, b[None, :]])  # affine projection, see fuse_gru_weights
     return {
-        "w": np.ascontiguousarray(np.hstack([w_i, w_f, w_o, w_g]), dtype=dtype),
+        "w": w,
         "u": np.ascontiguousarray(np.hstack([u_i, u_f, u_o, u_g]), dtype=dtype),
-        "b": np.ascontiguousarray(np.concatenate([b_i, b_f, b_o, b_g]), dtype=dtype),
-        "hidden": u_i.shape[0],
+        "b": b,
+        "wb_ifo": np.ascontiguousarray(wb[:, : 3 * hidden]),
+        "wb_g": np.ascontiguousarray(wb[:, 3 * hidden :]),
+        "hidden": hidden,
     }
+
+
+def _lstm_sequence_lowp(
+    sequence: np.ndarray, fused: dict[str, np.ndarray], return_sequences: bool
+) -> np.ndarray:
+    """Low-precision :func:`lstm_sequence` batch path.
+
+    Mirrors :func:`_gru_sequence_lowp`: single-GEMM affine projection
+    split into contiguous ``ifo``/``g`` arrays, t=0 activations straight
+    from the projection, no strided per-step operands. float64 must
+    never come through here — its outputs are contractually bitwise
+    stable and take the exact-order loop in :func:`lstm_sequence`.
+    """
+    batch, timesteps, _ = sequence.shape
+    hidden = fused["hidden"]
+    u = fused["u"]
+    dtype = u.dtype
+    a = _augmented_input(sequence, timesteps, batch, dtype)
+    xw_ifo_2d, xw_ifo, xw_g_2d, xw_g = _workspace(
+        ("lstm_xw", timesteps, batch, hidden, dtype),
+        lambda: _projection_buffers(timesteps, batch, 3 * hidden, hidden, dtype),
+    )
+    np.matmul(a, fused["wb_ifo"], out=xw_ifo_2d)
+    np.matmul(a, fused["wb_g"], out=xw_g_2d)
+    states = np.empty((batch, timesteps, hidden), dtype=dtype) if return_sequences else None
+    hu, tmp, c, c_next, h, h_next, ifo, g, i_view, f_view, o_view, hu_ifo, hu_g = _workspace(
+        ("lstm_lowp", batch, hidden, dtype), lambda: _lstm_lowp_buffers(batch, hidden, dtype)
+    )
+
+    # t = 0: zero initial state — the recurrent matmul and f*c vanish.
+    _sigmoid_into(xw_ifo[0], ifo)
+    np.tanh(xw_g[0], out=g)
+    np.multiply(i_view, g, out=c)  # c = i * g
+    np.tanh(c, out=tmp)
+    np.multiply(o_view, tmp, out=h)  # h = o * tanh(c)
+    if return_sequences:
+        states[:, 0, :] = h
+    for t in range(1, timesteps):
+        np.matmul(h, u, out=hu)
+        np.add(xw_ifo[t], hu_ifo, out=ifo)
+        np.add(xw_g[t], hu_g, out=g)
+        _sigmoid_inplace(ifo)
+        np.tanh(g, out=g)
+        # c = f * c + i * g  (ping-pong into the spare cell buffer)
+        np.multiply(f_view, c, out=c_next)
+        np.multiply(i_view, g, out=tmp)
+        c_next += tmp
+        c, c_next = c_next, c
+        # h = o * tanh(c)
+        np.tanh(c, out=tmp)
+        np.multiply(o_view, tmp, out=h_next)
+        h, h_next = h_next, h
+        if return_sequences:
+            states[:, t, :] = h
+    return states if return_sequences else h.copy()
 
 
 def lstm_sequence(
     sequence: np.ndarray, fused: dict[str, np.ndarray], return_sequences: bool = False
 ) -> np.ndarray:
-    """Run a fused LSTM over ``(batch, timesteps, input)`` without a tape."""
+    """Run a fused LSTM over ``(batch, timesteps, input)`` without a tape.
+
+    Same batch-path structure as :func:`gru_sequence`: one input GEMM in
+    ``(timesteps, batch, 4*hidden)`` layout, then an allocation-free loop
+    over per-thread ping-pong gate/state buffers with the naive runner's
+    exact scalar operation order (float64 outputs stay bitwise
+    identical). Zero timesteps returns the zero initial state.
+    """
     batch, timesteps, _ = sequence.shape
     hidden = fused["hidden"]
+    if timesteps == 0:
+        shape = (batch, 0, hidden) if return_sequences else (batch, hidden)
+        return np.zeros(shape, dtype=fused["w"].dtype)
+    # Same float64 short-circuit as gru_sequence (np.result_type ~1us).
+    if sequence.dtype != np.float64 and (
+        np.result_type(sequence.dtype, fused["w"].dtype) != np.float64
+    ):
+        return _lstm_sequence_lowp(sequence, fused, return_sequences)
     u, b = fused["u"], fused["b"]
-    xw_all = sequence.reshape(batch * timesteps, -1) @ fused["w"]
-    xw_all = xw_all.reshape(batch, timesteps, 4 * hidden)
-    states = np.empty((batch, timesteps, hidden), dtype=xw_all.dtype) if return_sequences else None
-    h = c = None  # zero initial state: recurrent matmul and f*c vanish at t=0
-    for t in range(timesteps):
-        gates = xw_all[:, t, :] + b if h is None else xw_all[:, t, :] + h @ u + b
-        ifo = _sigmoid(gates[:, : 3 * hidden])
-        g = np.tanh(gates[:, 3 * hidden :])
-        i = ifo[:, :hidden]
-        o = ifo[:, 2 * hidden : 3 * hidden]
-        c = i * g if c is None else ifo[:, hidden : 2 * hidden] * c + i * g
-        h = o * np.tanh(c)
+    xw = _input_projection(sequence, fused["w"], timesteps, batch, 4 * hidden)
+    states = np.empty((batch, timesteps, hidden), dtype=xw.dtype) if return_sequences else None
+    hu, tmp, c, c_next, h, h_next, gates, ifo, g, i_view, f_view, o_view = _workspace(
+        ("lstm", batch, hidden, xw.dtype), lambda: _lstm_buffers(batch, hidden, xw.dtype)
+    )
+
+    # t = 0: zero initial state — the recurrent matmul and f*c vanish.
+    np.add(xw[0], b, out=gates)
+    _sigmoid64_inplace(ifo)
+    np.tanh(g, out=g)
+    np.multiply(i_view, g, out=c)  # c = i * g
+    np.tanh(c, out=tmp)
+    np.multiply(o_view, tmp, out=h)  # h = o * tanh(c)
+    if return_sequences:
+        states[:, 0, :] = h
+    for t in range(1, timesteps):
+        # gates = xw + h @ u + b
+        np.matmul(h, u, out=hu)
+        np.add(xw[t], hu, out=gates)
+        gates += b
+        _sigmoid64_inplace(ifo)
+        np.tanh(g, out=g)
+        # c = f * c + i * g  (ping-pong into the spare cell buffer)
+        np.multiply(f_view, c, out=c_next)
+        np.multiply(i_view, g, out=tmp)
+        c_next += tmp
+        c, c_next = c_next, c
+        # h = o * tanh(c)
+        np.tanh(c, out=tmp)
+        np.multiply(o_view, tmp, out=h_next)
+        h, h_next = h_next, h
         if return_sequences:
             states[:, t, :] = h
-    return states if return_sequences else h
+    return states if return_sequences else h.copy()

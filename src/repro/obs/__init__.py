@@ -36,6 +36,7 @@ from .metrics import (
     MetricsRegistry,
 )
 from .observability import OBS, Observability, get_observability
+from .profile import OpProfiler, active_profiler, profile_ops
 from .spans import Span, SpanTracker
 
 __all__ = [
@@ -53,6 +54,9 @@ __all__ = [
     "Span",
     "SpanTracker",
     "span",
+    "OpProfiler",
+    "active_profiler",
+    "profile_ops",
     "render_prometheus",
     "TSDBExporter",
 ]

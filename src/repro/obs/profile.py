@@ -1,0 +1,85 @@
+"""Per-op wall-clock profiling for compiled inference engines.
+
+The compiled :mod:`repro.nn.inference` path is a handful of fused numpy
+kernels per forward; understanding where a batch actually spends its time
+needs sub-microsecond attribution per *op*, which is far finer grained
+than the span tracker's request-level trees. :class:`OpProfiler`
+accumulates ``perf_counter`` deltas per named op across many forwards;
+compiled plans check :func:`active_profiler` once per call and only pay
+for timing when a profiler is installed, so the serving hot path stays
+branch-cheap.
+
+Usage::
+
+    from repro.obs import profile_ops
+
+    with profile_ops() as prof:
+        for _ in range(100):
+            engine(**batch)
+    for name, seconds, calls in prof.table():
+        print(f"{name:12s} {seconds * 1e6 / calls:8.1f} us/call")
+
+The active profiler is process-global and not thread-aware: install it
+only around single-threaded measurement loops (benchmarks, tests), never
+in the serving workers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["OpProfiler", "active_profiler", "profile_ops"]
+
+
+class OpProfiler:
+    """Accumulates per-op wall-clock totals and call counts."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    @contextmanager
+    def op(self, name: str) -> Iterator[None]:
+        """Time one op invocation under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def table(self) -> list[tuple[str, float, int]]:
+        """``(name, total_seconds, calls)`` rows, slowest first."""
+        return sorted(
+            ((name, total, self.calls[name]) for name, total in self.totals.items()),
+            key=lambda row: row[1],
+            reverse=True,
+        )
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.calls.clear()
+
+
+_ACTIVE: OpProfiler | None = None
+
+
+def active_profiler() -> OpProfiler | None:
+    """The currently installed profiler, or ``None`` (the common case)."""
+    return _ACTIVE
+
+
+@contextmanager
+def profile_ops(profiler: OpProfiler | None = None) -> Iterator[OpProfiler]:
+    """Install an :class:`OpProfiler` for the duration of the block."""
+    global _ACTIVE
+    prof = profiler if profiler is not None else OpProfiler()
+    previous = _ACTIVE
+    _ACTIVE = prof
+    try:
+        yield prof
+    finally:
+        _ACTIVE = previous

@@ -142,11 +142,17 @@ class CampaignScorer:
         n_lags: int,
         pool: WorkerPool | None = None,
         window_cache: WindowCache | None = None,
+        inference_dtype: str = "float64",
     ):
+        if inference_dtype not in ("float64", "float32"):
+            raise ValueError("inference_dtype must be 'float64' or 'float32'")
         self.detector = detector
         self.n_lags = n_lags
         self.pool = pool if pool is not None else WorkerPool(n_workers=1)
         self.window_cache = window_cache if window_cache is not None else WindowCache(n_lags)
+        # float64 keeps campaign fan-in byte-identical to serial; float32
+        # trades that for batch throughput (FLOAT32_ATOL parity bound).
+        self.inference_dtype = np.dtype(inference_dtype).type
 
     # -- coalesced prediction ---------------------------------------------
     def _predict_coalesced(
@@ -225,7 +231,9 @@ class CampaignScorer:
         """
         if not executions:
             return []
-        model.ensure_compiled()  # workers must never race the lazy compile
+        # Workers must never race the lazy compile; the dtype is pinned
+        # here so every shard scores at the same precision.
+        model.ensure_compiled(dtype=self.inference_dtype)
 
         # Chain-affinity sharding: group by chain (first-appearance order),
         # deal chains round-robin so one chain's calibration + scoring

@@ -50,6 +50,8 @@ import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ...core.model import Env2VecRegressor
 from ...obs import get_observability
 from ...workflow.model_store import CorruptModelError, ModelStore
@@ -101,11 +103,12 @@ def _worker_main(worker_id: int, epoch: int, conn, init: dict) -> None:
     chaos = init.get("chaos")
     stall_seconds = init["stall_seconds"]
     capacity = init["capacity"]
+    dtype = np.dtype(init.get("dtype", "float64")).type
     models: OrderedDict[int, Env2VecRegressor] = OrderedDict()
 
     def admit(version: int, blob: bytes) -> None:
         model = Env2VecRegressor.from_bytes(blob)
-        model.compile()
+        model.compile(dtype=dtype)
         models[version] = model
         while len(models) > capacity:
             del models[min(models)]
@@ -292,6 +295,7 @@ class WorkerSupervisor:
             "chaos": self._chaos,
             "capacity": self.config.pool_capacity,
             "stall_seconds": self.config.worker_stall_timeout * 10,
+            "dtype": self.config.inference_dtype,
             "blobs": list(self._blobs.items()),
         }
         process = self._ctx.Process(

@@ -22,6 +22,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+import numpy as np
+
 from ...core.model import Env2VecRegressor
 from ...obs import get_observability
 from ...workflow.model_store import CorruptModelError, ModelStore
@@ -50,11 +52,14 @@ _G_RESIDENT = _OBS.gauge(
 class WarmModelPool:
     """Keeps the latest published models deserialized and compiled."""
 
-    def __init__(self, store: ModelStore, *, capacity: int = 2):
+    def __init__(self, store: ModelStore, *, capacity: int = 2, dtype: str = "float64"):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if dtype not in ("float64", "float32"):
+            raise ValueError("dtype must be 'float64' or 'float32'")
         self._store = store
         self.capacity = int(capacity)
+        self.dtype = np.dtype(dtype).type
         self._lock = threading.Lock()
         self._models: OrderedDict[int, Env2VecRegressor] = OrderedDict()
         self._unsubscribe = store.subscribe(self._on_publish)
@@ -94,7 +99,7 @@ class WarmModelPool:
         """Deserialize + compile ``version`` and make it resident."""
         blob, _record = self._store.fetch(version)
         model = Env2VecRegressor.from_bytes(blob)
-        engine = model.compile()
+        engine = model.compile(dtype=self.dtype)
         engine.meta["model_store_version"] = version
         self._admit(version, model)
         return model

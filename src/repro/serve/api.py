@@ -110,6 +110,11 @@ class ServeConfig:
     #: serving (stamped ``degraded=True``) while the TSDB breaker is open
     #: or every worker is restarting. ``0`` disables the ladder.
     last_good_capacity: int = 256
+    #: numeric precision of the compiled inference engines ("float64" or
+    #: "float32"). float64 is the default and is byte-identical to batch
+    #: mode; float32 trades that for ~3× batch-path throughput within the
+    #: :data:`repro.nn.inference.FLOAT32_ATOL` parity bound.
+    inference_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -144,6 +149,8 @@ class ServeConfig:
             raise ValueError("max_dispatch_attempts must be >= 1")
         if self.last_good_capacity < 0:
             raise ValueError("last_good_capacity must be >= 0")
+        if self.inference_dtype not in ("float64", "float32"):
+            raise ValueError("inference_dtype must be 'float64' or 'float32'")
 
 
 @dataclass(frozen=True)

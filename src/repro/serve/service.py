@@ -202,7 +202,11 @@ class Env2VecService:
             execute = self._dispatch_supervised
             max_inflight = self.config.n_workers
         else:
-            self.pool = WarmModelPool(model_store, capacity=self.config.pool_capacity)
+            self.pool = WarmModelPool(
+                model_store,
+                capacity=self.config.pool_capacity,
+                dtype=self.config.inference_dtype,
+            )
             execute = self._execute_batch
             max_inflight = 1
         self._merger = SequencedMerger()
@@ -466,7 +470,7 @@ class Env2VecService:
         if not ready:
             return
         started = loop.time()
-        model.ensure_compiled()
+        model.ensure_compiled(dtype=self.pool.dtype)
         outcomes = self.pipeline.score_with_isolation(
             model,
             [execution for _, execution, _ in ready],

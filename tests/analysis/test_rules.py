@@ -1,4 +1,4 @@
-"""Per-rule positive/negative snippets for the REP001-REP010 catalog.
+"""Per-rule positive/negative snippets for the REP001-REP012 catalog.
 
 Each rule gets at least one snippet it must flag and one it must not.
 Snippets are scanned under fake repo-relative paths so the package/test
@@ -598,3 +598,92 @@ def test_rep011_silent_in_supervisor_tests_and_benchmarks():
     assert scan(source, path="src/repro/serve/_internal/supervisor.py") == []
     assert scan(source, path=TESTS) == []
     assert scan(source, path="benchmarks/bench_mod.py") == []
+
+
+# -- REP012: sequence-runner hot-loop allocations -----------------------------
+
+OPS = "src/repro/nn/ops.py"
+
+
+def test_rep012_flags_allocating_ops_in_runner_loop():
+    findings = scan(
+        """
+        import numpy as np
+
+        def gru_sequence(xw, u, fused):
+            h = xw[0]
+            for t in range(xw.shape[0]):
+                zr = np.hstack([h, h])
+                hu = h @ u
+                h = np.matmul(zr, fused)
+            return h
+        """,
+        path=OPS,
+    )
+    assert [f.rule for f in findings] == ["REP012", "REP012", "REP012"]
+
+
+def test_rep012_flags_lowp_runner_and_while_loops():
+    findings = scan(
+        """
+        import numpy as np
+
+        def _lstm_sequence_lowp(xw, u):
+            t, h = 0, xw[0]
+            while t < xw.shape[0]:
+                scratch = np.zeros_like(h)
+                t += 1
+            return h
+        """,
+        path=OPS,
+    )
+    assert [f.rule for f in findings] == ["REP012"]
+
+
+def test_rep012_allows_out_matmul_and_hoisted_buffers():
+    findings = scan(
+        """
+        import numpy as np
+
+        def gru_sequence(xw, u, fused):
+            hu = np.empty_like(xw[0])
+            h = xw[0].copy()
+            for t in range(xw.shape[0]):
+                np.matmul(h, u, hu)
+                np.matmul(h, u, out=hu)
+                np.add(hu, xw[t], out=h)
+            return h
+        """,
+        path=OPS,
+    )
+    assert findings == []
+
+
+def test_rep012_silent_outside_runner_loops_and_ops_py():
+    outside_loop = """
+        import numpy as np
+
+        def gru_sequence(xw, u):
+            flat = np.hstack([xw[0], xw[1]])
+            return flat @ u
+        """
+    other_function = """
+        import numpy as np
+
+        def projection(xw, u):
+            for t in range(xw.shape[0]):
+                xw[t] = np.matmul(xw[t], u)
+            return xw
+        """
+    assert scan(outside_loop, path=OPS) == []
+    assert scan(other_function, path=OPS) == []
+    # the same hot-loop pattern elsewhere is other rules' business
+    in_loop = """
+        import numpy as np
+
+        def gru_sequence(xw, u):
+            for t in range(xw.shape[0]):
+                xw[t] = xw[t] @ u
+            return xw
+        """
+    assert scan(in_loop, path=NN) == []

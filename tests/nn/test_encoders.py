@@ -23,6 +23,7 @@ from repro.nn import (
     validate_encoder_name,
 )
 from repro.nn.encoders import _ENCODERS
+from repro.nn.inference import FLOAT32_ATOL
 
 INPUT_SIZE = 1
 HIDDEN = 5
@@ -121,6 +122,28 @@ class TestEveryEncoder:
         engine = compile_module(encoder)
         max_diff = engine.assert_close({"sequence": _sequence(batch=9)}, atol=1e-10)
         assert max_diff <= 1e-10
+
+    def test_compiled_float32_parity(self, name):
+        # The low-precision batch path may reassociate (fused affine
+        # GEMM, composed sigmoid) but must stay inside the f32 bound.
+        encoder = _make(name)
+        encoder.eval()
+        engine = compile_module(encoder, dtype=np.float32)
+        max_diff = engine.assert_close({"sequence": _sequence(batch=9)})
+        assert max_diff <= FLOAT32_ATOL
+
+    def test_compiled_zero_timesteps(self, name):
+        if "attention" in name:
+            # softmax pooling over zero timesteps is undefined — the
+            # autograd forward rejects it too, so there is no contract
+            # for the compiled plan to match.
+            pytest.skip("attention pooling has no zero-timestep meaning")
+        encoder = _make(name)
+        encoder.eval()
+        engine = compile_module(encoder)
+        out = engine(sequence=np.empty((4, 0, INPUT_SIZE)))
+        assert out.shape == (4, encoder.output_dim)
+        assert out.dtype == np.float64
 
     def test_serialization_byte_identity(self, name):
         encoder = _make(name)

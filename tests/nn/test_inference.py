@@ -193,6 +193,39 @@ class TestEnginePredict:
             solo = engine.predict(inputs, batch_size=5)
             assert piece.tobytes() == solo.tobytes()  # bitwise, not just close
 
+    def test_chunked_predict_bitwise_at_large_batch(self):
+        # Chunking at batch_size >= 16 must not move a bit: every kernel
+        # on the compiled path is row-wise, so each chunk's rows see the
+        # same arithmetic as the single-shot call.
+        layer = Dense(4, 2, rng=RNG)
+        engine = compile_module(layer)
+        x = RNG.standard_normal((53, 4))
+        chunked = engine.predict({"x": x}, batch_size=16)
+        assert chunked.tobytes() == engine.predict({"x": x}).tobytes()
+
+    def test_predict_zero_rows(self):
+        layer = Dense(4, 2, rng=RNG)
+        engine = compile_module(layer)
+        for batch_size in (None, 5):
+            out = engine.predict({"x": np.empty((0, 4))}, batch_size=batch_size)
+            assert out.shape == (0, 2)
+
+    def test_predict_rejects_empty_mapping(self):
+        layer = Dense(4, 2, rng=RNG)
+        engine = compile_module(layer)
+        with pytest.raises(ValueError, match="at least one named array"):
+            engine.predict({})
+
+    def test_predict_many_with_zero_row_part(self):
+        layer = Dense(4, 2, rng=RNG)
+        engine = compile_module(layer)
+        parts = [{"x": RNG.standard_normal((n, 4))} for n in (3, 0, 7)]
+        pieces = engine.predict_many(parts, batch_size=4)
+        assert [len(p) for p in pieces] == [3, 0, 7]
+        for piece, inputs in zip(pieces, parts):
+            solo = engine.predict(inputs, batch_size=4)
+            assert piece.tobytes() == solo.tobytes()
+
     def test_predict_many_rejects_mismatched_keys(self):
         layer = Dense(4, 2, rng=RNG)
         engine = compile_module(layer)

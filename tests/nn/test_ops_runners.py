@@ -1,0 +1,160 @@
+"""Fused sequence-runner contracts: bitwise float64, bounded float32.
+
+The batched restructure of the :mod:`repro.nn.ops` runners (workspace
+buffers, precombined input GEMMs, ``out=`` hot loops — DESIGN.md §6)
+promises three things this file pins down:
+
+- **float64 is bitwise.** The compiled runners replay the autograd
+  recurrence scalar-op for scalar-op, so their float64 outputs equal the
+  ``no_grad`` forward byte for byte — not merely to a tolerance.
+- **float32 is bounded.** The low-precision paths may reassociate
+  (single-GEMM affine projection, composed sigmoid) but stay within
+  :data:`repro.nn.inference.FLOAT32_ATOL` of the float64 answer.
+- **Workspace reuse is invisible.** Per-thread scratch buffers must
+  never alias a returned array: results survive later calls, and the
+  empty/zero-length edges still come back in the right shape and dtype.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, LSTM, Tensor, no_grad
+from repro.nn.inference import FLOAT32_ATOL, compile_recurrent
+from repro.nn import ops
+
+RNG = np.random.default_rng(11)
+
+
+def _gru_fused(input_dim=3, hidden=16, dtype=np.float64, seed=5):
+    rng = np.random.default_rng(seed)
+    parts = []
+    for gate in range(3):
+        parts += [
+            rng.standard_normal((input_dim, hidden)),
+            rng.standard_normal((hidden, hidden)),
+            rng.standard_normal(hidden),
+        ]
+    return ops.fuse_gru_weights(*parts, dtype=dtype)
+
+
+def _lstm_fused(input_dim=3, hidden=16, dtype=np.float64, seed=5):
+    rng = np.random.default_rng(seed)
+    parts = []
+    for gate in range(4):
+        parts += [
+            rng.standard_normal((input_dim, hidden)),
+            rng.standard_normal((hidden, hidden)),
+            rng.standard_normal(hidden),
+        ]
+    return ops.fuse_lstm_weights(*parts, dtype=dtype)
+
+
+class TestFloat64Bitwise:
+    """The restructured runners must not move a single float64 bit."""
+
+    @pytest.mark.parametrize("activation", ["relu", "tanh", "sigmoid", "linear"])
+    @pytest.mark.parametrize("return_sequences", [False, True])
+    def test_gru_matches_autograd_bytes(self, activation, return_sequences):
+        layer = GRU(3, 16, activation=activation, return_sequences=return_sequences, rng=RNG)
+        run = compile_recurrent(layer, np.dtype(np.float64))
+        x = RNG.standard_normal((5, 9, 3))
+        with no_grad():
+            reference = layer(Tensor(x)).numpy()
+        assert run(x).tobytes() == reference.tobytes()
+
+    @pytest.mark.parametrize("return_sequences", [False, True])
+    def test_lstm_matches_autograd_bytes(self, return_sequences):
+        layer = LSTM(3, 16, return_sequences=return_sequences, rng=RNG)
+        run = compile_recurrent(layer, np.dtype(np.float64))
+        x = RNG.standard_normal((5, 9, 3))
+        with no_grad():
+            reference = layer(Tensor(x)).numpy()
+        assert run(x).tobytes() == reference.tobytes()
+
+    def test_single_feature_broadcast_projection_is_bitwise(self):
+        # K=1 is the RU-history hot path where the input GEMM degenerates
+        # to a broadcast multiply; it must still match autograd exactly.
+        layer = GRU(1, 16, activation="relu", rng=RNG)
+        run = compile_recurrent(layer, np.dtype(np.float64))
+        x = RNG.standard_normal((1, 3, 1))
+        with no_grad():
+            reference = layer(Tensor(x)).numpy()
+        assert run(x).tobytes() == reference.tobytes()
+
+
+class TestFloat32Parity:
+    @pytest.mark.parametrize("runner,fused,extra", [
+        (ops.gru_sequence, _gru_fused, ("relu",)),
+        (ops.lstm_sequence, _lstm_fused, ()),
+    ])
+    def test_lowp_path_within_bound(self, runner, fused, extra):
+        x = RNG.standard_normal((8, 6, 3))
+        exact = runner(x, fused(dtype=np.float64), *extra, True)
+        lowp = runner(
+            x.astype(np.float32), fused(dtype=np.float32), *extra, True
+        )
+        assert lowp.dtype == np.float32
+        assert np.max(np.abs(lowp - exact)) <= FLOAT32_ATOL
+
+    def test_unknown_activation_raises(self):
+        fused = _gru_fused(dtype=np.float32)
+        x = RNG.standard_normal((2, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="unknown activation"):
+            ops.gru_sequence(x, fused, "softmax")
+
+
+class TestWorkspaceIsolation:
+    """Returned arrays must be fresh — never views of the scratch pool."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_gru_results_survive_later_calls(self, dtype):
+        fused = _gru_fused(dtype=dtype)
+        a = RNG.standard_normal((4, 7, 3)).astype(dtype)
+        b = RNG.standard_normal((4, 7, 3)).astype(dtype)
+        first = ops.gru_sequence(a, fused, "tanh")
+        snapshot = first.copy()
+        ops.gru_sequence(b, fused, "tanh")  # same workspace key
+        np.testing.assert_array_equal(first, snapshot)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_lstm_results_survive_later_calls(self, dtype):
+        fused = _lstm_fused(dtype=dtype)
+        a = RNG.standard_normal((4, 7, 3)).astype(dtype)
+        b = RNG.standard_normal((4, 7, 3)).astype(dtype)
+        first = ops.lstm_sequence(a, fused, True)
+        snapshot = first.copy()
+        ops.lstm_sequence(b, fused, True)
+        np.testing.assert_array_equal(first, snapshot)
+
+    def test_augmented_input_ones_column_survives_reuse(self):
+        x1 = RNG.standard_normal((2, 3, 2)).astype(np.float32)
+        x2 = RNG.standard_normal((2, 3, 2)).astype(np.float32)
+        a1 = ops._augmented_input(x1, 3, 2, np.dtype(np.float32))
+        np.testing.assert_array_equal(a1[:, -1], np.ones(6, dtype=np.float32))
+        a2 = ops._augmented_input(x2, 3, 2, np.dtype(np.float32))
+        np.testing.assert_array_equal(a2[:, -1], np.ones(6, dtype=np.float32))
+        np.testing.assert_array_equal(
+            a2[:, :2], x2.transpose(1, 0, 2).reshape(6, 2)
+        )
+
+
+class TestZeroLengthEdges:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_gru_zero_timesteps(self, dtype):
+        fused = _gru_fused(dtype=dtype)
+        x = np.empty((4, 0, 3), dtype=dtype)
+        last = ops.gru_sequence(x, fused, "relu", False)
+        seq = ops.gru_sequence(x, fused, "relu", True)
+        assert last.shape == (4, 16) and last.dtype == dtype
+        np.testing.assert_array_equal(last, np.zeros((4, 16), dtype=dtype))
+        assert seq.shape == (4, 0, 16) and seq.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_lstm_zero_timesteps(self, dtype):
+        fused = _lstm_fused(dtype=dtype)
+        x = np.empty((4, 0, 3), dtype=dtype)
+        last = ops.lstm_sequence(x, fused, False)
+        seq = ops.lstm_sequence(x, fused, True)
+        assert last.shape == (4, 16) and last.dtype == dtype
+        np.testing.assert_array_equal(last, np.zeros((4, 16), dtype=dtype))
+        assert seq.shape == (4, 0, 16) and seq.dtype == dtype

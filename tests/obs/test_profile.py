@@ -1,0 +1,68 @@
+"""Per-op profiler contracts: installation, attribution, and parity.
+
+The profiler exists for one purpose — the per-op table in
+``bench_inference.py`` — so the tests pin the three things that table
+depends on: ops accumulate time and call counts, installation is scoped
+to the ``profile_ops`` block, and a profiled compiled forward produces
+the same bytes as an unprofiled one (timing must never change the math).
+"""
+
+import time
+
+import numpy as np
+
+from repro.obs import OpProfiler, active_profiler, profile_ops
+
+
+class TestOpProfiler:
+    def test_accumulates_totals_and_calls(self):
+        prof = OpProfiler()
+        for _ in range(3):
+            with prof.op("fast"):
+                pass
+        with prof.op("slow"):
+            time.sleep(0.002)
+        assert prof.calls == {"fast": 3, "slow": 1}
+        assert prof.totals["slow"] >= 0.002
+        # table() is slowest-first
+        assert [name for name, _, _ in prof.table()][0] == "slow"
+
+    def test_reset_clears_state(self):
+        prof = OpProfiler()
+        with prof.op("x"):
+            pass
+        prof.reset()
+        assert prof.table() == []
+
+    def test_install_is_scoped_and_nestable(self):
+        assert active_profiler() is None
+        with profile_ops() as outer:
+            assert active_profiler() is outer
+            with profile_ops() as inner:
+                assert active_profiler() is inner
+            assert active_profiler() is outer
+        assert active_profiler() is None
+
+    def test_profiled_engine_forward_is_bitwise_identical(self):
+        from repro.core.model import Env2VecRegressor
+        from repro.data import Environment
+
+        rng = np.random.default_rng(0)
+        environments = [
+            Environment(f"T_{i % 2}", f"S_{i % 2}", f"C_{i % 2}", f"B_{i % 2}")
+            for i in range(40)
+        ]
+        X = rng.standard_normal((40, 6))
+        history = rng.standard_normal((40, 3))
+        y = X @ rng.standard_normal(6) + history.sum(axis=1)
+        regressor = Env2VecRegressor(
+            n_lags=3, embedding_dim=4, fnn_hidden=8, gru_hidden=4,
+            max_epochs=1, batch_size=20, seed=0,
+        ).fit(environments, X, history, y)
+        engine = regressor.compile()
+        batch = regressor._batch(environments, X, history)
+        plain = engine(**batch)
+        with profile_ops() as prof:
+            profiled = engine(**batch)
+        assert profiled.tobytes() == plain.tobytes()
+        assert set(prof.calls) == {"fnn", "encoder", "combine", "env_rows", "head"}

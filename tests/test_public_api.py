@@ -80,6 +80,8 @@ OBS_API = {
     "DEFAULT_BUCKETS", "LATENCY_BUCKETS",
     "Span", "SpanTracker", "span",
     "render_prometheus", "TSDBExporter",
+    # per-op inference profiling (bench_inference per-op table)
+    "OpProfiler", "active_profiler", "profile_ops",
 }
 
 
