@@ -5,6 +5,12 @@ entries when ``--strict-baseline``); 1 — findings (or parse errors);
 2 — usage errors. The default baseline is ``analysis_baseline.json``
 discovered upward from the first scanned path, so running from the repo
 root or a subdirectory both pick up the committed file.
+
+Scans are incremental by default: phase-1 results are replayed from
+``.repro_analysis_cache/`` (kept next to the discovered baseline, else
+the working directory) for files whose content hash is unchanged, and
+invalidated wholesale when the rule set version bumps. ``--no-cache``
+forces a full pass and neither reads nor writes the cache.
 """
 
 from __future__ import annotations
@@ -14,9 +20,11 @@ import sys
 from pathlib import Path
 
 from .baseline import Baseline, apply_baseline
+from .cache import CACHE_DIR_NAME, AnalysisCache
 from .engine import Analyzer
-from .report import render_json, render_text
-from .rules import DEFAULT_REGISTRY, default_registry
+from .program import default_cross_rules
+from .report import render_json, render_sarif, render_text
+from .rules import DEFAULT_REGISTRY, RULESET_VERSION, default_registry
 
 __all__ = ["main", "build_parser", "discover_baseline", "DEFAULT_BASELINE_NAME"]
 
@@ -26,14 +34,15 @@ DEFAULT_BASELINE_NAME = "analysis_baseline.json"
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
-        description="AST lint engine enforcing determinism, thread-safety and "
-        "aliasing discipline (rules REP001-REP008).",
+        description="Two-phase whole-program analyzer enforcing determinism, "
+        "thread-safety and aliasing discipline (per-file rules REP001-REP012 "
+        "plus cross-file rules REP013-REP016).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files/directories to scan (default: src)"
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt",
+        "--format", choices=("text", "json", "sarif"), default="text", dest="fmt",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -48,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--strict-baseline", action="store_true",
         help="also fail when baseline entries no longer match (expired)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the incremental scan cache and re-analyze every file",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"incremental cache directory (default: {CACHE_DIR_NAME} next "
+        "to the baseline, else the working directory)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
@@ -73,15 +91,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         for rule in DEFAULT_REGISTRY:
             print(f"{rule.id}  {rule.title}")
+        for cross in default_cross_rules():
+            print(f"{cross.id}  {cross.title} [cross-file]")
         return 0
 
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         print(f"repro.analysis: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
-
-    analyzer = Analyzer(default_registry())
-    result = analyzer.analyze_paths(args.paths)
 
     baseline_path: Path | None
     if args.baseline == "none":
@@ -93,6 +110,19 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     else:
         baseline_path = discover_baseline(args.paths[0])
+
+    cache = None
+    if not args.no_cache:
+        if args.cache_dir is not None:
+            cache_dir = Path(args.cache_dir)
+        elif baseline_path is not None:
+            cache_dir = baseline_path.parent / CACHE_DIR_NAME
+        else:
+            cache_dir = Path(CACHE_DIR_NAME)
+        cache = AnalysisCache(cache_dir, ruleset_version=RULESET_VERSION)
+
+    analyzer = Analyzer(default_registry())
+    result = analyzer.analyze_paths(args.paths, cache=cache)
 
     if args.update_baseline:
         if baseline_path is None:
@@ -114,7 +144,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     new, grandfathered, expired = apply_baseline(result.findings, baseline)
 
-    render = render_json if args.fmt == "json" else render_text
+    render = {"json": render_json, "sarif": render_sarif, "text": render_text}[args.fmt]
     print(render(result, new, grandfathered, expired))
 
     if new or result.parse_errors:

@@ -18,10 +18,11 @@ just like a real finding.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
@@ -30,6 +31,7 @@ from ..obs import get_observability
 __all__ = [
     "Finding",
     "FileContext",
+    "FileScan",
     "Rule",
     "RuleRegistry",
     "AnalysisResult",
@@ -56,6 +58,15 @@ _H_SCAN = _OBS.histogram(
     "End-to-end latency of one repro.analysis scan (all files, all rules).",
     buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0),
 )
+_H_LINK = _OBS.histogram(
+    "repro_analysis_link_seconds",
+    "Latency of the phase-2 whole-program link (summaries -> cross-file rules).",
+    buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0),
+)
+_M_CACHE_HITS = _OBS.counter(
+    "repro_analysis_cache_hits_total",
+    "Files whose phase-1 scan was replayed from the incremental cache.",
+)
 
 #: Reserved rule id for the unused-suppression check.
 UNUSED_SUPPRESSION_ID = "REP000"
@@ -77,13 +88,21 @@ class Finding:
     line: int
     message: str
     snippet: str  # stripped source text of the offending line
+    #: supporting anchors for multi-location findings (cycle edges,
+    #: escape-path hops): (path, line, note) triples. Deliberately
+    #: excluded from the fingerprint — a cycle is the same cycle even
+    #: when an unrelated edit moves one of its edges.
+    related: tuple = ()
 
     @property
     def fingerprint(self) -> str:
         return f"{self.rule}::{self.path}::{self.snippet}"
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        for rel_path, rel_line, note in self.related:
+            text += f"\n    {rel_path}:{rel_line}: {note}"
+        return text
 
 
 class FileContext:
@@ -324,6 +343,17 @@ class RuleRegistry:
 
 
 @dataclass
+class FileScan:
+    """Phase-1 outputs for one file: what the cache stores and replays."""
+
+    findings: list[Finding]
+    n_suppressed: int
+    summary: object  # ModuleSummary (typed loosely to keep imports acyclic)
+    #: line -> cross-file rule ids suppressed there; resolved after phase 2
+    deferred: dict[int, list[str]] = field(default_factory=dict)
+
+
+@dataclass
 class AnalysisResult:
     """Outcome of one scan, before/after baseline application."""
 
@@ -332,6 +362,8 @@ class AnalysisResult:
     n_suppressed: int = 0
     parse_errors: list[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    n_cache_hits: int = 0
+    link_seconds: float = 0.0
 
     def by_rule(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -358,22 +390,39 @@ def _parse_suppressions(source: str) -> dict[int, set[str]]:
 
 
 class Analyzer:
-    """Run every applicable rule over a set of files in one AST pass each."""
+    """Run every applicable rule over a set of files in one AST pass each.
 
-    def __init__(self, registry: RuleRegistry):
+    ``cross_rules`` configures phase 2 (the whole-program link): the
+    default ``"auto"`` loads :func:`repro.analysis.program.default_cross_rules`,
+    an empty sequence disables linking. Phase 2 only runs in
+    :meth:`analyze_paths` — :meth:`analyze_source` sees a single file and
+    has no program to link, so cross-file suppressions in lone sources
+    are dropped silently rather than reported as unused.
+    """
+
+    def __init__(self, registry: RuleRegistry, cross_rules="auto"):
         self.registry = registry
+        if cross_rules == "auto":
+            from .program import default_cross_rules
+
+            cross_rules = default_cross_rules()
+        self.cross_rules = tuple(cross_rules or ())
+        self._cross_ids = frozenset(rule.id for rule in self.cross_rules)
 
     # -- single source unit ------------------------------------------------
     def analyze_source(self, source: str, path: str) -> list[Finding]:
         """Analyze one in-memory source text as if it lived at ``path``."""
-        return self._analyze_unit(source, path)[0]
+        return self._analyze_unit(source, path).findings
 
-    def _analyze_unit(self, source: str, path: str) -> tuple[list[Finding], int]:
+    def _analyze_unit(self, source: str, path: str) -> FileScan:
+        from .summaries import summarize_module
+
         tree = ast.parse(source, filename=path)
         ctx = FileContext(path, tree, source)
+        summary = summarize_module(tree, path)
         active = [rule for rule in self.registry if rule.applies(ctx)]
-        if not active:
-            return [], 0
+        if not active and not self._cross_ids:
+            return FileScan([], 0, summary)
         dispatch: dict[type, list[Rule]] = {}
         for rule in active:
             rule.start_file(ctx)
@@ -400,6 +449,7 @@ class Analyzer:
         suppressions = _parse_suppressions(source)
         used: dict[int, set[str]] = {}
         findings: list[Finding] = []
+        deferred: dict[int, list[str]] = {}
         n_suppressed = 0
         for rule_id, lineno, message in raw:
             _M_FINDINGS.labels(rule=rule_id).inc()
@@ -413,7 +463,12 @@ class Analyzer:
             )
         for lineno, ids in sorted(suppressions.items()):
             unused = ids - used.get(lineno, set())
-            for rule_id in sorted(unused):
+            # cross-file rule pragmas can only be judged after phase 2:
+            # defer them instead of calling them dead here.
+            cross = sorted(unused & self._cross_ids)
+            if cross:
+                deferred[lineno] = cross
+            for rule_id in sorted(unused - self._cross_ids):
                 _M_FINDINGS.labels(rule=UNUSED_SUPPRESSION_ID).inc()
                 findings.append(
                     Finding(
@@ -425,7 +480,7 @@ class Analyzer:
                     )
                 )
         findings.sort(key=lambda f: (f.line, f.rule))
-        return findings, n_suppressed
+        return FileScan(findings, n_suppressed, summary, deferred)
 
     @staticmethod
     def _snippet(ctx: FileContext, lineno: int) -> str:
@@ -437,11 +492,20 @@ class Analyzer:
         paths: Iterable[str | Path],
         root: str | Path | None = None,
         on_file: Callable[[Path], None] | None = None,
+        cache=None,
     ) -> AnalysisResult:
         """Scan files/directories; paths in findings are relative to ``root``
-        (default: the current working directory) when possible."""
+        (default: the current working directory) when possible.
+
+        ``cache`` is an optional :class:`repro.analysis.cache.AnalysisCache`:
+        phase 1 is replayed from it for files whose content hash matches,
+        and phase 2 (the whole-program link) always re-runs over the full
+        summary set, so cached and fresh files link identically.
+        """
         root = Path(root) if root is not None else Path.cwd()
         result = AnalysisResult()
+        scans: list[tuple[str, FileScan]] = []
+        sources: dict[str, list[str]] = {}
         with _H_SCAN.time() as timer:
             for file_path in iter_python_files(paths):
                 if on_file is not None:
@@ -452,17 +516,88 @@ class Analyzer:
                     rel = file_path.as_posix()
                 try:
                     source = file_path.read_text()
-                    findings, n_suppressed = self._analyze_unit(source, rel)
-                except SyntaxError as error:
+                except OSError as error:
                     result.parse_errors.append(f"{rel}: {error}")
                     continue
+                sources[rel] = source.splitlines()
+                scan = None
+                digest = ""
+                if cache is not None:
+                    digest = hashlib.sha256(
+                        source.encode("utf-8", errors="replace")
+                    ).hexdigest()
+                    scan = cache.load(rel, digest)
+                if scan is None:
+                    try:
+                        scan = self._analyze_unit(source, rel)
+                    except SyntaxError as error:
+                        result.parse_errors.append(f"{rel}: {error}")
+                        continue
+                    if cache is not None:
+                        cache.store(rel, digest, scan)
+                else:
+                    result.n_cache_hits += 1
+                    _M_CACHE_HITS.inc()
                 result.n_files += 1
                 _M_FILES.inc()
-                result.n_suppressed += n_suppressed
-                result.findings.extend(findings)
+                result.n_suppressed += scan.n_suppressed
+                result.findings.extend(scan.findings)
+                scans.append((rel, scan))
+            if self.cross_rules and scans:
+                self._link(result, scans, sources)
         result.elapsed_seconds = timer.elapsed
         result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
         return result
+
+    def _link(
+        self,
+        result: AnalysisResult,
+        scans: list[tuple[str, FileScan]],
+        sources: dict[str, list[str]],
+    ) -> None:
+        """Phase 2: link summaries, run cross-file rules, settle deferred
+        cross-rule suppressions."""
+        from .program import ProgramModel
+
+        def snippet_at(path: str, line: int) -> str:
+            lines = sources.get(path)
+            if lines and 1 <= line <= len(lines):
+                return lines[line - 1].strip()
+            return ""
+
+        with _H_LINK.time() as timer:
+            program = ProgramModel(scan.summary for _, scan in scans)
+            deferred: dict[str, dict[int, set[str]]] = {
+                rel: {line: set(ids) for line, ids in scan.deferred.items()}
+                for rel, scan in scans
+                if scan.deferred
+            }
+            used: dict[tuple[str, int], set[str]] = {}
+            for rule in self.cross_rules:
+                for finding in rule.run(program):
+                    _M_FINDINGS.labels(rule=finding.rule).inc()
+                    if finding.rule in deferred.get(finding.path, {}).get(finding.line, ()):
+                        used.setdefault((finding.path, finding.line), set()).add(finding.rule)
+                        _M_SUPPRESSED.inc()
+                        result.n_suppressed += 1
+                        continue
+                    result.findings.append(
+                        replace(finding, snippet=snippet_at(finding.path, finding.line))
+                    )
+            for rel, per_line in sorted(deferred.items()):
+                for line, ids in sorted(per_line.items()):
+                    for rule_id in sorted(ids - used.get((rel, line), set())):
+                        _M_FINDINGS.labels(rule=UNUSED_SUPPRESSION_ID).inc()
+                        result.findings.append(
+                            Finding(
+                                UNUSED_SUPPRESSION_ID,
+                                rel,
+                                line,
+                                f"unused suppression: no {rule_id} finding on this line",
+                                snippet_at(rel, line),
+                            )
+                        )
+        result.link_seconds = timer.elapsed
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:

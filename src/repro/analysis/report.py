@@ -1,8 +1,12 @@
-"""Reporters: human-readable text and machine-readable JSON.
+"""Reporters: human-readable text, machine-readable JSON, and SARIF.
 
 The JSON shape is versioned and treated as a public contract (tests pin
 it): tooling that trends finding counts or annotates diffs should not
-break when the engine grows new fields.
+break when the engine grows new fields. Version 2 added ``related``
+location anchors (cycle edges, escape-path hops) and the phase-2 link
+timing. The SARIF reporter emits a minimal SARIF 2.1.0 log — one run,
+one result per non-baselined finding, related locations mapped to
+``relatedLocations`` — for consumption by code-scanning UIs.
 """
 
 from __future__ import annotations
@@ -12,9 +16,9 @@ import json
 from .baseline import BaselineEntry
 from .engine import AnalysisResult, Finding
 
-__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+__all__ = ["render_text", "render_json", "render_sarif", "JSON_SCHEMA_VERSION"]
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(
@@ -55,6 +59,10 @@ def render_json(
             "line": finding.line,
             "message": finding.message,
             "snippet": finding.snippet,
+            "related": [
+                {"path": path, "line": line, "note": note}
+                for path, line, note in finding.related
+            ],
         }
 
     payload = {
@@ -79,7 +87,62 @@ def render_json(
             "by_rule": _count(new),
             "parse_errors": list(result.parse_errors),
             "elapsed_seconds": result.elapsed_seconds,
+            "link_seconds": result.link_seconds,
+            "cache_hits": result.n_cache_hits,
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    result: AnalysisResult,
+    new: list[Finding],
+    grandfathered: list[Finding],
+    expired: list[BaselineEntry],
+) -> str:
+    """Minimal SARIF 2.1.0: only non-baselined findings become results
+    (baselined and suppressed ones are, by definition, accepted)."""
+
+    def location(path: str, line: int, message: str | None = None) -> dict:
+        loc = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": path},
+                "region": {"startLine": max(line, 1)},
+            }
+        }
+        if message is not None:
+            loc["message"] = {"text": message}
+        return loc
+
+    rule_ids = sorted({f.rule for f in new})
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "https://example.invalid/repro-analysis",
+                        "rules": [{"id": rule_id} for rule_id in rule_ids],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "level": "error",
+                        "message": {"text": finding.message},
+                        "locations": [location(finding.path, finding.line)],
+                        "relatedLocations": [
+                            location(path, line, note)
+                            for path, line, note in finding.related
+                        ],
+                        "fingerprints": {"reproAnalysis/v1": finding.fingerprint},
+                    }
+                    for finding in new
+                ],
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

@@ -49,7 +49,13 @@ from typing import Iterator
 
 from .engine import FileContext, Rule, RuleRegistry
 
-__all__ = ["DEFAULT_REGISTRY", "default_registry", "ALL_RULES"]
+__all__ = ["DEFAULT_REGISTRY", "default_registry", "ALL_RULES", "RULESET_VERSION"]
+
+#: Monotonic version of the full rule catalog (per-file REP001-REP012
+#: plus the cross-file rules in :mod:`repro.analysis.program`). The
+#: incremental cache embeds it in every entry, so bumping it on any rule
+#: semantics change invalidates stale cached scans wholesale.
+RULESET_VERSION = 2
 
 #: Packages under src/repro/ that run on the simulated campaign clock.
 _SIM_CLOCK_PACKAGES = frozenset({"core", "workflow", "parallel", "resilience"})

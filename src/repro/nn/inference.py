@@ -214,7 +214,8 @@ class EmbeddingRowCache:
         self._radix = radix
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def _row(self, key: tuple[int, ...]) -> np.ndarray:
         """One read-only cached row; takes the cache lock per lookup."""

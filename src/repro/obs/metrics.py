@@ -112,7 +112,10 @@ class _Metric:
                 f"{self.name} takes labels {self.label_names}; got {tuple(sorted(labels))}"
             )
         key = tuple(str(labels[name]) for name in self.label_names)
-        child = self._children.get(key)
+        # Double-checked locking: the bare read is the fast path; a miss
+        # re-checks under the lock before inserting, and dict reads of a
+        # fully-constructed child are safe under CPython's atomic getitem.
+        child = self._children.get(key)  # repro: noqa[REP013]
         if child is None:
             with self._lock:
                 child = self._children.get(key)
@@ -146,7 +149,9 @@ class _Metric:
         if not self.label_names:
             yield {}, self
             return
-        for key, child in sorted(self._children.items()):
+        with self._lock:
+            items = sorted(self._children.items())
+        for key, child in items:
             yield dict(zip(self.label_names, key)), child
 
     def samples(self) -> Iterator[MetricSample]:
@@ -191,10 +196,13 @@ class Counter(_Metric):
     @property
     def value(self) -> float:
         self._require_leaf()
-        return self._value
+        with self._value_lock:
+            return self._value
 
     def _value_samples(self, labels: dict[str, str]) -> Iterator[MetricSample]:
-        yield MetricSample(self.name, labels, self._value)
+        with self._value_lock:
+            value = self._value
+        yield MetricSample(self.name, labels, value)
 
 
 class Gauge(_Metric):
@@ -233,10 +241,13 @@ class Gauge(_Metric):
     @property
     def value(self) -> float:
         self._require_leaf()
-        return self._value
+        with self._value_lock:
+            return self._value
 
     def _value_samples(self, labels: dict[str, str]) -> Iterator[MetricSample]:
-        yield MetricSample(self.name, labels, self._value)
+        with self._value_lock:
+            value = self._value
+        yield MetricSample(self.name, labels, value)
 
 
 def format_le(bound: float) -> str:
@@ -331,33 +342,44 @@ class Histogram(_Metric):
         self._require_leaf()
         return HistogramTimer(self)
 
+    def _snapshot(self) -> tuple[list[int], float, int]:
+        """One consistent (counts, sum, count) view under a single lock
+        hold — read paths must never see a sum torn from its buckets,
+        and must never nest two ``_value_lock`` acquisitions."""
+        with self._value_lock:
+            return list(self._counts), self._sum, self._count
+
     @property
     def count(self) -> int:
         self._require_leaf()
-        return self._count
+        return self._snapshot()[2]
 
     @property
     def sum(self) -> float:
         self._require_leaf()
-        return self._sum
+        return self._snapshot()[1]
 
     def cumulative_counts(self) -> list[int]:
         """Per-bound cumulative counts, ending with the +Inf total."""
         self._require_leaf()
         out, running = [], 0
-        for count in self._counts:
+        for count in self._snapshot()[0]:
             running += count
             out.append(running)
         return out
 
     def _value_samples(self, labels: dict[str, str]) -> Iterator[MetricSample]:
-        cumulative = self.cumulative_counts()
+        counts, total_sum, total_count = self._snapshot()
+        cumulative, running = [], 0
+        for count in counts:
+            running += count
+            cumulative.append(running)
         for bound, count in zip(self.bounds + (float("inf"),), cumulative):
             yield MetricSample(
                 f"{self.name}_bucket", {**labels, "le": format_le(bound)}, float(count)
             )
-        yield MetricSample(f"{self.name}_sum", labels, self._sum)
-        yield MetricSample(f"{self.name}_count", labels, float(self._count))
+        yield MetricSample(f"{self.name}_sum", labels, total_sum)
+        yield MetricSample(f"{self.name}_count", labels, float(total_count))
 
 
 class MetricsRegistry:
@@ -424,17 +446,21 @@ class MetricsRegistry:
 
     # -- introspection -----------------------------------------------------
     def get(self, name: str) -> _Metric:
-        try:
-            return self._metrics[name]
-        except KeyError:
-            raise KeyError(f"no metric registered under {name!r}") from None
+        with self._lock:
+            try:
+                return self._metrics[name]
+            except KeyError:
+                raise KeyError(f"no metric registered under {name!r}") from None
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def collect(self) -> Iterator[_Metric]:
         """Families in registration order (stable exposition layout)."""
-        yield from self._metrics.values()
+        with self._lock:
+            families = list(self._metrics.values())
+        yield from families
 
     def samples(self) -> Iterator[MetricSample]:
         for metric in self.collect():
@@ -442,5 +468,5 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero every value while keeping registrations and children."""
-        for metric in self._metrics.values():
+        for metric in self.collect():
             metric.reset()

@@ -97,7 +97,8 @@ class WindowCache:
         self._cache: OrderedDict[int, tuple[TestExecution, tuple]] = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def windows(self, execution: TestExecution) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         key = id(execution)

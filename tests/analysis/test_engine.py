@@ -175,8 +175,9 @@ def test_json_report_schema(tmp_path):
         "version", "findings", "grandfathered", "expired_baseline", "summary",
     }
     (finding,) = payload["findings"]
-    assert set(finding) == {"rule", "path", "line", "message", "snippet"}
+    assert set(finding) == {"rule", "path", "line", "message", "snippet", "related"}
     assert finding["rule"] == "REP001"
+    assert finding["related"] == []
     assert finding["path"] == "src/repro/nn/mod.py"
     summary = payload["summary"]
     assert summary["files_scanned"] == 1

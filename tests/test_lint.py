@@ -179,3 +179,41 @@ def test_repro_analysis_gate():
     assert result.returncode == 0, (
         f"repro.analysis gate failed:\n{result.stdout}{result.stderr}"
     )
+
+
+def test_repro_analysis_catalog_includes_cross_file_rules():
+    """The shipped rule catalog carries the whole-program rules, so the
+    strict-baseline gate above is actually enforcing them."""
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--list-rules"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0
+    for rule_id in ("REP013", "REP014", "REP015", "REP016"):
+        assert rule_id in result.stdout, f"{rule_id} missing from --list-rules"
+    assert "[cross-file]" in result.stdout
+
+
+def test_repro_analysis_sarif_output_is_valid():
+    """--format sarif emits parseable SARIF 2.1.0 (machine-consumable)."""
+    import json
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src", "--format", "sarif"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        f"sarif scan failed:\n{result.stdout}{result.stderr}"
+    )
+    payload = json.loads(result.stdout)
+    assert payload["version"] == "2.1.0"
+    (run,) = payload["runs"]
+    assert run["tool"]["driver"]["name"] == "repro.analysis"
+    assert run["results"] == []  # live tree is clean
